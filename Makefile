@@ -1,0 +1,35 @@
+# UUCS reproduction — common workflows.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce examples validate clean help
+
+help:
+	@echo "install     editable install (falls back to setup.py develop offline)"
+	@echo "test        run the test suite"
+	@echo "bench       run all benchmarks (regenerates benchmarks/artifacts/)"
+	@echo "reproduce   study -> analyze -> validate, via the uucs CLI"
+	@echo "examples    run every example script"
+	@echo "clean       remove generated stores, caches, artifacts"
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reproduce:
+	$(PYTHON) -m repro.cli study --users 33 --seed 2004 --results out/results
+	$(PYTHON) -m repro.cli validate --results out/results
+	$(PYTHON) -m repro.cli analyze --results out/results
+	$(PYTHON) -m repro.cli import-db --results out/results --database out/results.sqlite
+
+examples:
+	for e in examples/*.py; do echo "== $$e"; $(PYTHON) $$e || exit 1; done
+
+clean:
+	rm -rf out .pytest_cache .hypothesis benchmarks/artifacts
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+Each figure benchmark times the analysis step that regenerates the figure
+and writes the rendered table to ``benchmarks/artifacts/`` so the full set
+of regenerated figures can be inspected (EXPERIMENTS.md links them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import metric_tables
+from repro.study import ControlledStudyConfig, run_controlled_study
+
+#: Canonical study seed (same as the test suite's).
+STUDY_SEED = 2004
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def controlled_study():
+    return run_controlled_study(ControlledStudyConfig(seed=STUDY_SEED))
+
+
+@pytest.fixture(scope="session")
+def study_runs(controlled_study):
+    return list(controlled_study.runs)
+
+
+@pytest.fixture(scope="session")
+def study_cells(study_runs):
+    cells, tables = metric_tables(study_runs)
+    return cells, tables
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir():
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+def write_artifact(directory: Path, name: str, content: str) -> Path:
+    path = directory / name
+    path.write_text(content.rstrip() + "\n")
+    return path

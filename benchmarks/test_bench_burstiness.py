@@ -1,0 +1,49 @@
+"""Question 5 extended: burstiness at matched mean load.
+
+The frog-in-the-pot result said slow increases are forgiven; this is the
+converse — spiky borrowing (M/M/1, the Internet library's dominant shape)
+hurts far more than steady borrowing at the same average, which is why
+"the right cycles ... in between the cycles the user is using" matter
+(§1) and why a throttle should bound *peaks*, not averages.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.core.resources import Resource
+from repro.study import run_burstiness_study
+from repro.util.tables import TextTable
+
+
+def test_bench_burstiness_penalty(benchmark, artifacts_dir):
+    results = benchmark.pedantic(
+        lambda: [
+            run_burstiness_study(
+                "powerpoint", Resource.CPU, mean_level=m, n_users=33, seed=77
+            )
+            for m in (0.3, 0.6, 0.9)
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        "Steady vs bursty (M/M/1) CPU borrowing at matched mean "
+        "(Powerpoint, 33 users)",
+        ["mean level", "f_d steady", "f_d bursty", "penalty", "burst peak"],
+    )
+    for r in results:
+        table.add_row(
+            f"{r.mean_level:.1f}",
+            f"{r.f_d_steady:.2f}",
+            f"{r.f_d_bursty:.2f}",
+            f"{r.burstiness_penalty:+.2f}",
+            f"{r.bursty_peak:.2f}",
+        )
+    write_artifact(artifacts_dir, "burstiness.txt", table.render())
+
+    # Bursts always hurt at least as much, and substantially so in the
+    # mid-range where steady borrowing is still comfortable.
+    for r in results:
+        assert r.f_d_bursty >= r.f_d_steady - 0.05
+    mid = results[1]
+    assert mid.burstiness_penalty > 0.2

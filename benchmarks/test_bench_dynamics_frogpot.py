@@ -1,0 +1,47 @@
+"""§3.3.5: the frog-in-the-pot time-dynamics result.
+
+The paper: for Powerpoint/CPU, 96% of users tolerated a higher level on
+the ramp than on the step, mean difference 0.22, p = 0.0001.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro import paperdata
+from repro.analysis.dynamics import ramp_vs_step
+from repro.core.resources import Resource
+from repro.errors import InsufficientDataError
+
+
+def test_bench_frog_in_pot_powerpoint_cpu(benchmark, study_runs,
+                                          artifacts_dir):
+    result = benchmark(ramp_vs_step, study_runs, "powerpoint", Resource.CPU)
+
+    lines = [
+        "Frog-in-the-pot (ramp vs step tolerated levels), all cells:",
+        "",
+    ]
+    for task in paperdata.STUDY_TASKS:
+        for resource in (Resource.CPU, Resource.MEMORY, Resource.DISK):
+            try:
+                r = ramp_vs_step(study_runs, task, resource)
+                lines.append("  " + r.describe())
+            except InsufficientDataError:
+                lines.append(f"  {task}/{resource.value}: insufficient pairs")
+    paper = paperdata.FROG_IN_POT
+    lines += [
+        "",
+        "paper (powerpoint/cpu): "
+        f"{paper['fraction_higher_on_ramp']:.0%} higher on ramp, "
+        f"mean diff {paper['mean_difference']:.2f}, p={paper['p_value']:g}",
+        "measured (powerpoint/cpu): " + result.describe(),
+    ]
+    write_artifact(artifacts_dir, "frog_in_pot.txt", "\n".join(lines))
+
+    assert result.n_pairs == 33
+    assert result.fraction_higher_on_ramp > 0.7
+    assert result.mean_difference == pytest.approx(
+        paper["mean_difference"], abs=0.2
+    )
+    assert result.test.p_value < 0.01
+    assert result.supports_frog_in_pot

@@ -1,0 +1,76 @@
+"""Figures 3-4: the exercise-function catalogue.
+
+Benchmarks generation of every exercise-function type and regenerates
+Figure 4's step/ramp examples as text sparklines.
+"""
+
+import numpy as np
+
+from conftest import write_artifact
+from repro.core.exercise import expexp, exppar, ramp, sawtooth, sine, step
+from repro.core.resources import Resource
+
+
+def _sparkline(values, width=72):
+    blocks = " .:-=+*#%@"
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    top = max(max(values), 1e-9)
+    return "".join(blocks[int(v / top * (len(blocks) - 1))] for v in values)
+
+
+def test_bench_step_generation(benchmark):
+    fn = benchmark(step, Resource.CPU, 2.0, 120.0, 40.0, 4.0)
+    assert fn.max_level() == 2.0
+
+
+def test_bench_ramp_generation(benchmark):
+    fn = benchmark(ramp, Resource.CPU, 2.0, 120.0, 4.0)
+    assert fn.values[-1] == 2.0
+
+
+def test_bench_sine_generation(benchmark):
+    fn = benchmark(sine, Resource.CPU, 1.0, 30.0, 300.0, None, 4.0)
+    assert fn.series.min() >= 0.0
+
+
+def test_bench_sawtooth_generation(benchmark):
+    fn = benchmark(sawtooth, Resource.CPU, 2.0, 30.0, 300.0, 4.0)
+    assert fn.max_level() <= 2.0
+
+
+def test_bench_expexp_generation(benchmark):
+    fn = benchmark(
+        lambda: expexp(Resource.CPU, 0.1, 20.0, 600.0, 1.0, seed=42)
+    )
+    assert fn.duration == 600.0
+
+
+def test_bench_exppar_generation(benchmark):
+    fn = benchmark(
+        lambda: exppar(Resource.CPU, 0.1, 1.5, 10.0, 600.0, 1.0, seed=42)
+    )
+    assert fn.duration == 600.0
+
+
+def test_figure4_artifact(benchmark, artifacts_dir):
+    """Regenerate Figure 4's two example functions."""
+    s, r = benchmark(
+        lambda: (
+            step(Resource.CPU, 2.0, 120.0, 40.0),
+            ramp(Resource.CPU, 2.0, 120.0),
+        )
+    )
+    lines = [
+        "Figure 4: step and ramp exercise functions (contention vs time)",
+        "",
+        "step(2.0, 120, 40):",
+        f"  [{_sparkline(list(s.values))}]",
+        "ramp(2.0, 120):",
+        f"  [{_sparkline(list(r.values))}]",
+    ]
+    write_artifact(artifacts_dir, "fig04_step_ramp.txt", "\n".join(lines))
+    # Shape checks: step is flat-zero then flat-x; ramp is monotone to x.
+    assert s.level_at(20.0) == 0.0 and s.level_at(100.0) == 2.0
+    assert np.all(np.diff(r.values) >= 0)

@@ -1,0 +1,104 @@
+"""§2.2 exerciser fidelity: contention c slows a busy peer to 1/(1+c).
+
+Two layers:
+
+* the *simulated* machine reproduces the paper's verified envelope
+  analytically (CPU to contention 10, disk to 7);
+* the *live* CPU exerciser is measured against a spinning victim process —
+  on a busy CI host the tolerance is generous, but the direction and rough
+  magnitude must hold.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro.core.resources import Resource
+from repro.exercisers import CPUExerciser, calibrate_spin
+from repro.exercisers.calibration import spin_for
+from repro.machine.scheduler import cpu_share, cpu_slowdown
+from repro.machine.disk import disk_slowdown
+from repro.util.tables import TextTable
+
+
+def test_bench_simulated_cpu_fidelity(benchmark, artifacts_dir):
+    """Foreground rate = 1/(1+c) across the verified range (c <= 10)."""
+    levels = np.linspace(0.0, 10.0, 21)
+
+    def sweep():
+        return [(c, cpu_share(c), cpu_slowdown(1.0, c)) for c in levels]
+
+    rows = benchmark(sweep)
+    table = TextTable(
+        "CPU exerciser model: foreground share and slowdown vs contention",
+        ["contention", "share 1/(1+c)", "slowdown (busy fg)"],
+    )
+    for c, share, slow in rows:
+        table.add_row(f"{c:.1f}", f"{share:.3f}", f"{slow:.2f}")
+        assert share == pytest.approx(1.0 / (1.0 + c))
+        assert slow == pytest.approx(1.0 + c)
+    write_artifact(artifacts_dir, "exerciser_cpu_model.txt", table.render())
+
+
+def test_bench_simulated_disk_fidelity(benchmark, artifacts_dir):
+    """I/O-bound foreground slows by (1+c) across the verified range."""
+    levels = np.linspace(0.0, 7.0, 15)
+    rows = benchmark(lambda: [(c, disk_slowdown(1.0, c)) for c in levels])
+    table = TextTable(
+        "Disk exerciser model: I/O-bound foreground slowdown vs contention",
+        ["contention", "slowdown"],
+    )
+    for c, slow in rows:
+        table.add_row(f"{c:.1f}", f"{slow:.2f}")
+        assert slow == pytest.approx(1.0 + c)
+    write_artifact(artifacts_dir, "exerciser_disk_model.txt", table.render())
+
+
+@pytest.mark.live
+def test_bench_live_cpu_exerciser_fidelity(benchmark, artifacts_dir):
+    """Measure a spinning victim's rate with and without the exerciser.
+
+    With contention level 1 on a saturated machine the victim should run
+    at very roughly half speed.  Scheduling noise on shared machines is
+    large, so the assertion is directional with a wide margin.
+    """
+    calibration = calibrate_spin()
+
+    def victim_rate(duration=0.3):
+        count = 0
+        deadline = time.perf_counter() + duration
+        while time.perf_counter() < deadline:
+            spin_for(0.001, calibration)
+            count += 1
+        return count / duration
+
+    # Ask for one competing thread-equivalent per CPU so the victim's core
+    # is genuinely contended regardless of placement.
+    cpus = os.cpu_count() or 1
+    level = float(min(cpus, 2))
+
+    def measure():
+        base = victim_rate()
+        with CPUExerciser(calibration=calibration, max_workers=int(level)) as ex:
+            ex.set_level(level)
+            time.sleep(0.05)
+            loaded = victim_rate()
+        return base, loaded
+
+    base, loaded = benchmark.pedantic(measure, rounds=3, iterations=1)
+    ratio = loaded / base
+    expected = 1.0 / (1.0 + level / cpus)
+    write_artifact(
+        artifacts_dir,
+        "exerciser_cpu_live.txt",
+        "Live CPU exerciser fidelity\n"
+        f"cpus={cpus} level={level}\n"
+        f"victim rate: base={base:.0f}/s loaded={loaded:.0f}/s "
+        f"ratio={ratio:.2f} (theory {expected:.2f})",
+    )
+    # Directional with wide tolerance: the victim must slow down markedly.
+    assert ratio < 0.85
+    assert ratio == pytest.approx(expected, abs=0.35)

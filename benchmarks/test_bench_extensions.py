@@ -1,0 +1,154 @@
+"""Benchmarks for the paper's open questions and future-work extensions.
+
+* question 2 — combination of resources (single vs combined borrowing);
+* linger-longer scheduling vs the screensaver default (the §1/§5 framing:
+  today's systems are needlessly conservative);
+* Kaplan-Meier vs the paper's naive CDF under heterogeneous censoring
+  (what the Internet study's variable-peak testcases require).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro.analysis.survival import kaplan_meier
+from repro.apps import get_task
+from repro.core.metrics import DiscomfortCDF, DiscomfortObservation
+from repro.core.resources import Resource
+from repro.machine import SimulatedMachine
+from repro.study import run_combination_study
+from repro.throttle import (
+    ActivityModel,
+    BackgroundBorrower,
+    Throttle,
+    cdf_operating_point,
+    linger_longer,
+    screensaver,
+)
+from repro.users import make_user, sample_population
+from repro.util.tables import TextTable
+
+
+def test_bench_combination_of_resources(benchmark, artifacts_dir):
+    """Question 2: borrowing CPU+disk together vs separately (IE task)."""
+    result = benchmark.pedantic(
+        run_combination_study,
+        args=("ie", (Resource.CPU, Resource.DISK)),
+        kwargs=dict(n_users=33, seed=42),
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        "Question 2: single vs combined resource borrowing (IE, 33 users)",
+        ["arm", "f_d", "c_a on CPU"],
+    )
+    table.add_row(
+        "cpu only", f"{result.f_d_single[Resource.CPU]:.2f}",
+        f"{result.c_a_single[Resource.CPU]:.2f}",
+    )
+    table.add_row(
+        "disk only", f"{result.f_d_single[Resource.DISK]:.2f}", "-",
+    )
+    table.add_row(
+        "cpu + disk", f"{result.f_d_combined:.2f}",
+        f"{result.c_a_combined_first:.2f}",
+    )
+    write_artifact(
+        artifacts_dir, "combination_resources.txt",
+        table.render() + f"\nunion effect: +{result.union_effect:.2f} f_d",
+    )
+    # The union effect: combined borrowing discomforts more often than
+    # either resource alone, and at no higher CPU levels.
+    assert result.f_d_combined >= max(result.f_d_single.values()) - 0.05
+    assert result.c_a_combined_first <= result.c_a_single[Resource.CPU] + 0.15
+
+
+def test_bench_linger_longer_vs_screensaver(benchmark, artifacts_dir):
+    """The paper's §1 framing quantified: how much work do conservative
+    policies leave on the table against a part-time user?"""
+    activity = ActivityModel(mean_active=1200.0, mean_idle=600.0)
+    machine = SimulatedMachine()
+    task = get_task("powerpoint")
+    profile = sample_population(1, seed=13)[0]
+    horizon = 8 * 3600.0
+
+    def run_policy(policy, seed):
+        user = make_user(profile, seed=seed)
+        borrower = BackgroundBorrower(
+            machine, task, user, Throttle(Resource.CPU, 8.0)
+        )
+        return borrower.run(
+            work=1e9, horizon=horizon, request=policy,
+            activity=activity, activity_seed=5,
+        )
+
+    def compare():
+        return {
+            "screensaver": run_policy(screensaver(8.0), 41),
+            "linger-longer (0.3)": run_policy(linger_longer(0.3, 8.0), 41),
+            "CDF 5% constant": run_policy(cdf_operating_point(0.34), 41),
+        }
+
+    reports = benchmark.pedantic(compare, rounds=1, iterations=1)
+    table = TextTable(
+        "Harvest over 8h against a part-time Powerpoint user "
+        f"(active {activity.active_fraction:.0%} of the time)",
+        ["policy", "cpu-s harvested", "vs screensaver", "discomforts"],
+    )
+    base = reports["screensaver"].work_done
+    for name, report in reports.items():
+        table.add_row(
+            name, f"{report.work_done:.0f}",
+            f"{report.work_done / base:.2f}x", report.discomfort_events,
+        )
+    write_artifact(artifacts_dir, "linger_longer.txt", table.render())
+
+    assert reports["screensaver"].discomfort_events == 0
+    assert (
+        reports["linger-longer (0.3)"].work_done
+        > reports["screensaver"].work_done
+    )
+    # Linger-longer's low level stays under the discomfort radar almost
+    # always (the whole point of combining it with comfort CDFs).
+    assert reports["linger-longer (0.3)"].discomfort_events <= 2
+
+
+def test_bench_km_vs_naive_under_censoring(benchmark, artifacts_dir):
+    """Internet-study-style data (testcases with different peaks) biases
+    the naive CDF down; Kaplan-Meier corrects it."""
+    rng = np.random.default_rng(7)
+    # Ground truth: lognormal thresholds, median ~1.6.
+    true_thresholds = np.exp(rng.normal(0.5, 0.5, size=400))
+    observations = []
+    for threshold in true_thresholds:
+        peak = float(rng.uniform(0.5, 8.0))  # heterogeneous testcase peaks
+        if threshold <= peak:
+            observations.append(DiscomfortObservation(
+                level=float(threshold), censored=False, resource=Resource.CPU,
+            ))
+        else:
+            observations.append(DiscomfortObservation(
+                level=peak, censored=True, resource=Resource.CPU,
+            ))
+
+    km = benchmark(kaplan_meier, observations)
+    naive = DiscomfortCDF(observations)
+
+    table = TextTable(
+        "P(discomfort <= level): truth vs naive CDF vs Kaplan-Meier "
+        "(heterogeneous censoring)",
+        ["level", "truth", "naive", "KM"],
+    )
+    errors_naive, errors_km = [], []
+    for level in (0.5, 1.0, 2.0, 3.0, 5.0):
+        truth = float(np.mean(true_thresholds <= level))
+        n = naive.evaluate(level)
+        k = km.evaluate(level)
+        errors_naive.append(abs(n - truth))
+        errors_km.append(abs(k - truth))
+        table.add_row(f"{level:.1f}", f"{truth:.3f}", f"{n:.3f}", f"{k:.3f}")
+    write_artifact(artifacts_dir, "km_vs_naive.txt", table.render())
+
+    # KM is strictly better where censoring bites (higher levels).
+    assert sum(errors_km) < sum(errors_naive)
+    assert errors_km[-1] < errors_naive[-1]

@@ -1,0 +1,56 @@
+"""Figure 8: the controlled study's testcase table.
+
+Benchmarks testcase-set construction and regenerates the parameter table.
+"""
+
+from conftest import write_artifact
+from repro import paperdata
+from repro.core.resources import Resource
+from repro.study.testcases import task_testcases
+from repro.util.tables import TextTable
+
+
+def test_bench_task_testcase_construction(benchmark):
+    testcases = benchmark(lambda: [task_testcases(t) for t in paperdata.STUDY_TASKS])
+    assert sum(len(t) for t in testcases) == 32
+
+
+def test_figure8_artifact(benchmark, artifacts_dir):
+    table = TextTable(
+        "Figure 8: testcase descriptions for the 4 tasks",
+        ["No.", "Resource", "Type", "word", "powerpoint", "ie", "quake"],
+    )
+    rows = [
+        (1, Resource.CPU, "ramp"),
+        (2, None, "blank"),
+        (3, Resource.DISK, "ramp"),
+        (4, Resource.MEMORY, "ramp"),
+        (5, Resource.CPU, "step"),
+        (6, Resource.DISK, "step"),
+        (7, None, "blank"),
+        (8, Resource.MEMORY, "step"),
+    ]
+
+    def build():
+        all_testcases = {t: task_testcases(t) for t in paperdata.STUDY_TASKS}
+        for number, resource, shape in rows:
+            cells = []
+            for task in paperdata.STUDY_TASKS:
+                testcase = all_testcases[task][number - 1]
+                if resource is None:
+                    cells.append("-")
+                    continue
+                fn = testcase.functions[resource]
+                params = ",".join(
+                    f"{fn.params[k]:g}" for k in ("x", "t", "b") if k in fn.params
+                )
+                cells.append(params)
+            table.add_row(number, resource.value if resource else "-", shape, *cells)
+        return table.render()
+
+    rendered = benchmark(build)
+    write_artifact(artifacts_dir, "fig08_testcases.txt", rendered)
+    # Spot-check against the published parameters.
+    assert "7,120" in rendered        # word CPU ramp (7.0, 120)
+    assert "0.98,120,40" in rendered  # powerpoint CPU step
+    assert "0.5,120,40" in rendered   # quake CPU step

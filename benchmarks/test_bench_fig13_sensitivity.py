@@ -1,0 +1,34 @@
+"""Figure 13: the qualitative sensitivity grid (Low/Medium/High)."""
+
+from conftest import write_artifact
+from repro import paperdata
+from repro.analysis.report import sensitivity_grid
+
+
+def test_bench_fig13_sensitivity(benchmark, study_cells, artifacts_dir):
+    cells, _ = study_cells
+    letters, table = benchmark(sensitivity_grid, cells)
+
+    lines = [table.render(), "", "Published grid (Figure 13):"]
+    for task in paperdata.STUDY_TASKS:
+        row = "  ".join(
+            paperdata.FIG13_SENSITIVITY[(task, r)]
+            for r in sorted(
+                {k[1] for k in paperdata.FIG13_SENSITIVITY}, key=lambda r: r.value
+            )
+        )
+        lines.append(f"  {task:11s} {row}")
+    matches = sum(
+        letters[(task, resource.value)] == expected
+        for (task, resource), expected in paperdata.FIG13_SENSITIVITY.items()
+    )
+    lines.append(f"\ncell agreement with paper: {matches}/12")
+    write_artifact(artifacts_dir, "fig13_sensitivity.txt", "\n".join(lines))
+
+    # Robust qualitative claims.
+    assert letters[("quake", "cpu")] == "H"
+    assert letters[("word", "memory")] == "L"
+    assert letters[("powerpoint", "disk")] == "L"
+    assert letters[("ie", "disk")] == "H"
+    assert letters[("total", "memory")] == "L"
+    assert matches >= 7

@@ -1,0 +1,31 @@
+"""Figure 14: f_d (fraction of runs provoking discomfort) per cell."""
+
+import pytest
+
+from conftest import write_artifact
+from repro import paperdata
+from repro.analysis.compare import compare_cells, comparison_table
+from repro.analysis.report import metric_tables
+from repro.core.resources import Resource
+
+
+def test_bench_fig14_fd(benchmark, study_runs, artifacts_dir):
+    cells, tables = benchmark(metric_tables, study_runs)
+
+    comparisons = compare_cells(cells)
+    artifact = tables["f_d"].render() + "\n\n" + comparison_table(comparisons).render()
+    write_artifact(artifacts_dir, "fig14_fd.txt", artifact)
+
+    # Totals ordering and magnitudes (paper: CPU .86, Mem .21, Disk .33).
+    fd = {r: cells[("total", r)].f_d for r in
+          (Resource.CPU, Resource.MEMORY, Resource.DISK)}
+    assert fd[Resource.CPU] > fd[Resource.DISK] > fd[Resource.MEMORY]
+    assert fd[Resource.CPU] == pytest.approx(0.86, abs=0.15)
+    assert fd[Resource.MEMORY] == pytest.approx(0.21, abs=0.12)
+    assert fd[Resource.DISK] == pytest.approx(0.33, abs=0.15)
+
+    # Per-task orderings: Word reacts least on CPU among office tasks;
+    # Word/Memory is zero; IE leads disk sensitivity.
+    assert cells[("word", Resource.MEMORY)].f_d == 0.0
+    disk_fd = {t: cells[(t, Resource.DISK)].f_d for t in paperdata.STUDY_TASKS}
+    assert disk_fd["ie"] == max(disk_fd.values())

@@ -1,0 +1,37 @@
+"""Figure 15: c_0.05 — the contention level discomforting 5% of users."""
+
+import pytest
+
+from conftest import write_artifact
+from repro import paperdata
+from repro.analysis.report import metric_tables
+from repro.core.resources import Resource
+
+
+def test_bench_fig15_c05(benchmark, study_runs, artifacts_dir):
+    cells, tables = benchmark(metric_tables, study_runs)
+
+    lines = [tables["c_05"].render(), "", "paper c_0.05 (task x resource):"]
+    for task in [*paperdata.STUDY_TASKS, "total"]:
+        row = []
+        for resource in (Resource.CPU, Resource.MEMORY, Resource.DISK):
+            published = paperdata.cell(task, resource).c_05
+            row.append("*" if published is None else f"{published:.2f}")
+        lines.append(f"  {task:11s} " + "  ".join(row))
+    write_artifact(artifacts_dir, "fig15_c05.txt", "\n".join(lines))
+
+    # Word's starred memory cell.
+    assert cells[("word", Resource.MEMORY)].c_05 is None
+    # Task ordering on CPU: Word >> PPT > IE > Quake (paper: 3.06, 1.00,
+    # 0.61, 0.18).
+    c05 = {
+        task: cells[(task, Resource.CPU)].c_05
+        for task in paperdata.STUDY_TASKS
+    }
+    assert c05["word"] > c05["powerpoint"] >= c05["quake"]
+    assert c05["word"] > c05["ie"] > c05["quake"]
+    # Headline totals: aggressive memory/disk borrowing is safe at 5%.
+    total_disk = cells[("total", Resource.DISK)].c_05
+    assert total_disk >= 0.6  # a whole disk-writing task (paper: 1.11)
+    total_cpu = cells[("total", Resource.CPU)].c_05
+    assert 0.1 <= total_cpu <= 0.7  # paper: 0.35

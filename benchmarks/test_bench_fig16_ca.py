@@ -1,0 +1,46 @@
+"""Figure 16: c_a (mean contention at discomfort) with 95% CIs."""
+
+import pytest
+
+from conftest import write_artifact
+from repro import paperdata
+from repro.analysis.report import metric_tables
+from repro.core.resources import Resource
+
+
+def test_bench_fig16_ca(benchmark, study_runs, artifacts_dir):
+    cells, tables = benchmark(metric_tables, study_runs)
+
+    lines = [tables["c_a"].render(), "", "paper c_a (95% CI):"]
+    for task in [*paperdata.STUDY_TASKS, "total"]:
+        row = []
+        for resource in (Resource.CPU, Resource.MEMORY, Resource.DISK):
+            p = paperdata.cell(task, resource)
+            if p.c_a is None:
+                row.append("*")
+            else:
+                row.append(f"{p.c_a:.2f} ({p.c_a_low:.2f},{p.c_a_high:.2f})")
+        lines.append(f"  {task:11s} " + "  ".join(row))
+    write_artifact(artifacts_dir, "fig16_ca.txt", "\n".join(lines))
+
+    # Starred cell reproduces.
+    assert cells[("word", Resource.MEMORY)].c_a is None
+    # CPU tolerance ordering across tasks (Quake lowest, Word highest).
+    ca_cpu = {
+        task: cells[(task, Resource.CPU)].c_a.mean
+        for task in paperdata.STUDY_TASKS
+    }
+    assert ca_cpu["quake"] == min(ca_cpu.values())
+    assert ca_cpu["word"] == max(ca_cpu.values())
+    assert ca_cpu["word"] > 3.0
+    assert ca_cpu["quake"] == pytest.approx(0.64, abs=0.25)
+    # Resource ordering in totals: Disk > CPU > Memory (2.97 / 1.47 / 0.58).
+    totals = {
+        r: cells[("total", r)].c_a.mean
+        for r in (Resource.CPU, Resource.MEMORY, Resource.DISK)
+    }
+    assert totals[Resource.DISK] > totals[Resource.CPU] > totals[Resource.MEMORY]
+    # CIs bracket their means.
+    for cell in cells.values():
+        if cell.c_a is not None:
+            assert cell.c_a.low <= cell.c_a.mean <= cell.c_a.high

@@ -1,0 +1,59 @@
+"""Figure 17: significant skill-level differences (unpaired t-tests).
+
+At the paper's n=33 any single seed may or may not clear p<0.05 in a given
+cell, so this benchmark runs a larger population (the paper itself notes
+"our results are preliminary here and will improve with our Internet-wide
+study") and asserts the *direction* and the headline cell.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.analysis.factors import skill_level_differences, skill_table
+from repro.core.resources import Resource
+from repro.study import ControlledStudyConfig, run_controlled_study
+from repro.users.profile import SkillLevel
+
+
+@pytest.fixture(scope="module")
+def large_study_runs():
+    config = ControlledStudyConfig(n_users=120, seed=1717)
+    return list(run_controlled_study(config).runs)
+
+
+@pytest.mark.filterwarnings(
+    "ignore:Precision loss occurred:RuntimeWarning"
+)
+def test_bench_fig17_skill_differences(benchmark, large_study_runs,
+                                       artifacts_dir):
+    diffs = benchmark(
+        skill_level_differences, large_study_runs, alpha=0.05
+    )
+    artifact = skill_table(diffs).render()
+    artifact += (
+        "\n\npaper rows: quake/cpu pc|windows|quake power-vs-typical, "
+        "quake typical-vs-beginner, ie/disk + ie/mem windows power-vs-typical"
+    )
+    write_artifact(artifacts_dir, "fig17_skill.txt", artifact)
+
+    assert diffs, "no significant skill differences found at n=120"
+    # The headline cell: Quake/CPU differences by the quake self-rating,
+    # with power users tolerating *less* contention.
+    quake_cpu = [
+        d for d in diffs
+        if d.task == "quake" and d.resource is Resource.CPU
+    ]
+    assert quake_cpu, "Quake/CPU shows no significant skill effect"
+    power_vs_typical = [
+        d for d in quake_cpu
+        if d.group_high is SkillLevel.POWER and d.group_low is SkillLevel.TYPICAL
+    ]
+    assert power_vs_typical
+    best = power_vs_typical[0]
+    assert best.skilled_less_tolerant
+    # Paper's diffs for this cell: 0.137-0.224 contention units.
+    assert 0.03 <= best.test.diff <= 0.5
+    # Quake/CPU is among the most significant cells found (paper: largest
+    # differences were for Quake/CPU).
+    assert any(d.p_value <= diffs[min(3, len(diffs) - 1)].p_value
+               for d in quake_cpu)

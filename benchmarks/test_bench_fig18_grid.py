@@ -1,0 +1,68 @@
+"""Figure 18: the per-(context, resource) CDF grid — 12 cells.
+
+Benchmarks per-cell CDF construction and renders the full grid of
+mini-CDFs with DfCount/ExCount labels, the paper's final figure.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro import paperdata
+from repro.analysis.cdf import per_cell_cdf
+from repro.analysis.plots import render_mini_cdf
+from repro.core.resources import Resource
+from repro.errors import InsufficientDataError
+
+_RESOURCES = (Resource.CPU, Resource.MEMORY, Resource.DISK)
+
+
+def test_bench_fig18_grid(benchmark, study_runs, artifacts_dir):
+    def build_grid():
+        cdfs = {}
+        for task in paperdata.STUDY_TASKS:
+            for resource in _RESOURCES:
+                try:
+                    cdfs[(task, resource)] = per_cell_cdf(
+                        study_runs, task, resource
+                    )
+                except InsufficientDataError:
+                    cdfs[(task, resource)] = None
+        return cdfs
+
+    cdfs = benchmark(build_grid)
+
+    lines = ["Figure 18: CDFs of discomfort by context and resource", ""]
+    for task in paperdata.STUDY_TASKS:
+        header_cells, body_rows = [], None
+        for resource in _RESOURCES:
+            cdf = cdfs[(task, resource)]
+            x_max = paperdata.RAMP_PARAMS[(task, resource)][0]
+            label = (
+                f"{task}/{resource.value} Df={cdf.df_count} Ex={cdf.ex_count}"
+            )
+            header_cells.append(f"{label:<32}")
+            mini = render_mini_cdf(cdf, x_max)
+            if body_rows is None:
+                body_rows = [[] for _ in mini]
+            for i, row in enumerate(mini):
+                body_rows[i].append(row)
+        lines.append("".join(header_cells))
+        for row_cells in body_rows:
+            lines.append("".join(f"{c:<32}" for c in row_cells))
+        lines.append("")
+    write_artifact(artifacts_dir, "fig18_grid.txt", "\n".join(lines))
+
+    # Every cell exists with the expected run count (33 ramps per cell).
+    for cdf in cdfs.values():
+        assert cdf is not None
+        assert cdf.n == 33
+    # Column reading (paper §3.3.2): within each task, memory and disk are
+    # tolerated more often than CPU.
+    for task in paperdata.STUDY_TASKS:
+        f_cpu = cdfs[(task, Resource.CPU)].f_d()
+        assert f_cpu >= cdfs[(task, Resource.MEMORY)].f_d()
+    # Row reading (§3.3.3): Quake reacts to CPU more than Word does.
+    assert (
+        cdfs[("quake", Resource.CPU)].c_a()
+        < cdfs[("word", Resource.CPU)].c_a()
+    )

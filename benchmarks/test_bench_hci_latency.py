@@ -1,0 +1,81 @@
+"""The HCI view of the §5 operating points.
+
+The paper's related work measures comfort against response-time limits
+(Komatsubara's ~0.3 s / ~1 s psychological thresholds).  This benchmark
+unrolls our CDF-derived throttle levels into per-event interaction
+latencies and asks: at the 5%-discomfort operating point, what response
+times do users actually see?  The answer closes the loop between the
+paper's contention-space advice and the HCI literature it cites.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro.analysis.cdf import per_cell_cdf
+from repro.apps.registry import TASK_ORDER, get_task
+from repro.core.resources import Resource
+from repro.errors import InsufficientDataError
+from repro.machine import (
+    HCI_COMFORT_LIMIT,
+    SimulatedMachine,
+    simulate_interaction_latencies,
+)
+from repro.throttle import level_for_target
+from repro.util.tables import TextTable
+
+RATE = 4.0
+DURATION = 600.0
+
+
+def _trace(task_name, level, seed=5):
+    machine = SimulatedMachine()
+    model = machine.interactivity_model(get_task(task_name))
+    n = int(DURATION * RATE)
+    levels = {Resource.CPU: np.full(n, level)}
+    return simulate_interaction_latencies(model, levels, RATE, seed=seed)
+
+
+def test_bench_hci_latency_at_operating_points(
+    benchmark, study_runs, artifacts_dir
+):
+    def compute():
+        rows = []
+        for task_name in TASK_ORDER:
+            try:
+                cdf = per_cell_cdf(study_runs, task_name, Resource.CPU)
+                level = level_for_target(cdf, 0.05)
+            except InsufficientDataError:
+                continue
+            idle = _trace(task_name, 0.0)
+            loaded = _trace(task_name, level)
+            rows.append((task_name, level, idle, loaded))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = TextTable(
+        "Interaction latency at the CPU 5% operating point (10 min of events)",
+        ["task", "throttle", "p95 idle", "p95 throttled",
+         f">{HCI_COMFORT_LIMIT:.1f}s events"],
+    )
+    for task_name, level, idle, loaded in rows:
+        table.add_row(
+            task_name,
+            f"{level:.2f}",
+            f"{idle.percentile(0.95) * 1000:.0f} ms",
+            f"{loaded.percentile(0.95) * 1000:.0f} ms",
+            f"{loaded.fraction_over(HCI_COMFORT_LIMIT):.1%}",
+        )
+    write_artifact(artifacts_dir, "hci_latency.txt", table.render())
+
+    by_task = {r[0]: r for r in rows}
+    # At their own 5% operating points, office interactions stay within
+    # the comfort limit almost always — the CDF advice is HCI-safe.
+    for task_name in ("word", "powerpoint"):
+        _, _, _, loaded = by_task[task_name]
+        assert loaded.fraction_over(HCI_COMFORT_LIMIT) < 0.05
+    # And the throttled p95 never blows past the 1 s tolerance limit
+    # for any task at its own operating point.
+    for task_name, _, _, loaded in rows:
+        assert loaded.percentile(0.95) < 1.0

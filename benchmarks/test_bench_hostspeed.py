@@ -1,0 +1,40 @@
+"""Question 6, controlled: raw host power vs comfort.
+
+Same users, same Figure 8 CPU ramps, machines differing only in CPU
+speed.  The paper could not run this (two identical Dells); its Internet
+study attacks it observationally.  Here both exist: this controlled
+version isolates the speed effect completely.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.study import run_host_speed_experiment
+from repro.util.tables import TextTable
+
+
+def test_bench_host_speed_controlled(benchmark, artifacts_dir):
+    points = benchmark.pedantic(
+        run_host_speed_experiment,
+        kwargs=dict(speeds=(0.5, 1.0, 2.0, 4.0), n_users=25, seed=606),
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        "Controlled host-speed experiment (identical users, CPU ramps)",
+        ["cpu speed", "f_d", "c_a (reacting)", "runs"],
+    )
+    for p in points:
+        table.add_row(
+            f"{p.cpu_speed:g}x",
+            f"{p.f_d:.2f}",
+            "-" if p.c_a is None else f"{p.c_a:.2f}",
+            p.n_runs,
+        )
+    write_artifact(artifacts_dir, "host_speed_controlled.txt", table.render())
+
+    # Monotone: every doubling of speed lowers the discomfort rate.
+    fds = [p.f_d for p in points]
+    assert all(a >= b for a, b in zip(fds, fds[1:]))
+    # And the effect is large across the 8x range.
+    assert fds[0] > fds[-1] + 0.3

@@ -1,0 +1,68 @@
+"""§4: the Internet-wide study — fleet operation and the host-speed effect
+(paper question 6, which the controlled study could not address)."""
+
+import pytest
+
+from conftest import write_artifact
+from repro.core.resources import Resource
+from repro.study import (
+    InternetStudyConfig,
+    generate_library,
+    host_speed_effect,
+    run_internet_study,
+)
+from repro.util.tables import TextTable
+
+
+@pytest.fixture(scope="module")
+def internet_result():
+    config = InternetStudyConfig(
+        n_clients=40,
+        duration=6 * 3600.0,
+        mean_execution_interval=700.0,
+        sync_interval=2 * 3600.0,
+        library_size=80,
+        seed=11,
+    )
+    return run_internet_study(config)
+
+
+def test_bench_library_generation(benchmark):
+    library = benchmark(generate_library, 200, 42)
+    assert len(library) == 200
+
+
+def test_bench_internet_study_small(benchmark):
+    """Time a small fleet end-to-end (registration, syncs, runs, uploads)."""
+    config = InternetStudyConfig(
+        n_clients=4, duration=3600.0, mean_execution_interval=600.0,
+        library_size=20, seed=3,
+    )
+    result = benchmark.pedantic(
+        run_internet_study, args=(config,), rounds=3, iterations=1
+    )
+    assert len(result.runs) > 0
+
+
+def test_bench_host_speed_effect(benchmark, internet_result, artifacts_dir):
+    bins = benchmark(host_speed_effect, internet_result, Resource.CPU, 4)
+
+    table = TextTable(
+        "Question 6: CPU discomfort vs raw host speed (mechanistic users)",
+        ["mean speed", "f_d", "c_a (reacting runs)", "n runs"],
+    )
+    for b in bins:
+        table.add_row(
+            f"{b.mean_speed:.2f}",
+            f"{b.f_d:.2f}",
+            "-" if b.c_a is None else f"{b.c_a:.2f}",
+            b.n_runs,
+        )
+    write_artifact(artifacts_dir, "internet_host_speed.txt", table.render())
+
+    assert len(bins) == 4
+    # Faster hosts feel borrowing less: f_d falls from slowest to fastest.
+    assert bins[0].f_d > bins[-1].f_d
+    # Fleet actually produced data at scale.
+    assert len(internet_result.runs) > 500
+    assert len(internet_result.specs) == 40

@@ -1,0 +1,62 @@
+"""Estimate convergence with population size.
+
+§5: "Exploit our CDFs ... As we collect more data, the CDF estimates will
+improve."  The vectorized engine makes populations far beyond the paper's
+33 cheap, so this benchmark quantifies the improvement: bootstrap bands
+for c_0.05 shrink roughly as 1/sqrt(n), and the Figure 17 skill effects
+move from seed-dependent to unambiguous.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.analysis.bootstrap import bootstrap_c_percentile
+from repro.analysis.cdf import observations_from_runs
+from repro.analysis.factors import skill_level_differences
+from repro.core.resources import Resource
+from repro.study import ControlledStudyConfig, run_controlled_study
+from repro.util.tables import TextTable
+
+SIZES = (33, 100, 300)
+
+
+def test_bench_estimate_convergence(benchmark, artifacts_dir):
+    def run_all():
+        out = {}
+        for n in SIZES:
+            config = ControlledStudyConfig(n_users=n, seed=2004)
+            out[n] = list(run_controlled_study(config).runs)
+        return out
+
+    runs_by_n = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = TextTable(
+        "Estimate quality vs population size (CPU aggregate)",
+        ["users", "runs", "c_05 [95% band]", "band width",
+         "significant fig17 cells"],
+    )
+    widths = {}
+    for n in SIZES:
+        runs = runs_by_n[n]
+        observations = observations_from_runs(runs, resource=Resource.CPU)
+        band = bootstrap_c_percentile(
+            observations, 0.05, n_resamples=300, seed=7
+        )
+        widths[n] = band.high - band.low
+        diffs = skill_level_differences(runs, alpha=0.01)
+        table.add_row(
+            n, len(runs),
+            f"{band.estimate:.2f} [{band.low:.2f},{band.high:.2f}]",
+            f"{widths[n]:.2f}",
+            len(diffs),
+        )
+    write_artifact(artifacts_dir, "scale_convergence.txt", table.render())
+
+    # Bands shrink as data grows (allowing bootstrap noise).
+    assert widths[300] < widths[33]
+    # The biggest study detects skill effects decisively at alpha=0.01.
+    big_diffs = skill_level_differences(runs_by_n[300], alpha=0.01)
+    assert len(big_diffs) >= 3
+    assert any(
+        d.task == "quake" and d.resource is Resource.CPU for d in big_diffs
+    )

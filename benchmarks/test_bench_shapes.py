@@ -1,0 +1,44 @@
+"""Per-shape discomfort analysis over Internet-study data.
+
+Extends the ramp-vs-step time-dynamics question across the whole
+exercise-function catalogue: which borrowing *patterns* do users forgive?
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.analysis.shapes import shape_table, summarize_shapes
+from repro.study import InternetStudyConfig, run_internet_study
+
+
+@pytest.fixture(scope="module")
+def internet_runs():
+    result = run_internet_study(
+        InternetStudyConfig(
+            n_clients=30, duration=6 * 3600.0,
+            mean_execution_interval=500.0, library_size=90, seed=13,
+        )
+    )
+    return list(result.runs)
+
+
+def test_bench_shape_summaries(benchmark, internet_runs, artifacts_dir):
+    summaries = benchmark(summarize_shapes, internet_runs)
+    write_artifact(
+        artifacts_dir, "internet_shapes.txt",
+        shape_table(summaries).render(),
+    )
+    by_name = {s.shape: s for s in summaries}
+    # Every run grouped under a real generator tag.
+    assert set(by_name) <= {"expexp", "exppar", "step", "ramp", "sine",
+                            "sawtooth", "constant"}
+    # The catalogue is covered with meaningful sample sizes.
+    for tag in ("expexp", "step", "ramp", "sine", "sawtooth"):
+        assert tag in by_name
+        assert by_name[tag].n_runs >= 10
+    # Ramps are the gentlest pattern per unit exposure (the habituation
+    # effect seen across the whole library, not just the PPT/CPU pair).
+    assert by_name["ramp"].discomfort_per_exposure <= min(
+        by_name["step"].discomfort_per_exposure,
+        by_name["expexp"].discomfort_per_exposure,
+    ) * 1.5

@@ -1,0 +1,60 @@
+"""Quickstart: one testcase, one simulated user, one comfort metric.
+
+Builds a UUCS testcase (a CPU ramp like Figure 4), runs it against a
+synthetic user working in Powerpoint on the study's Dell machine, and then
+derives a small discomfort CDF from a handful of users.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DiscomfortCDF, DiscomfortObservation, Resource, RunContext
+from repro.apps import get_task
+from repro.core import ramp, run_simulated_session
+from repro.core.testcase import Testcase
+from repro.machine import SimulatedMachine
+from repro.users import make_user, sample_population
+
+
+def main() -> None:
+    # 1. A testcase: CPU contention ramping 0 -> 2.0 over two minutes.
+    testcase = Testcase.single(
+        "quickstart-cpu-ramp",
+        ramp(Resource.CPU, x=2.0, t=120.0, sample_rate=4.0),
+        {"task": "powerpoint"},
+    )
+    print(f"testcase {testcase.testcase_id}: {testcase.duration:.0f}s, "
+          f"max level {testcase.functions[Resource.CPU].max_level():.1f}")
+
+    # 2. The substrate: the study machine and the Powerpoint task model.
+    machine = SimulatedMachine()  # Figure 7's Dell GX270
+    model = machine.interactivity_model(get_task("powerpoint"))
+
+    # 3. A population of synthetic users (calibrated from the paper).
+    profiles = sample_population(10, seed=42)
+
+    observations = []
+    for i, profile in enumerate(profiles):
+        user = make_user(profile, seed=1000 + i)
+        context = RunContext(user_id=profile.user_id, task="powerpoint")
+        result = run_simulated_session(testcase, user, context, model)
+        run = result.run
+        if run.discomforted:
+            level = run.discomfort_level(Resource.CPU)
+            print(f"  {profile.user_id}: discomfort at t={run.end_offset:5.1f}s "
+                  f"(contention {level:.2f}, slowdown "
+                  f"{result.slowdown_trace[-1]:.2f}x)")
+        else:
+            print(f"  {profile.user_id}: tolerated the whole ramp")
+        observations.append(DiscomfortObservation.from_run(run))
+
+    # 4. The paper's metrics over those runs.
+    cdf = DiscomfortCDF(observations)
+    print(f"\nf_d = {cdf.f_d():.2f}  "
+          f"(fraction of runs ending in discomfort)")
+    if cdf.df_count:
+        print(f"c_a = {cdf.c_a():.2f}  (mean contention at discomfort)")
+    print(f"P(discomfort at level 1.0) = {cdf.evaluate(1.0):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so that editable
+installs work on offline environments whose setuptools lacks the ``wheel``
+package needed for PEP 660 editable wheels (``python setup.py develop`` and
+pip's legacy editable path need it).
+"""
+
+from setuptools import setup
+
+setup()

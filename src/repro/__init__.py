@@ -1,0 +1,58 @@
+"""Reproduction of "Measuring and Understanding User Comfort With Resource
+Borrowing" (Gupta, Lin, Dinda — HPDC 2004).
+
+The package implements the UUCS (Understanding User Comfort System): exercise
+functions and testcases, resource exercisers, the client/server application,
+the controlled and Internet-wide study drivers, and the comfort-metric
+analysis pipeline — plus the simulated machine and synthetic user substrates
+that stand in for the paper's hardware and human participants (see
+DESIGN.md).
+"""
+
+from repro._version import __version__
+from repro.core import (
+    DiscomfortCDF,
+    DiscomfortEvent,
+    DiscomfortObservation,
+    ExerciseFunction,
+    Resource,
+    RunContext,
+    RunOutcome,
+    Testcase,
+    TestcaseRun,
+    blank,
+    composite,
+    constant,
+    expexp,
+    exppar,
+    ramp,
+    run_simulated_session,
+    sawtooth,
+    sine,
+    step,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "DiscomfortCDF",
+    "DiscomfortEvent",
+    "DiscomfortObservation",
+    "ExerciseFunction",
+    "ReproError",
+    "Resource",
+    "RunContext",
+    "RunOutcome",
+    "Testcase",
+    "TestcaseRun",
+    "__version__",
+    "blank",
+    "composite",
+    "constant",
+    "expexp",
+    "exppar",
+    "ramp",
+    "run_simulated_session",
+    "sawtooth",
+    "sine",
+    "step",
+]

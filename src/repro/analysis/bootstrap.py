@@ -1,0 +1,120 @@
+"""Bootstrap confidence intervals for the comfort metrics.
+
+The paper reports a t-interval for ``c_a`` (Figure 16) but a bare point
+estimate for ``c_0.05`` (Figure 15) — yet the 5th percentile of ~33 runs
+is far noisier than the mean.  These helpers quantify that: nonparametric
+bootstrap over runs (observations resampled with replacement, censoring
+preserved) yields percentile intervals for ``c_p`` and ``f_d``.
+
+The EXPERIMENTS.md comparisons lean on exactly this: several measured
+``c_0.05`` cells sit below the published point values, and the bootstrap
+shows the published points comfortably inside the sampling band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.metrics import DiscomfortCDF, DiscomfortObservation
+from repro.errors import InsufficientDataError, ValidationError
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = ["BootstrapInterval", "bootstrap_c_percentile", "bootstrap_f_d"]
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A bootstrap point estimate with a percentile interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    #: Bootstrap replicates that could not produce the statistic (e.g. a
+    #: resample where too few runs reacted to reach the percentile).
+    degenerate_fraction: float
+    n_resamples: int
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def _resample_metric(
+    observations: Sequence[DiscomfortObservation],
+    statistic,
+    n_resamples: int,
+    confidence: float,
+    seed: SeedLike,
+) -> BootstrapInterval:
+    if not observations:
+        raise InsufficientDataError("bootstrap needs observations")
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(f"confidence must be in (0,1), got {confidence}")
+    if n_resamples < 10:
+        raise ValidationError(f"n_resamples must be >= 10, got {n_resamples}")
+    rng = ensure_rng(seed)
+    base = statistic(DiscomfortCDF(observations))
+    if base is None:
+        raise InsufficientDataError(
+            "the statistic is undefined on the full sample"
+        )
+    n = len(observations)
+    values: list[float] = []
+    degenerate = 0
+    for _ in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        resample = [observations[i] for i in idx]
+        try:
+            value = statistic(DiscomfortCDF(resample))
+        except InsufficientDataError:
+            value = None
+        if value is None:
+            degenerate += 1
+        else:
+            values.append(float(value))
+    if not values:
+        raise InsufficientDataError("every bootstrap replicate degenerated")
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        estimate=float(base),
+        low=float(np.percentile(values, 100 * alpha)),
+        high=float(np.percentile(values, 100 * (1 - alpha))),
+        confidence=confidence,
+        degenerate_fraction=degenerate / n_resamples,
+        n_resamples=n_resamples,
+    )
+
+
+def bootstrap_c_percentile(
+    observations: Sequence[DiscomfortObservation],
+    p: float = 0.05,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: SeedLike = 0,
+) -> BootstrapInterval:
+    """Bootstrap interval for ``c_p`` (Figure 15's statistic)."""
+
+    def statistic(cdf: DiscomfortCDF) -> float | None:
+        try:
+            return cdf.c_percentile(p)
+        except InsufficientDataError:
+            return None
+
+    return _resample_metric(
+        observations, statistic, n_resamples, confidence, seed
+    )
+
+
+def bootstrap_f_d(
+    observations: Sequence[DiscomfortObservation],
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: SeedLike = 0,
+) -> BootstrapInterval:
+    """Bootstrap interval for ``f_d`` (Figure 14's statistic)."""
+    return _resample_metric(
+        observations, lambda cdf: cdf.f_d(), n_resamples, confidence, seed
+    )

@@ -1,0 +1,108 @@
+"""Building discomfort CDFs from stored runs (Figures 10-12, 18).
+
+The paper derives its CDFs "from running our ramp testcases, aggregated
+across contexts" (aggregate view, Figures 10-12) and per (context,
+resource) pair (Figure 18).  Blank runs carry no contention and are
+excluded from CDFs; they feed the Figure 9 noise-floor breakdown instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.metrics import DiscomfortCDF, DiscomfortObservation
+from repro.core.resources import Resource
+from repro.core.run import TestcaseRun
+from repro.errors import InsufficientDataError
+
+__all__ = [
+    "aggregate_cdf",
+    "observations_from_runs",
+    "per_cell_cdf",
+    "split_blank_runs",
+]
+
+#: Shapes used for CDF and metric construction by default: the paper's
+#: quantitative CDFs come from ramp testcases.
+DEFAULT_SHAPES: tuple[str, ...] = ("ramp",)
+
+
+def is_blank_run(run: TestcaseRun) -> bool:
+    """True when the run executed a blank (zero-contention) testcase."""
+    return all(shape == "blank" for shape in run.shapes.values())
+
+
+def split_blank_runs(
+    runs: Iterable[TestcaseRun],
+) -> tuple[list[TestcaseRun], list[TestcaseRun]]:
+    """Partition runs into ``(non_blank, blank)``."""
+    non_blank: list[TestcaseRun] = []
+    blank: list[TestcaseRun] = []
+    for run in runs:
+        (blank if is_blank_run(run) else non_blank).append(run)
+    return non_blank, blank
+
+
+def _primary_resource(run: TestcaseRun) -> Resource | None:
+    active = [r for r, s in run.shapes.items() if s != "blank"]
+    return active[0] if len(active) == 1 else None
+
+
+def observations_from_runs(
+    runs: Iterable[TestcaseRun],
+    *,
+    resource: Resource | None = None,
+    task: str | None = None,
+    shapes: Sequence[str] | None = DEFAULT_SHAPES,
+) -> list[DiscomfortObservation]:
+    """Reduce runs to discomfort observations, with optional filters.
+
+    ``shapes=None`` accepts every non-blank shape.  Aborted runs are
+    dropped (they say nothing about comfort).
+    """
+    observations: list[DiscomfortObservation] = []
+    for run in runs:
+        if run.outcome.value == "aborted" or is_blank_run(run):
+            continue
+        primary = _primary_resource(run)
+        if primary is None:
+            continue
+        if resource is not None and primary is not resource:
+            continue
+        if task is not None and run.context.task != task:
+            continue
+        if shapes is not None and run.shapes.get(primary, "") not in shapes:
+            continue
+        observations.append(DiscomfortObservation.from_run(run, primary))
+    return observations
+
+
+def aggregate_cdf(
+    runs: Iterable[TestcaseRun],
+    resource: Resource,
+    shapes: Sequence[str] | None = DEFAULT_SHAPES,
+) -> DiscomfortCDF:
+    """Figure 10-12 style CDF: one resource, aggregated over all tasks."""
+    obs = observations_from_runs(runs, resource=resource, shapes=shapes)
+    if not obs:
+        raise InsufficientDataError(
+            f"no {resource.value} observations in the given runs"
+        )
+    return DiscomfortCDF(obs)
+
+
+def per_cell_cdf(
+    runs: Iterable[TestcaseRun],
+    task: str,
+    resource: Resource,
+    shapes: Sequence[str] | None = DEFAULT_SHAPES,
+) -> DiscomfortCDF:
+    """Figure 18 style CDF: one (task, resource) cell."""
+    obs = observations_from_runs(
+        runs, resource=resource, task=task, shapes=shapes
+    )
+    if not obs:
+        raise InsufficientDataError(
+            f"no observations for cell ({task}, {resource.value})"
+        )
+    return DiscomfortCDF(obs)

@@ -1,0 +1,122 @@
+"""Paper-vs-measured comparison utilities.
+
+The reproduction standard is *shape*: orderings (which task/resource is
+most tolerant), the rough magnitude of the headline levels, and the
+presence of the qualitative effects — not exact counts from a 33-human
+sample.  These helpers score regenerated tables against
+:mod:`repro.paperdata` and render side-by-side tables for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro import paperdata
+from repro.analysis.report import CellMetrics
+from repro.core.resources import Resource
+from repro.util.tables import TextTable, format_float
+
+__all__ = [
+    "CellComparison",
+    "compare_cells",
+    "comparison_table",
+    "ordering_matches",
+    "relative_error",
+]
+
+_RESOURCES = (Resource.CPU, Resource.MEMORY, Resource.DISK)
+
+
+def relative_error(measured: float | None, published: float | None) -> float | None:
+    """``|measured - published| / |published|``; ``None`` when undefined.
+
+    Both-``None`` (paper ``*`` reproduced as ``*``) counts as exact (0.0).
+    """
+    if measured is None and published is None:
+        return 0.0
+    if measured is None or published is None:
+        return None
+    if published == 0.0:
+        return 0.0 if measured == 0.0 else None
+    return abs(measured - published) / abs(published)
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    """Measured vs published metrics for one (task, resource) cell."""
+
+    task: str
+    resource: Resource
+    measured_f_d: float
+    published_f_d: float
+    measured_c_05: float | None
+    published_c_05: float | None
+    measured_c_a: float | None
+    published_c_a: float | None
+
+    @property
+    def f_d_error(self) -> float | None:
+        return relative_error(self.measured_f_d, self.published_f_d)
+
+    @property
+    def c_a_error(self) -> float | None:
+        return relative_error(self.measured_c_a, self.published_c_a)
+
+    @property
+    def c_05_error(self) -> float | None:
+        return relative_error(self.measured_c_05, self.published_c_05)
+
+
+def compare_cells(
+    cells: Mapping[tuple[str, Resource], CellMetrics],
+    tasks: Sequence[str] = paperdata.STUDY_TASKS,
+) -> list[CellComparison]:
+    """Compare every measured cell (plus totals) with the paper."""
+    out: list[CellComparison] = []
+    for task in [*tasks, "total"]:
+        for resource in _RESOURCES:
+            cell = cells[(task, resource)]
+            published = paperdata.cell(task, resource)
+            out.append(
+                CellComparison(
+                    task=task,
+                    resource=resource,
+                    measured_f_d=cell.f_d,
+                    published_f_d=published.f_d,
+                    measured_c_05=cell.c_05,
+                    published_c_05=published.c_05,
+                    measured_c_a=None if cell.c_a is None else cell.c_a.mean,
+                    published_c_a=published.c_a,
+                )
+            )
+    return out
+
+
+def comparison_table(comparisons: Sequence[CellComparison]) -> TextTable:
+    """Side-by-side measured/published table for EXPERIMENTS.md."""
+    table = TextTable(
+        "Paper vs measured (f_d | c_0.05 | c_a; paper value in parens)",
+        ["Cell", "f_d", "c_0.05", "c_a"],
+    )
+    for c in comparisons:
+        table.add_row(
+            f"{c.task}/{c.resource.value}",
+            f"{c.measured_f_d:.2f} ({c.published_f_d:.2f})",
+            f"{format_float(c.measured_c_05)} ({format_float(c.published_c_05)})",
+            f"{format_float(c.measured_c_a)} ({format_float(c.published_c_a)})",
+        )
+    return table
+
+
+def ordering_matches(
+    values: Mapping[str, float | None], published: Mapping[str, float | None]
+) -> bool:
+    """Do measured values sort their keys in the published order?
+
+    ``None`` entries (starred cells) are excluded from both sides.
+    """
+    keys = [k for k in published if published[k] is not None and values.get(k) is not None]
+    measured_order = sorted(keys, key=lambda k: values[k])  # type: ignore[arg-type]
+    published_order = sorted(keys, key=lambda k: published[k])  # type: ignore[arg-type]
+    return measured_order == published_order

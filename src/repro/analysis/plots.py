@@ -1,0 +1,83 @@
+"""Text renderings of the paper's graphical figures.
+
+The original figures are plots; this reproduction renders them as ASCII
+so the benchmark artifacts and CLI output remain plain text end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.metrics import DiscomfortCDF
+from repro.errors import ValidationError
+
+__all__ = ["render_cdf", "render_mini_cdf", "sparkline"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line intensity strip of ``values`` (used for testcase views)."""
+    values = list(values)
+    if not values:
+        return ""
+    if width < 1:
+        raise ValidationError(f"width must be >= 1, got {width}")
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    top = max(max(values), 1e-9)
+    return "".join(
+        _BLOCKS[int(v / top * (len(_BLOCKS) - 1))] for v in values
+    )
+
+
+def render_cdf(
+    cdf: DiscomfortCDF,
+    title: str,
+    x_max: float,
+    width: int = 64,
+    height: int = 12,
+) -> str:
+    """A Figures 10-12 style text plot of a discomfort CDF.
+
+    The vertical axis is the cumulative fraction of runs discomforted;
+    the curve plateaus below 1 when some users never reacted (the
+    exhausted region), and the header carries the DfCount/ExCount labels
+    the published figures use.
+    """
+    if x_max <= 0:
+        raise ValidationError(f"x_max must be positive, got {x_max}")
+    if width < 8 or height < 4:
+        raise ValidationError("width must be >= 8 and height >= 4")
+    x, f = cdf.curve()
+    lines = [
+        title,
+        f"DfCount={cdf.df_count} ExCount={cdf.ex_count} f_d={cdf.f_d():.2f}",
+    ]
+    grid = [[" "] * width for _ in range(height)]
+    for level, frac in zip(x, f):
+        col = min(width - 1, int(level / x_max * (width - 1)))
+        row = min(height - 1, int(frac * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    for i, row in enumerate(grid):
+        frac_label = (height - 1 - i) / (height - 1)
+        lines.append(f"{frac_label:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"     0{'contention':^{width - 10}}{x_max:g}")
+    return "\n".join(lines)
+
+
+def render_mini_cdf(
+    cdf: DiscomfortCDF, x_max: float, width: int = 30, height: int = 6
+) -> list[str]:
+    """A small CDF panel for the Figure 18 grid (returned as rows)."""
+    if x_max <= 0:
+        raise ValidationError(f"x_max must be positive, got {x_max}")
+    x, f = cdf.curve()
+    grid = [[" "] * width for _ in range(height)]
+    for level, frac in zip(x, f):
+        col = min(width - 1, int(level / max(x_max, 1e-9) * (width - 1)))
+        row = min(height - 1, int(frac * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    return ["|" + "".join(row) + "|" for row in grid]

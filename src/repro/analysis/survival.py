@@ -1,0 +1,139 @@
+"""Censoring-aware survival analysis of discomfort thresholds.
+
+The paper's CDFs treat exhausted runs as a plateau: the curve is
+``#(reactions <= x) / N``, which *underestimates* the true probability of
+discomfort whenever runs were censored below the level of interest (a run
+exhausted at level 2 says nothing about level 5, yet stays in the
+denominator).  In the controlled study every ramp in a cell reaches the
+same maximum, so censoring only happens at the top and the naive curve is
+fine below it — but Internet-study testcases reach wildly different peaks,
+where the bias is real.
+
+:func:`kaplan_meier` is the standard right-censoring estimator: treating
+"contention level at reaction" as the event time and "maximum level
+applied" as the censoring level, it estimates the distribution of the
+latent discomfort *threshold*.  :func:`km_discomfort_probability` and
+:func:`km_percentile` are the KM counterparts of
+:meth:`~repro.core.metrics.DiscomfortCDF.evaluate` and
+:meth:`~repro.core.metrics.DiscomfortCDF.c_percentile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.metrics import DiscomfortObservation
+from repro.errors import InsufficientDataError, ValidationError
+
+__all__ = [
+    "KaplanMeierCurve",
+    "kaplan_meier",
+    "km_discomfort_probability",
+    "km_percentile",
+]
+
+
+@dataclass(frozen=True)
+class KaplanMeierCurve:
+    """A right-censored estimate of P(threshold <= level).
+
+    ``levels`` are the distinct event levels (sorted); ``cdf[i]`` is the
+    estimated probability of discomfort at or below ``levels[i]``;
+    ``at_risk[i]`` and ``events[i]`` are the standard KM ingredients.
+    """
+
+    levels: np.ndarray
+    cdf: np.ndarray
+    at_risk: np.ndarray
+    events: np.ndarray
+    n_observations: int
+    n_censored: int
+
+    def evaluate(self, level: float) -> float:
+        """Estimated P(discomfort threshold <= level)."""
+        idx = int(np.searchsorted(self.levels, level, side="right")) - 1
+        if idx < 0:
+            return 0.0
+        return float(self.cdf[idx])
+
+    def percentile(self, p: float) -> float:
+        """Smallest level with estimated CDF >= p.
+
+        Raises :class:`InsufficientDataError` when the estimate never
+        reaches ``p`` within the observed range.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ValidationError(f"p must be in (0, 1], got {p}")
+        reached = np.nonzero(self.cdf >= p)[0]
+        if reached.size == 0:
+            raise InsufficientDataError(
+                f"KM estimate never reaches p={p} "
+                f"(max {float(self.cdf[-1]) if self.cdf.size else 0.0:.3f})"
+            )
+        return float(self.levels[reached[0]])
+
+    @property
+    def max_coverage(self) -> float:
+        """The largest probability the estimate reaches."""
+        return float(self.cdf[-1]) if self.cdf.size else 0.0
+
+
+def kaplan_meier(
+    observations: Iterable[DiscomfortObservation],
+) -> KaplanMeierCurve:
+    """Kaplan-Meier estimate of the discomfort-threshold distribution.
+
+    Reactions are events at their discomfort level; exhausted runs are
+    right-censored at the maximum level they applied.  Ties between events
+    and censorings at the same level follow the usual convention: events
+    first (the censored run is known to have survived *through* that
+    level).
+    """
+    obs = list(observations)
+    if not obs:
+        raise InsufficientDataError("Kaplan-Meier needs observations")
+    levels = np.array([o.level for o in obs], dtype=float)
+    censored = np.array([o.censored for o in obs], dtype=bool)
+    if np.any(levels < 0):
+        raise ValidationError("levels must be non-negative")
+
+    event_levels = np.unique(levels[~censored])
+    n = len(obs)
+    survival = 1.0
+    cdf = np.empty(event_levels.size)
+    at_risk = np.empty(event_levels.size, dtype=int)
+    events = np.empty(event_levels.size, dtype=int)
+    for i, level in enumerate(event_levels):
+        # At risk: everyone whose event/censor level is >= this level.
+        risk = int(np.sum(levels >= level))
+        died = int(np.sum((levels == level) & ~censored))
+        at_risk[i] = risk
+        events[i] = died
+        if risk > 0:
+            survival *= 1.0 - died / risk
+        cdf[i] = 1.0 - survival
+    return KaplanMeierCurve(
+        levels=event_levels,
+        cdf=cdf,
+        at_risk=at_risk,
+        events=events,
+        n_observations=n,
+        n_censored=int(censored.sum()),
+    )
+
+
+def km_discomfort_probability(
+    observations: Sequence[DiscomfortObservation], level: float
+) -> float:
+    """KM-estimated probability a user is discomforted by ``level``."""
+    return kaplan_meier(observations).evaluate(level)
+
+
+def km_percentile(
+    observations: Sequence[DiscomfortObservation], p: float = 0.05
+) -> float:
+    """KM counterpart of ``c_p``: the level discomforting fraction ``p``."""
+    return kaplan_meier(observations).percentile(p)

@@ -1,0 +1,128 @@
+"""Load-trace analysis: discomfort in slowdown space.
+
+The paper measures comfort against *contention* because that is what a
+borrowing application controls directly ("a mapping between resource
+borrowing and interactivity metrics like system latency or jitter is
+difficult to obtain", §1).  Our simulated runs carry that mapping — every
+run logs the interactivity model's slowdown/jitter trace — so we can also
+report the question HCI would ask: what latency inflation were users
+experiencing at the moment they pressed the hot-key?
+
+The answer is a diagnostic of the user model itself.  The calibrated
+(contention-space) users reproduce the paper's tables, but in slowdown
+space they imply Word users click while barely slowed (mean ~1.0x: Word's
+demand is so low that even contention 3-4 leaves it unimpeded) while
+Quake users ride out 3x slowdowns.  Taken at face value that says the
+*published* Word thresholds cannot be mediated by mean latency inflation
+alone — the real mechanism must involve transients (keystroke-burst
+stalls) the paper's contention-space measurements fold in silently.  The
+mechanistic user model cannot produce clicks below its slowdown/jitter
+thresholds at all, so its Word column starts well above 1x.  The
+benchmark regenerating this table reports both models side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.run import TestcaseRun
+from repro.errors import InsufficientDataError
+from repro.util.stats import ConfidenceInterval, mean_confidence_interval
+
+__all__ = ["SlowdownSummary", "slowdown_at_discomfort", "trace_statistics"]
+
+
+def _final_trace_value(run: TestcaseRun, key: str) -> float | None:
+    trace = run.load_trace.get(key)
+    if not trace:
+        return None
+    return float(trace[-1])
+
+
+@dataclass(frozen=True)
+class SlowdownSummary:
+    """Distribution of a trace metric at the moment of discomfort."""
+
+    task: str
+    metric: str
+    values: tuple[float, ...]
+    mean: ConfidenceInterval
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def percentile(self, p: float) -> float:
+        return float(np.percentile(self.values, 100.0 * p))
+
+
+def slowdown_at_discomfort(
+    runs: Iterable[TestcaseRun],
+    task: str | None = None,
+    metric: str = "slowdown",
+) -> SlowdownSummary:
+    """The ``metric`` value each discomforted run logged at feedback time.
+
+    The session loop truncates traces at the feedback sample, so the last
+    trace value is the interactivity in effect when the user clicked.
+    Noise-sourced feedback is excluded — it says nothing about tolerated
+    degradation.
+    """
+    values: list[float] = []
+    tasks_seen: set[str] = set()
+    for run in runs:
+        if not run.discomforted:
+            continue
+        if run.feedback is not None and run.feedback.source == "noise":
+            continue
+        if task is not None and run.context.task != task:
+            continue
+        value = _final_trace_value(run, metric)
+        if value is None:
+            continue
+        values.append(value)
+        tasks_seen.add(run.context.task)
+    if not values:
+        raise InsufficientDataError(
+            f"no discomforted runs with a {metric!r} trace"
+            + (f" for task {task!r}" if task else "")
+        )
+    return SlowdownSummary(
+        task=task if task is not None else "total",
+        metric=metric,
+        values=tuple(values),
+        mean=mean_confidence_interval(np.array(values)),
+    )
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Whole-trace statistics over a set of runs."""
+
+    metric: str
+    n_runs: int
+    mean: float
+    peak: float
+
+
+def trace_statistics(
+    runs: Iterable[TestcaseRun], metric: str
+) -> TraceStatistics:
+    """Mean and peak of ``metric`` across all runs carrying that trace."""
+    means: list[float] = []
+    peak = 0.0
+    for run in runs:
+        trace = run.load_trace.get(metric)
+        if not trace:
+            continue
+        arr = np.asarray(trace, dtype=float)
+        means.append(float(arr.mean()))
+        peak = max(peak, float(arr.max()))
+    if not means:
+        raise InsufficientDataError(f"no runs carry a {metric!r} trace")
+    return TraceStatistics(
+        metric=metric, n_runs=len(means), mean=float(np.mean(means)), peak=peak
+    )

@@ -1,0 +1,127 @@
+"""Result-dataset validation.
+
+A measurement system lives or dies by the integrity of its result store;
+the UUCS server accumulates runs from many clients over months.  This
+validator checks the invariants every well-formed run must satisfy and
+the cross-run properties a healthy dataset has, reporting findings rather
+than raising — operators want the full damage report, not the first
+failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.feedback import RunOutcome
+from repro.core.run import TestcaseRun
+
+__all__ = ["ValidationFinding", "ValidationReport", "validate_runs"]
+
+
+@dataclass(frozen=True)
+class ValidationFinding:
+    """One problem discovered in the dataset."""
+
+    severity: str  # "error" | "warning"
+    run_id: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.run_id or '(dataset)'}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings over a dataset, plus summary counters."""
+
+    n_runs: int = 0
+    findings: list[ValidationFinding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[ValidationFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[ValidationFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        lines = [
+            f"validated {self.n_runs} runs: "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        ]
+        lines.extend(str(f) for f in self.findings)
+        return "\n".join(lines)
+
+
+def _check_run(run: TestcaseRun, report: ValidationReport) -> None:
+    def err(message: str) -> None:
+        report.findings.append(ValidationFinding("error", run.run_id, message))
+
+    def warn(message: str) -> None:
+        report.findings.append(
+            ValidationFinding("warning", run.run_id, message)
+        )
+
+    # Construction already enforces offset bounds and feedback/outcome
+    # consistency; re-check here because stores can be edited by hand.
+    if run.end_offset < 0 or run.end_offset > run.testcase_duration + 1e-6:
+        err(
+            f"end_offset {run.end_offset} outside [0, "
+            f"{run.testcase_duration}]"
+        )
+    if (run.outcome is RunOutcome.DISCOMFORT) != (run.feedback is not None):
+        err("feedback presence inconsistent with outcome")
+    if run.feedback is not None:
+        if abs(run.feedback.offset - run.end_offset) > 1e-6:
+            warn(
+                f"feedback offset {run.feedback.offset} != end_offset "
+                f"{run.end_offset}"
+            )
+    if not run.shapes:
+        err("run records no exercise functions")
+    for resource, values in run.last_values.items():
+        if len(values) > 5:
+            warn(f"{resource.value}: more than five last-values recorded")
+        if resource not in run.shapes:
+            err(f"last_values for unexercised resource {resource.value}")
+    if run.exhausted and run.end_offset < run.testcase_duration - 1e-6:
+        err(
+            f"exhausted run ended early at {run.end_offset} of "
+            f"{run.testcase_duration}"
+        )
+    for key, trace in run.load_trace.items():
+        expected = run.end_offset * run.load_trace_rate
+        if trace and len(trace) > expected + 2:
+            warn(
+                f"trace {key!r} has {len(trace)} samples for "
+                f"{run.end_offset:.0f}s at {run.load_trace_rate:g} Hz"
+            )
+    if not run.context.user_id:
+        warn("run has no user identity")
+
+
+def validate_runs(runs: Iterable[TestcaseRun]) -> ValidationReport:
+    """Validate a dataset of runs; see module docstring."""
+    report = ValidationReport()
+    seen_ids: set[str] = set()
+    for run in runs:
+        report.n_runs += 1
+        if run.run_id in seen_ids:
+            report.findings.append(
+                ValidationFinding(
+                    "error", run.run_id, "duplicate run identifier"
+                )
+            )
+        seen_ids.add(run.run_id)
+        _check_run(run, report)
+    if report.n_runs == 0:
+        report.findings.append(
+            ValidationFinding("warning", "", "dataset is empty")
+        )
+    return report

@@ -1,0 +1,30 @@
+"""Foreground task models.
+
+The controlled study's four tasks (§3.1): word processing in MS Word,
+presentation making in Powerpoint, browsing/research in Internet Explorer,
+and playing Quake III.  Each is modelled by its resource demands and
+interactivity grain (:class:`TaskModel`); the study drivers and the
+mechanistic user model consume these.
+"""
+
+from repro.apps.base import TaskModel
+from repro.apps.registry import (
+    ALL_TASKS,
+    TASK_ORDER,
+    get_task,
+    iexplorer,
+    powerpoint,
+    quake,
+    word,
+)
+
+__all__ = [
+    "ALL_TASKS",
+    "TASK_ORDER",
+    "TaskModel",
+    "get_task",
+    "iexplorer",
+    "powerpoint",
+    "quake",
+    "word",
+]

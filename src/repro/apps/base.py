@@ -1,0 +1,71 @@
+"""The task model abstraction.
+
+A :class:`TaskModel` describes how a foreground application loads the
+machine and how fine-grained its interactivity is.  These parameters are
+the reproduction's substitute for running the real applications; they are
+chosen to reflect the paper's qualitative characterizations (§3.2-3.3):
+Word barely loads the CPU, Quake saturates it; office apps form a static
+working set, IE and Quake touch memory dynamically; IE does the most disk
+I/O of the interactive tasks (caching plus the save-pages instruction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["TaskModel"]
+
+
+@dataclass(frozen=True)
+class TaskModel:
+    """Resource demands and interactivity grain of a foreground task."""
+
+    #: Task name used in run contexts and analysis ("word", "quake", ...).
+    name: str
+    #: Fraction of the study machine's CPU needed for unimpeded
+    #: interactivity, in (0, 1].
+    cpu_demand: float
+    #: Fraction of interaction latency attributable to disk I/O.
+    io_fraction: float
+    #: Working set as a fraction of the study machine's 512 MB.
+    working_set: float
+    #: Fraction of the working set re-touched per interaction
+    #: (memory dynamism; low for formed office working sets).
+    memory_dynamism: float
+    #: Sensitivity of the user experience to latency *jitter*, in [0, 1]
+    #: (Quake: high; typing: low).
+    jitter_sensitivity: float
+    #: Typical interaction period in seconds (keystroke ~ 0.15 s, frame
+    #: ~ 0.02 s); finer grain means slowdown is noticed sooner.
+    interaction_period: float
+    #: Human-readable description.
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise ValidationError(f"task name must be identifier-like: {self.name!r}")
+        if not 0.0 < self.cpu_demand <= 1.0:
+            raise ValidationError(f"cpu_demand must be in (0,1], got {self.cpu_demand}")
+        if not 0.0 <= self.io_fraction <= 1.0:
+            raise ValidationError(f"io_fraction must be in [0,1], got {self.io_fraction}")
+        if not 0.0 < self.working_set <= 1.0:
+            raise ValidationError(f"working_set must be in (0,1], got {self.working_set}")
+        if not 0.0 <= self.memory_dynamism <= 1.0:
+            raise ValidationError(
+                f"memory_dynamism must be in [0,1], got {self.memory_dynamism}"
+            )
+        if not 0.0 <= self.jitter_sensitivity <= 1.0:
+            raise ValidationError(
+                f"jitter_sensitivity must be in [0,1], got {self.jitter_sensitivity}"
+            )
+        if self.interaction_period <= 0:
+            raise ValidationError(
+                f"interaction_period must be positive, got {self.interaction_period}"
+            )
+
+    @property
+    def interactivity_grain(self) -> float:
+        """Interactions per second — finer grain notices degradation sooner."""
+        return 1.0 / self.interaction_period

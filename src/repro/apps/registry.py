@@ -1,0 +1,105 @@
+"""The controlled study's four tasks as :class:`TaskModel` instances.
+
+Parameter choices follow the paper's characterizations: "in Word very high
+values of CPU contention (around 3) are needed to affect interactivity at
+all, while in Quake, CPU contention values in the region of 0.2 to 1.2
+cause drastic effects" (§3.2); IE "caches files and users were asked to
+save all the pages, resulting in more disk activity"; office applications
+"form their working set" and then tolerate memory borrowing, unlike IE and
+Quake whose "memory demands may be more dynamic" (§3.3.3).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import TaskModel
+from repro.errors import ValidationError
+
+__all__ = [
+    "ALL_TASKS",
+    "TASK_ORDER",
+    "get_task",
+    "iexplorer",
+    "powerpoint",
+    "quake",
+    "word",
+]
+
+
+def word() -> TaskModel:
+    """Word processing: typing and saving a non-technical document."""
+    return TaskModel(
+        name="word",
+        cpu_demand=0.12,
+        io_fraction=0.05,
+        working_set=0.15,
+        memory_dynamism=0.04,
+        jitter_sensitivity=0.10,
+        interaction_period=0.15,
+        description="MS Word 2002: typing with limited formatting",
+    )
+
+
+def powerpoint() -> TaskModel:
+    """Presentation making: duplicating complex diagrams."""
+    return TaskModel(
+        name="powerpoint",
+        cpu_demand=0.45,
+        io_fraction=0.07,
+        working_set=0.25,
+        memory_dynamism=0.12,
+        jitter_sensitivity=0.30,
+        interaction_period=0.10,
+        description="MS Powerpoint 2002: drawing and labelling diagrams",
+    )
+
+
+def iexplorer() -> TaskModel:
+    """Browsing and research, saving pages, multiple windows."""
+    return TaskModel(
+        name="ie",
+        cpu_demand=0.40,
+        io_fraction=0.30,
+        working_set=0.30,
+        memory_dynamism=0.35,
+        jitter_sensitivity=0.35,
+        interaction_period=0.25,
+        description="Internet Explorer 6: reading news, searching, saving",
+    )
+
+
+def quake() -> TaskModel:
+    """Quake III: the most resource-intensive application."""
+    return TaskModel(
+        name="quake",
+        cpu_demand=0.95,
+        io_fraction=0.08,
+        working_set=0.55,
+        memory_dynamism=0.50,
+        jitter_sensitivity=0.95,
+        interaction_period=0.02,
+        description="Quake III Arena: first-person shooter, unconstrained play",
+    )
+
+
+#: Task execution order in the controlled study protocol (§3.1).
+TASK_ORDER: tuple[str, ...] = ("word", "powerpoint", "ie", "quake")
+
+_FACTORIES = {
+    "word": word,
+    "powerpoint": powerpoint,
+    "ie": iexplorer,
+    "quake": quake,
+}
+
+#: All four study tasks, in protocol order.
+ALL_TASKS: tuple[TaskModel, ...] = tuple(_FACTORIES[name]() for name in TASK_ORDER)
+
+
+def get_task(name: str) -> TaskModel:
+    """Look up a study task by name (case-insensitive)."""
+    try:
+        return _FACTORIES[name.strip().lower()]()
+    except KeyError:
+        raise ValidationError(
+            f"unknown task {name!r}; expected one of {sorted(_FACTORIES)}"
+        ) from None

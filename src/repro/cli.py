@@ -1,0 +1,326 @@
+"""The ``uucs`` command-line toolchain (paper Figure 2).
+
+Subcommands::
+
+    uucs testcase-gen   generate testcases (step/ramp/... or a library)
+    uucs testcase-view  print a stored testcase's shape and summary
+    uucs testcase-edit  derive new testcases (scale/clip/crop/retime/merge)
+    uucs study          run the controlled study, storing results
+    uucs analyze        regenerate the paper's tables + the six answers
+    uucs validate       check a result store's integrity
+    uucs serve          run a UUCS server over TCP
+    uucs client         run a client against a TCP server
+    uucs import-db      import a result store into a sqlite database
+
+Every command works on the plain-text stores, so the pipeline can be
+driven entirely from a shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+from repro.analysis.database import ResultDatabase
+from repro.core.exercise import blank, constant, ramp, sawtooth, sine, step
+from repro.core.resources import Resource
+from repro.core.testcase import Testcase
+from repro.core.transform import (
+    clip_levels,
+    crop,
+    merge,
+    retime,
+    scale_levels,
+    with_id,
+)
+from repro.errors import ReproError
+from repro.server.server import TCPServerTransport, UUCSServer
+from repro.stores import ResultStore, TestcaseStore
+from repro.study.controlled import ControlledStudyConfig, run_controlled_study
+from repro.study.internet import generate_library
+
+__all__ = ["main"]
+
+
+def _cmd_testcase_gen(args: argparse.Namespace) -> int:
+    store = TestcaseStore(args.store)
+    if args.library:
+        testcases = generate_library(args.library, seed=args.seed)
+        store.add_all(testcases)
+        print(f"generated {len(testcases)} library testcases into {store.root}")
+        return 0
+    resource = Resource.parse(args.resource)
+    if args.shape == "step":
+        fn = step(resource, args.level, args.duration, args.breakpoint)
+    elif args.shape == "ramp":
+        fn = ramp(resource, args.level, args.duration)
+    elif args.shape == "sine":
+        fn = sine(resource, args.level / 2.0, args.period, args.duration)
+    elif args.shape == "sawtooth":
+        fn = sawtooth(resource, args.level, args.period, args.duration)
+    elif args.shape == "constant":
+        fn = constant(resource, args.level, args.duration)
+    else:
+        fn = blank(resource, args.duration)
+    testcase_id = args.id or f"{args.shape}-{resource.value}-{args.level:g}"
+    store.add(Testcase.single(testcase_id, fn))
+    print(f"wrote testcase {testcase_id!r} to {store.root}")
+    return 0
+
+
+from repro.analysis.plots import sparkline as _sparkline
+
+
+def _cmd_testcase_view(args: argparse.Namespace) -> int:
+    store = TestcaseStore(args.store)
+    testcase = store.get(args.id)
+    print(f"testcase {testcase.testcase_id}")
+    print(f"  sample rate: {testcase.sample_rate:g} Hz")
+    print(f"  duration:    {testcase.duration:g} s")
+    for resource in testcase.resources:
+        fn = testcase.functions[resource]
+        print(
+            f"  {resource.value:7s} shape={fn.shape:9s} "
+            f"max={fn.max_level():.3g} mean={fn.series.mean():.3g}"
+        )
+        print(f"    [{_sparkline(list(fn.values))}]")
+    for key in sorted(testcase.metadata):
+        print(f"  meta {key}={testcase.metadata[key]}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    config = ControlledStudyConfig(n_users=args.users, seed=args.seed)
+    result = run_controlled_study(config)
+    store = ResultStore(args.results)
+    store.extend(result.runs)
+    print(
+        f"controlled study: {len(result.runs)} runs from "
+        f"{len(result.profiles)} users -> {store.path}"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.fullreport import full_report
+
+    runs = list(ResultStore(args.results))
+    if not runs:
+        print("no runs found", file=sys.stderr)
+        return 1
+    print(full_report(runs, include_cdf_plots=not args.no_plots))
+    return 0
+
+
+def _cmd_testcase_edit(args: argparse.Namespace) -> int:
+    store = TestcaseStore(args.store)
+    testcase = store.get(args.id)
+    if args.scale is not None:
+        testcase = scale_levels(testcase, args.scale)
+    if args.clip is not None:
+        testcase = clip_levels(testcase, args.clip)
+    if args.crop_start is not None or args.crop_end is not None:
+        start = args.crop_start or 0.0
+        end = args.crop_end if args.crop_end is not None else testcase.duration
+        testcase = crop(testcase, start, end)
+    if args.speed is not None:
+        testcase = retime(testcase, args.speed)
+    if args.merge:
+        testcase = merge(testcase, store.get(args.merge))
+    if args.new_id:
+        testcase = with_id(testcase, args.new_id)
+    store.add(testcase)
+    print(f"wrote testcase {testcase.testcase_id!r} "
+          f"({testcase.duration:g}s, {len(testcase.functions)} resource(s))")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Run a UUCS client against a TCP server for a simulated span."""
+    from repro.apps import ALL_TASKS
+    from repro.client.client import ClientConfig, UUCSClient
+    from repro.machine.machine import SimulatedMachine
+    from repro.machine.specs import MachineSpec
+    from repro.server.server import TCPClientTransport
+    from repro.users.mechanistic import MechanisticUser
+    from repro.users.population import sample_profile
+    from repro.util.rng import derive_rng
+
+    rng = derive_rng(args.seed, "cli-client")
+    spec = (
+        MachineSpec.dell_gx270()
+        if args.machine == "dell"
+        else MachineSpec.random_internet_host(rng)
+    )
+    machine = SimulatedMachine(spec)
+    profile = sample_profile(args.user, rng)
+    transport = TCPClientTransport(args.host, args.port)
+    try:
+        client = UUCSClient(
+            ClientConfig(
+                root=Path(args.root),
+                user_id=args.user,
+                mean_execution_interval=args.interval,
+            ),
+            transport,
+            seed=rng,
+        )
+        client.register(spec.snapshot())
+        downloaded, _ = client.hot_sync()
+        print(f"registered {client.client_id[:8]}..., "
+              f"downloaded {downloaded} testcases")
+        task = ALL_TASKS[int(rng.integers(0, len(ALL_TASKS)))]
+        user = MechanisticUser(profile, task.jitter_sensitivity, seed=rng)
+        runs = client.run_random(
+            args.duration, user, machine.interactivity_model(task),
+            task=task.name,
+        )
+        _, uploaded = client.hot_sync()
+        discomforts = sum(r.discomforted for r in runs)
+        print(f"executed {len(runs)} runs as '{task.name}' "
+              f"({discomforts} discomforts), uploaded {uploaded}")
+    finally:
+        transport.close()
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validate import validate_runs
+
+    report = validate_runs(ResultStore(args.results))
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_import_db(args: argparse.Namespace) -> int:
+    runs = list(ResultStore(args.results))
+    with ResultDatabase(args.database) as db:
+        count = db.import_runs(runs)
+    print(f"imported {count} runs into {args.database}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    server = UUCSServer(args.root, seed=args.seed)
+    if args.library:
+        server.add_testcases(generate_library(args.library, seed=args.seed))
+    transport = TCPServerTransport(server, args.host, args.port)
+    host, port = transport.address
+    print(f"UUCS server on {host}:{port} ({len(server.testcases)} testcases)")
+    try:
+        import threading
+
+        threading.Event().wait(args.timeout if args.timeout > 0 else None)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        transport.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="uucs",
+        description="Understanding User Comfort System reproduction toolchain",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("testcase-gen", help="generate testcases")
+    gen.add_argument("--store", default="testcases", help="testcase store dir")
+    gen.add_argument("--library", type=int, default=0, help="generate N library testcases")
+    gen.add_argument("--shape", default="ramp",
+                     choices=["step", "ramp", "sine", "sawtooth", "constant", "blank"])
+    gen.add_argument("--resource", default="cpu")
+    gen.add_argument("--level", type=float, default=1.0)
+    gen.add_argument("--duration", type=float, default=120.0)
+    gen.add_argument("--breakpoint", type=float, default=40.0)
+    gen.add_argument("--period", type=float, default=30.0)
+    gen.add_argument("--id", default="")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_testcase_gen)
+
+    view = sub.add_parser("testcase-view", help="inspect a stored testcase")
+    view.add_argument("id")
+    view.add_argument("--store", default="testcases")
+    view.set_defaults(func=_cmd_testcase_view)
+
+    edit = sub.add_parser("testcase-edit", help="derive a new testcase")
+    edit.add_argument("id")
+    edit.add_argument("--store", default="testcases")
+    edit.add_argument("--scale", type=float, default=None,
+                      help="multiply all levels")
+    edit.add_argument("--clip", type=float, default=None,
+                      help="clip levels to a ceiling")
+    edit.add_argument("--crop-start", type=float, default=None)
+    edit.add_argument("--crop-end", type=float, default=None)
+    edit.add_argument("--speed", type=float, default=None,
+                      help="retime by this factor")
+    edit.add_argument("--merge", default="",
+                      help="merge with another stored testcase id")
+    edit.add_argument("--new-id", default="")
+    edit.set_defaults(func=_cmd_testcase_edit)
+
+    cli_client = sub.add_parser("client", help="run a client against a server")
+    cli_client.add_argument("--host", default="127.0.0.1")
+    cli_client.add_argument("--port", type=int, required=True)
+    cli_client.add_argument("--root", default="client")
+    cli_client.add_argument("--user", default="cli-user")
+    cli_client.add_argument("--machine", choices=["dell", "random"],
+                            default="random")
+    cli_client.add_argument("--duration", type=float, default=3600.0,
+                            help="simulated seconds of operation")
+    cli_client.add_argument("--interval", type=float, default=600.0,
+                            help="mean seconds between executions")
+    cli_client.add_argument("--seed", type=int, default=0)
+    cli_client.set_defaults(func=_cmd_client)
+
+    study = sub.add_parser("study", help="run the controlled study")
+    study.add_argument("--users", type=int, default=33)
+    study.add_argument("--seed", type=int, default=2004)
+    study.add_argument("--results", default="results")
+    study.set_defaults(func=_cmd_study)
+
+    analyze = sub.add_parser("analyze", help="regenerate the paper's tables")
+    analyze.add_argument("--results", default="results")
+    analyze.add_argument("--no-plots", action="store_true",
+                         help="omit the text CDF plots")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    val = sub.add_parser("validate", help="check a result store's integrity")
+    val.add_argument("--results", default="results")
+    val.set_defaults(func=_cmd_validate)
+
+    imp = sub.add_parser("import-db", help="import results into sqlite")
+    imp.add_argument("--results", default="results")
+    imp.add_argument("--database", default="results.sqlite")
+    imp.set_defaults(func=_cmd_import_db)
+
+    serve = sub.add_parser("serve", help="run a UUCS server over TCP")
+    serve.add_argument("--root", default="server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--library", type=int, default=0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--timeout", type=float, default=0.0,
+                       help="stop after N seconds (0 = run until interrupted)")
+    serve.set_defaults(func=_cmd_serve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""The UUCS client (paper §2, Figure 5).
+
+A client holds local testcase and result stores (so it "can operate
+disconnected from the server"), registers once to obtain its GUID, hot
+syncs at chosen times (downloading a growing random sample of testcases,
+uploading results), and executes testcases — randomly with Poisson
+arrivals (Internet-wide mode) or from a predefined script (controlled-study
+mode).
+"""
+
+from repro.client.client import ClientConfig, UUCSClient
+from repro.client.scheduler import PoissonArrivals
+
+__all__ = ["ClientConfig", "PoissonArrivals", "UUCSClient"]

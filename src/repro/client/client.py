@@ -1,0 +1,262 @@
+"""The UUCS client application logic.
+
+The client is headless here (the paper's tray icon/hot-key GUI is a
+feedback channel, supplied by the caller as a
+:class:`~repro.core.session.FeedbackSource`), but the rest matches
+Figure 5: local stores, registration, hot sync, testcase execution with
+immediate stop on discomfort, and result recording.
+
+Two execution modes (§2):
+
+* **random mode** — local random testcase choice with Poisson arrivals
+  (:meth:`UUCSClient.run_random`), used in the Internet-wide study;
+* **deterministic mode** — "executing a predefined set of commands from a
+  local file" (:meth:`UUCSClient.run_script`), used in the controlled study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Protocol, Sequence
+
+from repro.core.run import RunContext, TestcaseRun
+from repro.core.session import (
+    FeedbackSource,
+    InteractivityModel,
+    run_simulated_session,
+)
+from repro.core.testcase import Testcase
+from repro.errors import ProtocolError, StoreError, ValidationError
+from repro.server.protocol import Message
+from repro.stores import ResultStore, TestcaseStore
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = ["ClientConfig", "Transport", "UUCSClient"]
+
+
+class Transport(Protocol):
+    """Anything that can carry a request message to the server."""
+
+    def request(self, message: Message) -> Message: ...
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Client configuration (the paper's client is "configurable by the
+    user, including privacy options")."""
+
+    #: Directory holding the client's local stores and identity file.
+    root: Path
+    #: User identity attached to runs (empty = anonymous).
+    user_id: str = "anonymous"
+    #: How many new testcases to request per hot sync.
+    sync_want: int = 8
+    #: Mean seconds between testcase executions in random mode.
+    mean_execution_interval: float = 1800.0
+    #: Privacy: include the machine snapshot when registering.
+    share_snapshot: bool = True
+    #: Privacy: include load traces in uploaded results.
+    share_load_traces: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sync_want < 1:
+            raise ValidationError(f"sync_want must be >= 1, got {self.sync_want}")
+        if self.mean_execution_interval <= 0:
+            raise ValidationError("mean_execution_interval must be positive")
+
+
+@dataclass
+class _Identity:
+    client_id: str = ""
+
+    @property
+    def registered(self) -> bool:
+        return bool(self.client_id)
+
+
+class UUCSClient:
+    """A UUCS client instance bound to a directory and a transport."""
+
+    def __init__(
+        self,
+        config: ClientConfig,
+        transport: Transport | None = None,
+        seed: SeedLike = None,
+    ):
+        self._config = config
+        self._transport = transport
+        self._rng = ensure_rng(seed)
+        root = Path(config.root)
+        self.testcases = TestcaseStore(root / "testcases")
+        self.results = ResultStore(root / "results")
+        self._identity_path = root / "identity"
+        self._identity = _Identity(self._load_identity())
+        self._clock = 0.0
+
+    # -- identity / registration ----------------------------------------------
+
+    def _load_identity(self) -> str:
+        if self._identity_path.exists():
+            return self._identity_path.read_text().strip()
+        return ""
+
+    @property
+    def client_id(self) -> str:
+        return self._identity.client_id
+
+    @property
+    def registered(self) -> bool:
+        return self._identity.registered
+
+    @property
+    def clock(self) -> float:
+        """The client's simulated wall clock, seconds."""
+        return self._clock
+
+    def advance_clock(self, dt: float) -> None:
+        if dt < 0:
+            raise ValidationError(f"cannot rewind the clock by {dt}")
+        self._clock += dt
+
+    def register(self, snapshot: Mapping[str, str] | None = None) -> str:
+        """Register with the server and persist the assigned GUID."""
+        if self._transport is None:
+            raise ProtocolError("client has no transport (offline)")
+        if self.registered:
+            return self.client_id
+        payload_snapshot = dict(snapshot or {})
+        if not self._config.share_snapshot:
+            payload_snapshot = {"privacy": "snapshot withheld"}
+        response = self._transport.request(
+            Message("register", {"snapshot": payload_snapshot})
+        ).expect("registered")
+        client_id = response.payload.get("client_id")
+        if not isinstance(client_id, str) or not client_id:
+            raise ProtocolError("server returned no client_id")
+        self._identity = _Identity(client_id)
+        self._identity_path.write_text(client_id + "\n")
+        return client_id
+
+    # -- hot sync ---------------------------------------------------------------
+
+    def hot_sync(self) -> tuple[int, int]:
+        """One hot sync: upload pending results, download new testcases.
+
+        Returns ``(downloaded, uploaded)`` counts.  The local result store
+        is only drained once the server acknowledges the upload.
+        """
+        if self._transport is None:
+            raise ProtocolError("client has no transport (offline)")
+        if not self.registered:
+            raise ProtocolError("register before syncing")
+        pending = list(self.results)
+        uploads = []
+        for run in pending:
+            record = run.to_dict()
+            if not self._config.share_load_traces:
+                record["load_trace"] = {}
+            uploads.append(record)
+        response = self._transport.request(
+            Message(
+                "sync",
+                {
+                    "client_id": self.client_id,
+                    "have": self.testcases.ids(),
+                    "results": uploads,
+                    "want": self._config.sync_want,
+                },
+            )
+        ).expect("sync_ok")
+        accepted = int(response.payload.get("accepted", 0))
+        if accepted != len(uploads):
+            raise ProtocolError(
+                f"server accepted {accepted} of {len(uploads)} results"
+            )
+        self.results.drain()
+        shipped = response.payload.get("testcases", [])
+        if not isinstance(shipped, list):
+            raise ProtocolError("'testcases' must be a list")
+        downloaded = 0
+        for text in shipped:
+            testcase = Testcase.from_text(str(text))
+            if testcase.testcase_id not in self.testcases:
+                self.testcases.add(testcase)
+                downloaded += 1
+        return downloaded, len(uploads)
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(
+        self,
+        testcase: Testcase,
+        feedback: FeedbackSource,
+        interactivity: InteractivityModel | None = None,
+        task: str = "",
+        extra: Mapping[str, str] | None = None,
+    ) -> TestcaseRun:
+        """Run one testcase and record the result locally."""
+        context = RunContext(
+            user_id=self._config.user_id,
+            task=task,
+            client_id=self.client_id,
+            started_at=self._clock,
+            extra=dict(extra or {}),
+        )
+        result = run_simulated_session(
+            testcase,
+            feedback,
+            context,
+            interactivity,
+            run_id=TestcaseRun.new_run_id(self._rng),
+        )
+        self.results.append(result.run)
+        self._clock += result.run.end_offset
+        return result.run
+
+    def run_script(
+        self,
+        testcase_ids: Sequence[str],
+        feedback: FeedbackSource,
+        interactivity: InteractivityModel | None = None,
+        task: str = "",
+    ) -> list[TestcaseRun]:
+        """Deterministic mode: execute stored testcases in the given order."""
+        runs = []
+        for testcase_id in testcase_ids:
+            testcase = self.testcases.get(testcase_id)
+            runs.append(self.execute(testcase, feedback, interactivity, task))
+        return runs
+
+    def run_random(
+        self,
+        duration: float,
+        feedback: FeedbackSource,
+        interactivity: InteractivityModel | None = None,
+        task: str = "",
+    ) -> list[TestcaseRun]:
+        """Random mode: Poisson arrivals over ``duration`` simulated seconds.
+
+        Idle time between arrivals advances the clock without running
+        anything; each arrival executes a uniformly chosen held testcase.
+        """
+        if duration < 0:
+            raise ValidationError(f"duration must be >= 0, got {duration}")
+        if not len(self.testcases):
+            raise StoreError("no local testcases; hot sync first")
+        runs: list[TestcaseRun] = []
+        elapsed = 0.0
+        while True:
+            gap = float(self._rng.exponential(self._config.mean_execution_interval))
+            if elapsed + gap >= duration:
+                self._clock += duration - elapsed
+                return runs
+            elapsed += gap
+            self._clock += gap
+            ids = self.testcases.ids()
+            testcase_id = ids[int(self._rng.integers(0, len(ids)))]
+            run = self.execute(
+                self.testcases.get(testcase_id), feedback, interactivity, task
+            )
+            runs.append(run)
+            elapsed += run.end_offset

@@ -1,0 +1,52 @@
+"""Testcase execution scheduling.
+
+The Internet-wide client executes testcases at "Poisson arrivals of
+testcase execution" with "local random choice of testcases" (§2), so that
+the fleet as a whole samples (testcase, user, time) space uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ValidationError
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = ["PoissonArrivals"]
+
+
+class PoissonArrivals:
+    """Exponential inter-arrival times for testcase executions."""
+
+    def __init__(self, mean_interval: float, seed: SeedLike = None):
+        if mean_interval <= 0:
+            raise ValidationError(
+                f"mean_interval must be positive, got {mean_interval}"
+            )
+        self._mean = float(mean_interval)
+        self._rng = ensure_rng(seed)
+
+    @property
+    def mean_interval(self) -> float:
+        return self._mean
+
+    def next_delay(self) -> float:
+        """Seconds until the next testcase execution."""
+        return float(self._rng.exponential(self._mean))
+
+    def choose(self, testcase_ids: Sequence[str]) -> str:
+        """Uniform local random choice among held testcases."""
+        if not testcase_ids:
+            raise ValidationError("no testcases to choose from")
+        return testcase_ids[int(self._rng.integers(0, len(testcase_ids)))]
+
+    def arrivals_until(self, horizon: float) -> list[float]:
+        """All arrival times in ``[0, horizon)`` (one realized schedule)."""
+        if horizon < 0:
+            raise ValidationError(f"horizon must be >= 0, got {horizon}")
+        times: list[float] = []
+        t = self.next_delay()
+        while t < horizon:
+            times.append(t)
+            t += self.next_delay()
+        return times

@@ -1,0 +1,59 @@
+"""The paper's primary contribution: testcases, exercise functions, runs,
+discomfort feedback, and the comfort metrics derived from them."""
+
+from repro.core.exercise import (
+    ExerciseFunction,
+    blank,
+    composite,
+    constant,
+    expexp,
+    exppar,
+    ramp,
+    sawtooth,
+    sine,
+    step,
+)
+from repro.core.feedback import DiscomfortEvent, RunOutcome
+from repro.core.metrics import DiscomfortCDF, DiscomfortObservation
+from repro.core.resources import CONTENTION_LIMITS, Resource
+from repro.core.run import RunContext, TestcaseRun
+from repro.core.session import SessionResult, run_simulated_session
+from repro.core.testcase import Testcase
+from repro.core.transform import (
+    clip_levels,
+    crop,
+    merge,
+    retime,
+    scale_levels,
+    with_id,
+)
+
+__all__ = [
+    "CONTENTION_LIMITS",
+    "DiscomfortCDF",
+    "DiscomfortEvent",
+    "DiscomfortObservation",
+    "ExerciseFunction",
+    "Resource",
+    "RunContext",
+    "RunOutcome",
+    "SessionResult",
+    "Testcase",
+    "TestcaseRun",
+    "blank",
+    "clip_levels",
+    "composite",
+    "crop",
+    "merge",
+    "retime",
+    "scale_levels",
+    "with_id",
+    "constant",
+    "expexp",
+    "exppar",
+    "ramp",
+    "run_simulated_session",
+    "sawtooth",
+    "sine",
+    "step",
+]

@@ -1,0 +1,358 @@
+"""Exercise functions (paper §2.1, Figures 3-4).
+
+An *exercise function* is "a vector of values representing a time series
+sampled at the specified rate", each value giving the contention level a
+resource exerciser should create during that sample interval.
+:class:`ExerciseFunction` wraps a :class:`~repro.util.timeseries.SampledSeries`
+with the resource it targets and a shape tag, and this module provides the
+full generator catalogue from Figure 3:
+
+============  =========================================================
+``step``      contention 0 until time ``b``, then ``x`` until time ``t``
+``ramp``      linear 0 → ``x`` over ``[0, t]``
+``sine``      sine wave
+``sawtooth``  sawtooth wave
+``expexp``    Poisson arrivals of exponential-sized jobs (M/M/1)
+``exppar``    Poisson arrivals of Pareto-sized jobs (M/G/1)
+============  =========================================================
+
+plus ``blank`` (all-zero, used to measure the noise floor), ``constant``,
+and ``composite`` (concatenation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.resources import CONTENTION_LIMITS, Resource
+from repro.errors import ValidationError
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.timeseries import SampledSeries
+
+__all__ = [
+    "ExerciseFunction",
+    "blank",
+    "composite",
+    "constant",
+    "expexp",
+    "exppar",
+    "ramp",
+    "sawtooth",
+    "sine",
+    "step",
+]
+
+#: Default sample rate (Hz) for generated exercise functions.  The paper's
+#: worked example uses 1 Hz.
+DEFAULT_RATE = 1.0
+
+
+@dataclass(frozen=True)
+class ExerciseFunction:
+    """A contention time series for one resource.
+
+    Parameters
+    ----------
+    resource:
+        Which resource the exerciser should contend for.
+    series:
+        Contention level per sample interval.
+    shape:
+        Generator tag (``"step"``, ``"ramp"``, ...) for analysis grouping.
+    params:
+        Generator parameters, for provenance and serialization round-trips.
+    """
+
+    resource: Resource
+    series: SampledSeries
+    shape: str = "custom"
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        limit = CONTENTION_LIMITS[self.resource]
+        if self.series.min() < 0:
+            raise ValidationError("contention levels must be non-negative")
+        if self.series.max() > limit + 1e-9:
+            raise ValidationError(
+                f"contention {self.series.max():g} exceeds verified limit "
+                f"{limit:g} for {self.resource.value}"
+            )
+
+    # Convenience pass-throughs ------------------------------------------
+
+    @property
+    def sample_rate(self) -> float:
+        return self.series.sample_rate
+
+    @property
+    def duration(self) -> float:
+        return self.series.duration
+
+    @property
+    def values(self) -> np.ndarray:
+        return self.series.values
+
+    def level_at(self, t: float) -> float:
+        """Contention level in effect at time ``t``."""
+        return self.series.value_at(t)
+
+    def last_values(self, t: float, n: int = 5) -> np.ndarray:
+        """Last ``n`` contention values at feedback time (paper §2.3)."""
+        return self.series.last_values(t, n)
+
+    def max_level(self) -> float:
+        return self.series.max()
+
+    def is_blank(self) -> bool:
+        """True when the function never creates contention."""
+        return self.series.max() == 0.0
+
+    def with_resource(self, resource: Resource) -> "ExerciseFunction":
+        """The same series retargeted at a different resource."""
+        return ExerciseFunction(resource, self.series, self.shape, dict(self.params))
+
+
+def _make(
+    resource: Resource,
+    values: np.ndarray,
+    rate: float,
+    shape: str,
+    params: dict[str, float],
+) -> ExerciseFunction:
+    return ExerciseFunction(resource, SampledSeries(rate, values), shape, params)
+
+
+def _n_samples(duration: float, rate: float) -> int:
+    if not (duration > 0) or not math.isfinite(duration):
+        raise ValidationError(f"duration must be positive, got {duration}")
+    n = int(round(duration * rate))
+    if n < 1:
+        raise ValidationError(
+            f"duration {duration}s at {rate} Hz yields no samples"
+        )
+    return n
+
+
+def step(
+    resource: Resource,
+    x: float,
+    t: float,
+    b: float,
+    sample_rate: float = DEFAULT_RATE,
+) -> ExerciseFunction:
+    """``step(x, t, b)``: zero contention to time ``b``, then ``x`` to ``t``.
+
+    Matches Figure 4's ``step(2.0, 120, 40)``: flat at 0 for 40 s, then flat
+    at 2.0 until 120 s.
+    """
+    if not 0 <= b < t:
+        raise ValidationError(f"step needs 0 <= b < t, got b={b}, t={t}")
+    n = _n_samples(t, sample_rate)
+    values = np.zeros(n)
+    # Clamp so the plateau always exists: contention is x "to time t" even
+    # when b rounds into the final sample.
+    values[min(int(round(b * sample_rate)), n - 1) :] = x
+    return _make(resource, values, sample_rate, "step", {"x": x, "t": t, "b": b})
+
+
+def ramp(
+    resource: Resource,
+    x: float,
+    t: float,
+    sample_rate: float = DEFAULT_RATE,
+) -> ExerciseFunction:
+    """``ramp(x, t)``: contention rising linearly from 0 to ``x`` over ``t``.
+
+    The final sample reaches exactly ``x`` (Figure 4's ``ramp(2.0, 120)``
+    ends at 2.0).
+    """
+    n = _n_samples(t, sample_rate)
+    values = np.linspace(0.0, x, n) if n > 1 else np.array([x], dtype=float)
+    return _make(resource, values, sample_rate, "ramp", {"x": x, "t": t})
+
+
+def sine(
+    resource: Resource,
+    amplitude: float,
+    period: float,
+    t: float,
+    offset: float | None = None,
+    sample_rate: float = DEFAULT_RATE,
+) -> ExerciseFunction:
+    """Sine-wave contention oscillating around ``offset`` (default:
+    ``amplitude``, so the wave stays non-negative)."""
+    if amplitude < 0 or period <= 0:
+        raise ValidationError("sine needs amplitude >= 0 and period > 0")
+    if offset is None:
+        offset = amplitude
+    n = _n_samples(t, sample_rate)
+    times = np.arange(n) / sample_rate
+    values = offset + amplitude * np.sin(2 * np.pi * times / period)
+    return _make(
+        resource,
+        values,
+        sample_rate,
+        "sine",
+        {"amplitude": amplitude, "period": period, "t": t, "offset": offset},
+    )
+
+
+def sawtooth(
+    resource: Resource,
+    x: float,
+    period: float,
+    t: float,
+    sample_rate: float = DEFAULT_RATE,
+) -> ExerciseFunction:
+    """Sawtooth wave rising 0 → ``x`` each ``period`` then dropping to 0."""
+    if x < 0 or period <= 0:
+        raise ValidationError("sawtooth needs x >= 0 and period > 0")
+    n = _n_samples(t, sample_rate)
+    times = np.arange(n) / sample_rate
+    values = x * np.mod(times, period) / period
+    return _make(
+        resource, values, sample_rate, "sawtooth", {"x": x, "period": period, "t": t}
+    )
+
+
+def _queue_occupancy(
+    service_times: np.ndarray,
+    arrivals: np.ndarray,
+    t: float,
+    sample_rate: float,
+    cap: float,
+) -> np.ndarray:
+    """Sampled number-in-system for a single-server FIFO queue.
+
+    Jobs arrive at ``arrivals`` with service demands ``service_times``; each
+    job in the system is one competing thread, so contention at time ``tau``
+    is the queue occupancy at ``tau`` (clipped to the verified ``cap``).
+    """
+    n = int(round(t * sample_rate))
+    sample_times = np.arange(n) / sample_rate
+    # FIFO single server: departure_i = max(arrival_i, departure_{i-1}) + s_i
+    departures = np.empty_like(arrivals)
+    prev = 0.0
+    for i, (a, s) in enumerate(zip(arrivals, service_times)):
+        prev = max(a, prev) + s
+        departures[i] = prev
+    in_system = (
+        (arrivals[None, :] <= sample_times[:, None])
+        & (departures[None, :] > sample_times[:, None])
+    ).sum(axis=1)
+    return np.minimum(in_system.astype(float), cap)
+
+
+def expexp(
+    resource: Resource,
+    arrival_rate: float,
+    mean_size: float,
+    t: float,
+    sample_rate: float = DEFAULT_RATE,
+    seed: SeedLike = None,
+) -> ExerciseFunction:
+    """M/M/1 contention: Poisson arrivals of exponential-sized jobs.
+
+    Each queued job contributes one competing-thread equivalent; the
+    resulting occupancy process is the exercise function (Figure 3's
+    ``expexp``).  Occupancy is clipped to the resource's verified limit.
+    """
+    if arrival_rate <= 0 or mean_size <= 0:
+        raise ValidationError("expexp needs positive arrival_rate and mean_size")
+    rng = ensure_rng(seed)
+    n_jobs = max(1, rng.poisson(arrival_rate * t))
+    arrivals = np.sort(rng.uniform(0, t, size=n_jobs))
+    sizes = rng.exponential(mean_size, size=n_jobs)
+    values = _queue_occupancy(
+        sizes, arrivals, t, sample_rate, CONTENTION_LIMITS[resource]
+    )
+    return _make(
+        resource,
+        values,
+        sample_rate,
+        "expexp",
+        {"arrival_rate": arrival_rate, "mean_size": mean_size, "t": t},
+    )
+
+
+def exppar(
+    resource: Resource,
+    arrival_rate: float,
+    shape: float,
+    scale: float,
+    t: float,
+    sample_rate: float = DEFAULT_RATE,
+    seed: SeedLike = None,
+) -> ExerciseFunction:
+    """M/G/1 contention: Poisson arrivals of Pareto-sized jobs.
+
+    Heavy-tailed service demands model the bursty borrowing of real
+    background workloads (Figure 3's ``exppar``).  ``shape`` is the Pareto
+    tail index (smaller = heavier tail); ``scale`` the minimum job size.
+    """
+    if arrival_rate <= 0 or shape <= 0 or scale <= 0:
+        raise ValidationError("exppar needs positive arrival_rate, shape, scale")
+    rng = ensure_rng(seed)
+    n_jobs = max(1, rng.poisson(arrival_rate * t))
+    arrivals = np.sort(rng.uniform(0, t, size=n_jobs))
+    sizes = scale * (1.0 + rng.pareto(shape, size=n_jobs))
+    values = _queue_occupancy(
+        sizes, arrivals, t, sample_rate, CONTENTION_LIMITS[resource]
+    )
+    return _make(
+        resource,
+        values,
+        sample_rate,
+        "exppar",
+        # The Pareto tail index is stored as "alpha": the key "shape" is
+        # reserved for the generator tag in the text format.
+        {"arrival_rate": arrival_rate, "alpha": shape, "scale": scale, "t": t},
+    )
+
+
+def blank(
+    resource: Resource,
+    t: float,
+    sample_rate: float = DEFAULT_RATE,
+) -> ExerciseFunction:
+    """Zero contention for ``t`` seconds — the noise-floor testcase."""
+    n = _n_samples(t, sample_rate)
+    return _make(resource, np.zeros(n), sample_rate, "blank", {"t": t})
+
+
+def constant(
+    resource: Resource,
+    x: float,
+    t: float,
+    sample_rate: float = DEFAULT_RATE,
+) -> ExerciseFunction:
+    """Constant contention ``x`` for ``t`` seconds."""
+    n = _n_samples(t, sample_rate)
+    return _make(resource, np.full(n, float(x)), sample_rate, "constant", {"x": x, "t": t})
+
+
+def composite(*functions: ExerciseFunction) -> ExerciseFunction:
+    """Concatenate exercise functions for the same resource in time.
+
+    All parts must share a resource and sample rate.
+    """
+    if not functions:
+        raise ValidationError("composite needs at least one part")
+    first = functions[0]
+    for fn in functions[1:]:
+        if fn.resource is not first.resource:
+            raise ValidationError("composite parts must target one resource")
+        if fn.sample_rate != first.sample_rate:
+            raise ValidationError("composite parts must share a sample rate")
+    values = np.concatenate([fn.values for fn in functions])
+    return _make(
+        first.resource,
+        values,
+        first.sample_rate,
+        "composite",
+        {"parts": float(len(functions))},
+    )

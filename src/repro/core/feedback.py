@@ -1,0 +1,68 @@
+"""Run outcomes and discomfort feedback events (paper §2.3-2.4).
+
+A testcase run ends in one of three ways: the user expressed discomfort
+(clicked the tray icon / pressed F11), the exercise functions were exhausted
+without feedback, or the run was aborted externally.  When discomfort is
+expressed the exercisers stop immediately and the feedback's time offset and
+the contention levels in effect are recorded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.resources import Resource
+from repro.errors import ValidationError
+
+__all__ = ["DiscomfortEvent", "RunOutcome"]
+
+
+class RunOutcome(str, enum.Enum):
+    """How a testcase run terminated."""
+
+    #: The user expressed discomfort before the testcase finished.
+    DISCOMFORT = "discomfort"
+    #: The exercise functions ran to completion with no feedback.
+    EXHAUSTED = "exhausted"
+    #: The run was stopped externally (study over, client shutdown, error).
+    ABORTED = "aborted"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def parse(cls, text: str) -> "RunOutcome":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ValidationError(f"unknown run outcome {text!r}") from None
+
+
+@dataclass(frozen=True)
+class DiscomfortEvent:
+    """A single expression of user discomfort during a run.
+
+    Parameters
+    ----------
+    offset:
+        Seconds into the testcase at which feedback arrived.
+    levels:
+        Contention level each exercised resource was applying at ``offset``.
+    source:
+        Feedback channel tag (``"hotkey"``, ``"tray"``, ``"simulated"``,
+        ``"noise"`` for model-generated background discomfort, ...).
+    """
+
+    offset: float
+    levels: Mapping[Resource, float] = field(default_factory=dict)
+    source: str = "simulated"
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValidationError(f"feedback offset must be >= 0, got {self.offset}")
+
+    def level_for(self, resource: Resource) -> float:
+        """Contention on ``resource`` at feedback time (0 if not exercised)."""
+        return float(self.levels.get(resource, 0.0))

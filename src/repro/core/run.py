@@ -1,0 +1,225 @@
+"""Testcase run results (paper §2.3).
+
+A *run* is "the execution of a testcase during a specific task by a specific
+user".  The client records whether the run ended in discomfort or
+exhaustion, the time offset of that event, the last five contention values
+of each exercise function, load measurements for the whole run, and
+contextual information (foreground task, client, machine).  The result is
+stored "in text-based form for later communication back to the server";
+here that form is one JSON document per run.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.feedback import DiscomfortEvent, RunOutcome
+from repro.core.resources import Resource
+from repro.errors import SerializationError, ValidationError
+
+__all__ = ["RunContext", "TestcaseRun"]
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Contextual information captured with a run."""
+
+    #: Stable identifier of the user performing the foreground task.
+    user_id: str
+    #: Foreground task name (``"word"``, ``"powerpoint"``, ``"ie"``,
+    #: ``"quake"``) or ``""`` for uncontrolled (Internet-study) operation.
+    task: str = ""
+    #: Client GUID assigned at registration, if any.
+    client_id: str = ""
+    #: Machine snapshot identifier, if any.
+    machine_id: str = ""
+    #: Wall-clock start of the run, seconds since the epoch (study time).
+    started_at: float = 0.0
+    #: Free-form extras (foreground process list, study phase, ...).
+    extra: Mapping[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "user_id": self.user_id,
+            "task": self.task,
+            "client_id": self.client_id,
+            "machine_id": self.machine_id,
+            "started_at": self.started_at,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunContext":
+        return cls(
+            user_id=str(data.get("user_id", "")),
+            task=str(data.get("task", "")),
+            client_id=str(data.get("client_id", "")),
+            machine_id=str(data.get("machine_id", "")),
+            started_at=float(data.get("started_at", 0.0)),
+            extra={str(k): str(v) for k, v in dict(data.get("extra", {})).items()},
+        )
+
+
+@dataclass(frozen=True)
+class TestcaseRun:
+    """The complete result record of one testcase run."""
+
+    run_id: str
+    testcase_id: str
+    context: RunContext
+    outcome: RunOutcome
+    #: Seconds into the testcase at which the run ended (feedback offset for
+    #: DISCOMFORT, testcase duration for EXHAUSTED).
+    end_offset: float
+    #: Full duration the testcase would have run.
+    testcase_duration: float
+    #: Shape tag of each exercised function (``ramp``/``step``/``blank``...).
+    shapes: Mapping[Resource, str] = field(default_factory=dict)
+    #: Contention per resource at the moment the run ended.
+    levels_at_end: Mapping[Resource, float] = field(default_factory=dict)
+    #: "The last five contention values used in each exercise function at
+    #: the point of user feedback" (§2.3).
+    last_values: Mapping[Resource, tuple[float, ...]] = field(default_factory=dict)
+    #: Feedback event detail, present iff outcome is DISCOMFORT.
+    feedback: DiscomfortEvent | None = None
+    #: Sampled system load during the run: metric name -> samples.
+    load_trace: Mapping[str, tuple[float, ...]] = field(default_factory=dict)
+    #: Sample rate of the load trace, Hz.
+    load_trace_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.end_offset < 0 or self.end_offset > self.testcase_duration + 1e-6:
+            raise ValidationError(
+                f"end_offset {self.end_offset} outside [0, "
+                f"{self.testcase_duration}]"
+            )
+        if (self.outcome is RunOutcome.DISCOMFORT) != (self.feedback is not None):
+            raise ValidationError(
+                "feedback must be present exactly when outcome is DISCOMFORT"
+            )
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def discomforted(self) -> bool:
+        return self.outcome is RunOutcome.DISCOMFORT
+
+    @property
+    def exhausted(self) -> bool:
+        return self.outcome is RunOutcome.EXHAUSTED
+
+    def discomfort_level(self, resource: Resource) -> float:
+        """Contention on ``resource`` when discomfort was expressed.
+
+        Raises :class:`ValidationError` for non-discomfort runs.
+        """
+        if not self.discomforted:
+            raise ValidationError(
+                f"run {self.run_id} ended in {self.outcome}, not discomfort"
+            )
+        return float(self.levels_at_end.get(resource, 0.0))
+
+    def max_level(self, resource: Resource) -> float:
+        """Highest contention the run applied to ``resource`` (for
+        censoring exhausted runs in CDFs)."""
+        values = self.last_values.get(resource)
+        level = float(self.levels_at_end.get(resource, 0.0))
+        if values:
+            level = max(level, max(values))
+        return level
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "testcase_id": self.testcase_id,
+            "context": self.context.to_dict(),
+            "outcome": str(self.outcome),
+            "end_offset": self.end_offset,
+            "testcase_duration": self.testcase_duration,
+            "shapes": {str(r): s for r, s in self.shapes.items()},
+            "levels_at_end": {str(r): v for r, v in self.levels_at_end.items()},
+            "last_values": {
+                str(r): list(v) for r, v in self.last_values.items()
+            },
+            "feedback": (
+                None
+                if self.feedback is None
+                else {
+                    "offset": self.feedback.offset,
+                    "levels": {
+                        str(r): v for r, v in self.feedback.levels.items()
+                    },
+                    "source": self.feedback.source,
+                }
+            ),
+            "load_trace": {k: list(v) for k, v in self.load_trace.items()},
+            "load_trace_rate": self.load_trace_rate,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TestcaseRun":
+        try:
+            feedback = None
+            fb = data.get("feedback")
+            if fb is not None:
+                feedback = DiscomfortEvent(
+                    offset=float(fb["offset"]),
+                    levels={
+                        Resource.parse(r): float(v)
+                        for r, v in fb.get("levels", {}).items()
+                    },
+                    source=str(fb.get("source", "unknown")),
+                )
+            return cls(
+                run_id=str(data["run_id"]),
+                testcase_id=str(data["testcase_id"]),
+                context=RunContext.from_dict(data.get("context", {})),
+                outcome=RunOutcome.parse(data["outcome"]),
+                end_offset=float(data["end_offset"]),
+                testcase_duration=float(data["testcase_duration"]),
+                shapes={
+                    Resource.parse(r): str(s)
+                    for r, s in data.get("shapes", {}).items()
+                },
+                levels_at_end={
+                    Resource.parse(r): float(v)
+                    for r, v in data.get("levels_at_end", {}).items()
+                },
+                last_values={
+                    Resource.parse(r): tuple(float(x) for x in v)
+                    for r, v in data.get("last_values", {}).items()
+                },
+                feedback=feedback,
+                load_trace={
+                    str(k): tuple(float(x) for x in v)
+                    for k, v in data.get("load_trace", {}).items()
+                },
+                load_trace_rate=float(data.get("load_trace_rate", 1.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"bad run record: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "TestcaseRun":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"bad run JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @staticmethod
+    def new_run_id(rng: np.random.Generator | None = None) -> str:
+        """A fresh globally unique run identifier."""
+        if rng is None:
+            return uuid.uuid4().hex
+        return bytes(rng.integers(0, 256, size=16, dtype=np.uint8)).hex()

@@ -1,0 +1,243 @@
+"""Testcases (paper §2.1).
+
+A *testcase* is "a unique identifier, a sample rate, and a collection of
+exercise functions, one for each resource that will be used during the
+execution of the testcase".  UUCS stores testcases in plain-text files so
+clients can operate disconnected; this module defines the in-memory object
+and that text format.
+
+Text format (line oriented, ``#`` comments ignored)::
+
+    UUCS-TESTCASE 1
+    id: ramp-cpu-7
+    sample_rate: 1.0
+    meta: task=word
+    function: cpu shape=ramp x=7.0 t=120
+    values: 0.0 0.058 0.117 ...
+    function: memory shape=blank t=120
+    values: 0.0 0.0 ...
+    END
+
+Values are stored explicitly (not re-generated from shape parameters) so a
+client replays exactly what the server shipped, stochastic shapes included.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.exercise import ExerciseFunction
+from repro.core.resources import Resource
+from repro.errors import SerializationError, ValidationError
+from repro.util.timeseries import SampledSeries
+
+__all__ = ["Testcase"]
+
+_MAGIC = "UUCS-TESTCASE 1"
+
+
+@dataclass(frozen=True)
+class Testcase:
+    """A named collection of exercise functions, one per resource."""
+
+    testcase_id: str
+    functions: Mapping[Resource, ExerciseFunction]
+    metadata: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.testcase_id or any(c.isspace() for c in self.testcase_id):
+            raise ValidationError(
+                f"testcase id must be non-empty and whitespace-free, "
+                f"got {self.testcase_id!r}"
+            )
+        if not self.functions:
+            raise ValidationError("a testcase needs at least one exercise function")
+        rates = {fn.sample_rate for fn in self.functions.values()}
+        if len(rates) != 1:
+            raise ValidationError(
+                f"all exercise functions must share one sample rate, got {rates}"
+            )
+        for resource, fn in self.functions.items():
+            if fn.resource is not resource:
+                raise ValidationError(
+                    f"function keyed {resource.value} targets {fn.resource.value}"
+                )
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def sample_rate(self) -> float:
+        """Common sample rate of every exercise function (Hz)."""
+        return next(iter(self.functions.values())).sample_rate
+
+    @property
+    def duration(self) -> float:
+        """Run length: the longest exercise function's duration."""
+        return max(fn.duration for fn in self.functions.values())
+
+    @property
+    def resources(self) -> tuple[Resource, ...]:
+        """Resources exercised, in stable (enum-definition) order."""
+        return tuple(r for r in Resource if r in self.functions)
+
+    def is_blank(self) -> bool:
+        """True when no function ever creates contention (noise-floor case)."""
+        return all(fn.is_blank() for fn in self.functions.values())
+
+    def levels_at(self, t: float) -> dict[Resource, float]:
+        """Contention per resource in effect at offset ``t``.
+
+        Functions shorter than ``t`` contribute 0 (their exerciser has
+        finished).
+        """
+        out: dict[Resource, float] = {}
+        for resource, fn in self.functions.items():
+            out[resource] = fn.level_at(t) if t <= fn.duration else 0.0
+        return out
+
+    def last_values(self, t: float, n: int = 5) -> dict[Resource, np.ndarray]:
+        """Last ``n`` contention values per function at offset ``t``."""
+        return {
+            resource: fn.last_values(min(t, fn.duration), n)
+            for resource, fn in self.functions.items()
+        }
+
+    def primary_resource(self) -> Resource:
+        """The single non-blank resource, or the first resource when blank.
+
+        The controlled study's testcases each exercise exactly one resource;
+        analysis groups runs by that resource.
+        """
+        active = [r for r, fn in self.functions.items() if not fn.is_blank()]
+        if len(active) == 1:
+            return active[0]
+        if not active:
+            return self.resources[0]
+        raise ValidationError(
+            f"testcase {self.testcase_id} exercises several resources: "
+            f"{[r.value for r in active]}"
+        )
+
+    def shape_of(self, resource: Resource) -> str:
+        """Generator tag of the function for ``resource``."""
+        return self.functions[resource].shape
+
+    # -- serialization ----------------------------------------------------
+
+    def to_text(self) -> str:
+        """Serialize to the UUCS text format."""
+        out = io.StringIO()
+        out.write(_MAGIC + "\n")
+        out.write(f"id: {self.testcase_id}\n")
+        out.write(f"sample_rate: {self.sample_rate!r}\n")
+        for key in sorted(self.metadata):
+            value = self.metadata[key]
+            if "\n" in key or "\n" in str(value) or "=" in key:
+                raise SerializationError(
+                    f"metadata key/value may not contain '=' in key or "
+                    f"newlines: {key!r}"
+                )
+            out.write(f"meta: {key}={value}\n")
+        for resource in self.resources:
+            fn = self.functions[resource]
+            if "shape" in fn.params:
+                raise SerializationError(
+                    "exercise-function parameter key 'shape' is reserved "
+                    "for the generator tag"
+                )
+            params = " ".join(
+                f"{k}={float(fn.params[k])!r}" for k in sorted(fn.params)
+            )
+            head = f"function: {resource.value} shape={fn.shape}"
+            if params:
+                head += " " + params
+            out.write(head + "\n")
+            out.write(
+                "values: " + " ".join(repr(float(v)) for v in fn.values) + "\n"
+            )
+        out.write("END\n")
+        return out.getvalue()
+
+    @classmethod
+    def from_text(cls, text: str) -> "Testcase":
+        """Parse the UUCS text format back into a :class:`Testcase`."""
+        lines = [
+            ln.strip()
+            for ln in text.splitlines()
+            if ln.strip() and not ln.lstrip().startswith("#")
+        ]
+        if not lines or lines[0] != _MAGIC:
+            raise SerializationError("missing UUCS-TESTCASE header")
+        if lines[-1] != "END":
+            raise SerializationError("missing END terminator")
+        testcase_id: str | None = None
+        sample_rate: float | None = None
+        metadata: dict[str, str] = {}
+        functions: dict[Resource, ExerciseFunction] = {}
+        pending: tuple[Resource, str, dict[str, float]] | None = None
+        for line in lines[1:-1]:
+            try:
+                keyword, rest = line.split(":", 1)
+            except ValueError:
+                raise SerializationError(f"malformed line {line!r}") from None
+            rest = rest.strip()
+            if keyword == "id":
+                testcase_id = rest
+            elif keyword == "sample_rate":
+                sample_rate = float(rest)
+            elif keyword == "meta":
+                key, _, value = rest.partition("=")
+                metadata[key] = value
+            elif keyword == "function":
+                parts = rest.split()
+                resource = Resource.parse(parts[0])
+                shape = "custom"
+                params: dict[str, float] = {}
+                for token in parts[1:]:
+                    k, _, v = token.partition("=")
+                    if k == "shape":
+                        shape = v
+                    else:
+                        params[k] = float(v)
+                pending = (resource, shape, params)
+            elif keyword == "values":
+                if pending is None or sample_rate is None:
+                    raise SerializationError(
+                        "values line before function/sample_rate"
+                    )
+                resource, shape, params = pending
+                values = np.array([float(tok) for tok in rest.split()])
+                functions[resource] = ExerciseFunction(
+                    resource, SampledSeries(sample_rate, values), shape, params
+                )
+                pending = None
+            else:
+                raise SerializationError(f"unknown keyword {keyword!r}")
+        if testcase_id is None or sample_rate is None or not functions:
+            raise SerializationError("incomplete testcase text")
+        try:
+            return cls(testcase_id, functions, metadata)
+        except ValidationError as exc:
+            raise SerializationError(str(exc)) from exc
+
+    @classmethod
+    def single(
+        cls,
+        testcase_id: str,
+        function: ExerciseFunction,
+        metadata: Mapping[str, str] | None = None,
+    ) -> "Testcase":
+        """Convenience constructor for a one-resource testcase."""
+        return cls(testcase_id, {function.resource: function}, dict(metadata or {}))
+
+    @staticmethod
+    def unique_resources(testcases: Iterable["Testcase"]) -> set[Resource]:
+        """Union of resources exercised by ``testcases``."""
+        out: set[Resource] = set()
+        for tc in testcases:
+            out.update(tc.functions)
+        return out

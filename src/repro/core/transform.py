@@ -1,0 +1,176 @@
+"""Testcase manipulation (paper Figure 2's testcase tools).
+
+The analysis phase "guides us to other interesting testcases": having seen
+where discomfort sets in, the experimenter derives new testcases from old
+ones — scaled, cropped, slowed, clipped to a throttle ceiling, or merged
+into multi-resource combinations.  These are pure functions producing new
+:class:`~repro.core.testcase.Testcase` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exercise import ExerciseFunction
+from repro.core.resources import CONTENTION_LIMITS
+from repro.core.testcase import Testcase
+from repro.errors import ValidationError
+from repro.util.timeseries import SampledSeries
+
+__all__ = [
+    "clip_levels",
+    "crop",
+    "merge",
+    "retime",
+    "scale_levels",
+    "with_id",
+]
+
+
+def _map_functions(
+    testcase: Testcase,
+    new_id: str,
+    mapper,
+) -> Testcase:
+    functions = {
+        resource: mapper(fn) for resource, fn in testcase.functions.items()
+    }
+    return Testcase(new_id, functions, dict(testcase.metadata))
+
+
+def with_id(testcase: Testcase, new_id: str) -> Testcase:
+    """The same testcase under a new identifier."""
+    return Testcase(new_id, dict(testcase.functions), dict(testcase.metadata))
+
+
+def scale_levels(
+    testcase: Testcase, factor: float, new_id: str | None = None
+) -> Testcase:
+    """Multiply every contention level by ``factor``.
+
+    Raises :class:`ValidationError` when scaling would exceed a resource's
+    hard cap (scale down, crop, or clip first).
+    """
+    if factor < 0:
+        raise ValidationError(f"factor must be >= 0, got {factor}")
+
+    def mapper(fn: ExerciseFunction) -> ExerciseFunction:
+        return ExerciseFunction(
+            fn.resource,
+            fn.series.scaled(factor),
+            fn.shape,
+            dict(fn.params),
+        )
+
+    return _map_functions(
+        testcase, new_id or f"{testcase.testcase_id}-x{factor:g}", mapper
+    )
+
+
+def clip_levels(
+    testcase: Testcase,
+    ceiling: float,
+    new_id: str | None = None,
+) -> Testcase:
+    """Clip every contention level to ``ceiling`` (a throttle applied at
+    testcase-creation time)."""
+    if ceiling < 0:
+        raise ValidationError(f"ceiling must be >= 0, got {ceiling}")
+
+    def mapper(fn: ExerciseFunction) -> ExerciseFunction:
+        limit = min(ceiling, CONTENTION_LIMITS[fn.resource])
+        return ExerciseFunction(
+            fn.resource,
+            fn.series.clipped(0.0, limit),
+            fn.shape,
+            dict(fn.params),
+        )
+
+    return _map_functions(
+        testcase, new_id or f"{testcase.testcase_id}-clip{ceiling:g}", mapper
+    )
+
+
+def crop(
+    testcase: Testcase,
+    start: float,
+    end: float,
+    new_id: str | None = None,
+) -> Testcase:
+    """The sub-testcase covering ``[start, end)`` seconds."""
+
+    def mapper(fn: ExerciseFunction) -> ExerciseFunction:
+        clipped_end = min(end, fn.duration)
+        if start >= clipped_end:
+            # This function ended before the crop window: a single zero.
+            return ExerciseFunction(
+                fn.resource,
+                SampledSeries(fn.sample_rate, np.zeros(1)),
+                fn.shape,
+                dict(fn.params),
+            )
+        return ExerciseFunction(
+            fn.resource,
+            fn.series.slice_time(start, clipped_end),
+            fn.shape,
+            dict(fn.params),
+        )
+
+    return _map_functions(
+        testcase, new_id or f"{testcase.testcase_id}-crop", mapper
+    )
+
+
+def retime(
+    testcase: Testcase,
+    speed: float,
+    new_id: str | None = None,
+) -> Testcase:
+    """Play the same contention trajectory ``speed`` times faster.
+
+    The frog-in-the-pot question is exactly about this knob: the same
+    levels reached quickly vs slowly.
+    """
+    if speed <= 0:
+        raise ValidationError(f"speed must be positive, got {speed}")
+
+    def mapper(fn: ExerciseFunction) -> ExerciseFunction:
+        # Same samples, played at a higher effective rate, then resampled
+        # back to the original rate so stores stay uniform.
+        sped = SampledSeries(fn.sample_rate * speed, fn.values)
+        return ExerciseFunction(
+            fn.resource,
+            sped.resample(fn.sample_rate),
+            fn.shape,
+            dict(fn.params),
+        )
+
+    return _map_functions(
+        testcase, new_id or f"{testcase.testcase_id}-{speed:g}x", mapper
+    )
+
+
+def merge(
+    a: Testcase,
+    b: Testcase,
+    new_id: str | None = None,
+) -> Testcase:
+    """Combine two testcases into one multi-resource testcase.
+
+    The inputs must exercise disjoint resources and share a sample rate;
+    the result borrows both simultaneously (question 2's combinations).
+    """
+    overlap = set(a.functions) & set(b.functions)
+    if overlap:
+        raise ValidationError(
+            f"testcases both exercise {sorted(r.value for r in overlap)}"
+        )
+    if a.sample_rate != b.sample_rate:
+        raise ValidationError(
+            f"sample rates differ: {a.sample_rate} vs {b.sample_rate}"
+        )
+    functions = {**dict(a.functions), **dict(b.functions)}
+    metadata = {**dict(b.metadata), **dict(a.metadata)}
+    return Testcase(
+        new_id or f"{a.testcase_id}+{b.testcase_id}", functions, metadata
+    )

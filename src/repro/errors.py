@@ -1,0 +1,64 @@
+"""Exception hierarchy for the UUCS reproduction.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or data structure failed validation."""
+
+
+class SerializationError(ReproError):
+    """A testcase, run, or protocol message could not be (de)serialized."""
+
+
+class StoreError(ReproError):
+    """A testcase or result store operation failed."""
+
+
+class ProtocolError(ReproError):
+    """A client/server protocol exchange was malformed or out of order."""
+
+
+class RegistrationError(ProtocolError):
+    """A client registration was rejected or inconsistent."""
+
+
+class ExerciserError(ReproError):
+    """A resource exerciser could not be started, calibrated, or stopped."""
+
+
+class CalibrationError(ExerciserError):
+    """Busy-loop calibration failed to converge or produced nonsense."""
+
+
+class MonitorError(ReproError):
+    """The system monitor could not sample the host."""
+
+
+class StudyError(ReproError):
+    """A study driver was misconfigured or produced inconsistent results."""
+
+
+class AnalysisError(ReproError):
+    """An analysis step received insufficient or inconsistent data."""
+
+
+class InsufficientDataError(AnalysisError):
+    """A metric was requested from too few observations.
+
+    Mirrors the ``*`` entries in Figures 15 and 16 of the paper, where a
+    (task, resource) cell had no discomfort observations at all.
+    """
+
+
+class ThrottleError(ReproError):
+    """A borrowing throttle was driven outside its valid envelope."""

@@ -1,0 +1,49 @@
+"""Real resource exercisers (paper §2.2).
+
+These implement the paper's exerciser designs on a live host:
+
+* :class:`CPUExerciser` — per-level worker *processes* (true CPU load; a
+  thread-based design would only contend on the GIL) running calibrated
+  busy-wait subintervals, the fractional worker stochastically, exactly as
+  §2.2 describes.
+* :class:`MemoryExerciser` — keeps an allocated page pool and touches the
+  fraction of it given by the contention level at high frequency.
+* :class:`DiskExerciser` — random seeks in a large file followed by
+  synced writes of random amounts, duty-cycled per level.
+* :func:`play` — time-based playback of an exercise function onto any
+  exerciser.
+
+The simulated studies never use these; they exist for live demonstration
+and the exerciser-fidelity benchmarks.
+"""
+
+from repro.exercisers.base import Exerciser
+from repro.exercisers.calibration import CalibrationResult, calibrate_spin
+from repro.exercisers.channels import CallbackChannel, KeyPressChannel, TimedChannel
+from repro.exercisers.cpu import CPUExerciser
+from repro.exercisers.disk import DiskExerciser
+from repro.exercisers.memory import MemoryExerciser
+from repro.exercisers.network import NetworkExerciser
+from repro.exercisers.playback import play
+from repro.exercisers.session import (
+    LiveSessionConfig,
+    default_factory,
+    run_live_session,
+)
+
+__all__ = [
+    "CPUExerciser",
+    "CalibrationResult",
+    "CallbackChannel",
+    "KeyPressChannel",
+    "DiskExerciser",
+    "Exerciser",
+    "LiveSessionConfig",
+    "MemoryExerciser",
+    "NetworkExerciser",
+    "TimedChannel",
+    "calibrate_spin",
+    "default_factory",
+    "play",
+    "run_live_session",
+]

@@ -1,0 +1,39 @@
+"""The exerciser interface.
+
+An exerciser applies a contention *level* to one resource until told
+otherwise.  Levels follow the paper's semantics (§2.2): CPU and disk
+levels are competing-task equivalents; memory levels are the fraction of
+physical memory borrowed.  All exercisers are context managers; exiting
+stops them and releases their resources — the "resource borrowing stops
+immediately" requirement when a user expresses discomfort.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.resources import Resource
+
+__all__ = ["Exerciser"]
+
+
+@runtime_checkable
+class Exerciser(Protocol):
+    """A live contention generator for one resource."""
+
+    @property
+    def resource(self) -> Resource:
+        """The resource this exerciser contends for."""
+        ...
+
+    def start(self) -> None:
+        """Begin applying the current level (0 until set)."""
+        ...
+
+    def set_level(self, level: float) -> None:
+        """Change the contention level, effective immediately."""
+        ...
+
+    def stop(self) -> None:
+        """Stop all borrowing and release resources (idempotent)."""
+        ...

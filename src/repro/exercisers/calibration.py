@@ -1,0 +1,85 @@
+"""Busy-loop calibration (paper §2.2).
+
+The CPU exerciser splits each second into "a number of subintervals, whose
+duration is computed by calibration, each larger than the scheduling
+resolution of the machine".  We calibrate a spin kernel: how many
+iterations of a tight arithmetic loop take one millisecond, so workers can
+spin a subinterval in large chunks instead of polling the clock every
+iteration (clock polling would itself perturb the load).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+
+__all__ = ["CalibrationResult", "calibrate_spin", "spin_for"]
+
+
+def _spin(iterations: int) -> int:
+    """The calibrated kernel: pure integer arithmetic, no allocation."""
+    acc = 0
+    for i in range(iterations):
+        acc = (acc + i) & 0xFFFFFFFF
+    return acc
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Spin-kernel speed measurement."""
+
+    #: Spin iterations per millisecond of wall time.
+    iterations_per_ms: float
+    #: Number of timing trials used.
+    trials: int
+    #: Relative spread (max/min - 1) across trials; high values mean the
+    #: host was noisy during calibration.
+    spread: float
+
+    def iterations_for(self, seconds: float) -> int:
+        """Iterations approximating ``seconds`` of spinning."""
+        return max(1, int(self.iterations_per_ms * seconds * 1000.0))
+
+
+def calibrate_spin(
+    trials: int = 5, trial_iterations: int = 200_000
+) -> CalibrationResult:
+    """Measure the spin kernel's speed.
+
+    Runs ``trials`` timed executions and takes the *fastest* (least
+    preempted) as the true speed, the standard self-calibration trick.
+    """
+    if trials < 1 or trial_iterations < 1000:
+        raise CalibrationError(
+            f"need trials >= 1 and trial_iterations >= 1000, got "
+            f"{trials}, {trial_iterations}"
+        )
+    rates: list[float] = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        _spin(trial_iterations)
+        elapsed = time.perf_counter() - start
+        if elapsed <= 0:
+            raise CalibrationError("timer resolution too coarse to calibrate")
+        rates.append(trial_iterations / (elapsed * 1000.0))
+    best = max(rates)
+    worst = min(rates)
+    return CalibrationResult(
+        iterations_per_ms=best,
+        trials=trials,
+        spread=best / worst - 1.0,
+    )
+
+
+def spin_for(seconds: float, calibration: CalibrationResult) -> None:
+    """Busy-spin for ``seconds``, checking the clock between chunks.
+
+    Chunks of ~1 ms keep clock overhead negligible while bounding
+    overshoot to about one chunk.
+    """
+    deadline = time.perf_counter() + seconds
+    chunk = calibration.iterations_for(0.001)
+    while time.perf_counter() < deadline:
+        _spin(chunk)

@@ -1,0 +1,104 @@
+"""Feedback channels for live sessions (paper §2.4).
+
+The study client offered "the most basic graphical interface": click the
+tray icon or press a hot-key (F11).  A channel here is anything usable as
+the ``feedback_poll`` callable of
+:func:`~repro.exercisers.session.run_live_session`:
+
+* :class:`KeyPressChannel` — a terminal hot-key: any keystroke (or a
+  specific character) on a TTY's stdin expresses discomfort;
+* :class:`CallbackChannel` — programmatic feedback with thread-safe
+  triggering, for embedding in applications;
+* :class:`TimedChannel` — scripted feedback after a wall-clock delay,
+  for demos and tests.
+"""
+
+from __future__ import annotations
+
+import select
+import sys
+import threading
+import time
+
+from repro.errors import ExerciserError
+
+__all__ = ["CallbackChannel", "KeyPressChannel", "TimedChannel"]
+
+
+class CallbackChannel:
+    """Programmatic discomfort feedback.
+
+    Any thread may call :meth:`trigger`; the session's polls observe it on
+    their next sample.  ``reset`` re-arms the channel for the next run.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._triggers = 0
+
+    def trigger(self) -> None:
+        self._triggers += 1
+        self._event.set()
+
+    def reset(self) -> None:
+        self._event.clear()
+
+    @property
+    def triggers(self) -> int:
+        return self._triggers
+
+    def __call__(self) -> bool:
+        return self._event.is_set()
+
+
+class TimedChannel:
+    """Expresses discomfort ``after`` wall-clock seconds from first poll."""
+
+    def __init__(self, after: float):
+        if after < 0:
+            raise ExerciserError(f"after must be >= 0, got {after}")
+        self._after = float(after)
+        self._started: float | None = None
+
+    def __call__(self) -> bool:
+        now = time.perf_counter()
+        if self._started is None:
+            self._started = now
+        return now - self._started >= self._after
+
+
+class KeyPressChannel:
+    """A terminal hot-key: discomfort on keystroke.
+
+    Polls stdin without blocking (``select`` with a zero timeout), so it
+    is safe to call from the playback threads.  When ``key`` is given,
+    only that character triggers; otherwise any keystroke does.  Requires
+    stdin to be a TTY unless ``stream`` overrides it (tests pass a pipe).
+    """
+
+    def __init__(self, key: str | None = None, stream=None):
+        if key is not None and len(key) != 1:
+            raise ExerciserError(f"key must be one character, got {key!r}")
+        self._key = key
+        self._stream = stream if stream is not None else sys.stdin
+        if stream is None and not self._stream.isatty():
+            raise ExerciserError(
+                "stdin is not a TTY; use CallbackChannel or pass a stream"
+            )
+        self._triggered = False
+
+    def __call__(self) -> bool:
+        if self._triggered:
+            return True
+        try:
+            ready, _, _ = select.select([self._stream], [], [], 0.0)
+        except (OSError, ValueError):
+            return False
+        if not ready:
+            return False
+        data = self._stream.read(1)
+        if not data:
+            return False
+        if self._key is None or data == self._key:
+            self._triggered = True
+        return self._triggered

@@ -1,0 +1,138 @@
+"""The CPU exerciser (paper §2.2).
+
+To create contention ``c``, ``ceil(c)`` worker *processes* run; worker
+``i`` has duty cycle ``clip(c - i, 0, 1)``.  Each worker divides time into
+calibrated subintervals: with probability equal to its duty cycle it
+busy-spins the subinterval, otherwise it sleeps it — the paper's
+"stochastic borrowing ... intended to emulate a fluid model".  With
+another always-busy equal-priority thread present, that thread then runs
+at rate ``1/(1+c)``.
+
+Processes, not threads: CPython threads spinning in pure Python serialize
+on the GIL and would neither load multiple cores nor contend fairly.
+Workers share a duty-cycle array and a stop flag through
+:mod:`multiprocessing` primitives, so :meth:`CPUExerciser.set_level` takes
+effect within one subinterval.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import random
+import time
+
+from repro.core.resources import CONTENTION_LIMITS, Resource, validate_contention
+from repro.errors import ExerciserError
+from repro.exercisers.calibration import CalibrationResult, calibrate_spin, spin_for
+
+__all__ = ["CPUExerciser"]
+
+#: Upper bound on worker processes (level cap is CONTENTION_LIMITS[CPU]).
+_MAX_WORKERS = int(CONTENTION_LIMITS[Resource.CPU])
+
+
+def _worker_loop(
+    index: int,
+    duties,  # mp.Array('d', ...)
+    stop,  # mp.Event
+    subinterval: float,
+    iterations_per_ms: float,
+) -> None:  # pragma: no cover - runs in child processes
+    calibration = CalibrationResult(
+        iterations_per_ms=iterations_per_ms, trials=1, spread=0.0
+    )
+    rng = random.Random(os.getpid() ^ index)
+    while not stop.is_set():
+        duty = duties[index]
+        if duty <= 0.0:
+            time.sleep(subinterval)
+            continue
+        if duty >= 1.0 or rng.random() < duty:
+            spin_for(subinterval, calibration)
+        else:
+            time.sleep(subinterval)
+
+
+class CPUExerciser:
+    """Live CPU contention via duty-cycled busy-wait worker processes."""
+
+    resource = Resource.CPU
+
+    def __init__(
+        self,
+        subinterval: float = 0.01,
+        calibration: CalibrationResult | None = None,
+        max_workers: int = _MAX_WORKERS,
+    ):
+        if subinterval <= 0.0:
+            raise ExerciserError(f"subinterval must be positive, got {subinterval}")
+        if max_workers < 1:
+            raise ExerciserError(f"max_workers must be >= 1, got {max_workers}")
+        self._subinterval = float(subinterval)
+        self._calibration = calibration if calibration else calibrate_spin()
+        self._max_workers = int(max_workers)
+        self._level = 0.0
+        self._ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        self._duties = self._ctx.Array("d", [0.0] * self._max_workers)
+        self._stop = self._ctx.Event()
+        self._workers: list[mp.process.BaseProcess] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def running(self) -> bool:
+        return bool(self._workers)
+
+    def start(self) -> None:
+        if self._workers:
+            raise ExerciserError("CPU exerciser already started")
+        self._stop.clear()
+        for index in range(self._max_workers):
+            proc = self._ctx.Process(
+                target=_worker_loop,
+                args=(
+                    index,
+                    self._duties,
+                    self._stop,
+                    self._subinterval,
+                    self._calibration.iterations_per_ms,
+                ),
+                daemon=True,
+                name=f"uucs-cpu-{index}",
+            )
+            proc.start()
+            self._workers.append(proc)
+        self.set_level(self._level)
+
+    def set_level(self, level: float) -> None:
+        validate_contention(Resource.CPU, level)
+        if level > self._max_workers:
+            raise ExerciserError(
+                f"level {level} exceeds worker capacity {self._max_workers}"
+            )
+        self._level = float(level)
+        with self._duties.get_lock():
+            for index in range(self._max_workers):
+                self._duties[index] = min(1.0, max(0.0, level - index))
+
+    def stop(self) -> None:
+        if not self._workers:
+            return
+        self._stop.set()
+        deadline = time.monotonic() + 5.0
+        for proc in self._workers:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._workers = []
+
+    def __enter__(self) -> "CPUExerciser":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

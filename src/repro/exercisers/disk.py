@@ -1,0 +1,159 @@
+"""The disk exerciser (paper §2.2).
+
+"The busy operation here is a random seek in a large file (2x the memory
+of the machine) followed by a write of a random amount of data.  The write
+is forced to be write-through with respect to the ... buffer cache and
+synced with respect to the disk controller."
+
+Like the CPU exerciser, contention ``c`` runs ``ceil(c)`` workers with
+duty cycles ``clip(c - i, 0, 1)``; a worker's busy operation is
+seek-write-fsync, its idle operation a sleep.  Workers are threads — the
+I/O calls release the GIL.  The file size is configurable (defaulting far
+below 2x RAM) so tests and demos stay cheap.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.resources import CONTENTION_LIMITS, Resource, validate_contention
+from repro.errors import ExerciserError
+
+__all__ = ["DiskExerciser"]
+
+_MAX_WORKERS = int(CONTENTION_LIMITS[Resource.DISK])
+
+
+class DiskExerciser:
+    """Live disk-bandwidth borrowing via duty-cycled synced writers."""
+
+    resource = Resource.DISK
+
+    def __init__(
+        self,
+        file_size: int = 64 * 1024 * 1024,
+        directory: str | Path | None = None,
+        subinterval: float = 0.05,
+        max_write: int = 64 * 1024,
+        max_workers: int = _MAX_WORKERS,
+        seed: int = 0,
+    ):
+        if file_size < max_write:
+            raise ExerciserError(
+                f"file_size ({file_size}) must be >= max_write ({max_write})"
+            )
+        if subinterval <= 0:
+            raise ExerciserError(f"subinterval must be positive, got {subinterval}")
+        if max_workers < 1:
+            raise ExerciserError(f"max_workers must be >= 1, got {max_workers}")
+        self._file_size = int(file_size)
+        self._directory = Path(directory) if directory else None
+        self._subinterval = float(subinterval)
+        self._max_write = int(max_write)
+        self._max_workers = int(max_workers)
+        self._seed = int(seed)
+        self._level = 0.0
+        self._path: Path | None = None
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._writes = 0
+        self._bytes_written = 0
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def writes(self) -> int:
+        """Completed synced writes (observability for tests)."""
+        return self._writes
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes_written
+
+    @property
+    def running(self) -> bool:
+        return bool(self._threads)
+
+    def _duty(self, index: int) -> float:
+        return min(1.0, max(0.0, self._level - index))
+
+    def _worker(self, index: int) -> None:
+        rng = np.random.default_rng(self._seed + index)
+        payload = rng.integers(0, 256, size=self._max_write, dtype=np.uint8).tobytes()
+        fd = os.open(self._path, os.O_WRONLY)
+        try:
+            while not self._stop.is_set():
+                start = time.perf_counter()
+                if rng.random() < self._duty(index):
+                    offset = int(rng.integers(0, self._file_size - self._max_write))
+                    size = int(rng.integers(1024, self._max_write + 1))
+                    os.lseek(fd, offset, os.SEEK_SET)
+                    os.write(fd, payload[:size])
+                    os.fsync(fd)
+                    with self._lock:
+                        self._writes += 1
+                        self._bytes_written += size
+                remainder = self._subinterval - (time.perf_counter() - start)
+                if remainder > 0:
+                    self._stop.wait(remainder)
+        finally:
+            os.close(fd)
+
+    def start(self) -> None:
+        if self._threads:
+            raise ExerciserError("disk exerciser already started")
+        directory = self._directory or Path(tempfile.gettempdir())
+        fd, name = tempfile.mkstemp(prefix="uucs-disk-", dir=directory)
+        try:
+            os.ftruncate(fd, self._file_size)
+        finally:
+            os.close(fd)
+        self._path = Path(name)
+        self._stop.clear()
+        for index in range(self._max_workers):
+            thread = threading.Thread(
+                target=self._worker,
+                args=(index,),
+                name=f"uucs-disk-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def set_level(self, level: float) -> None:
+        validate_contention(Resource.DISK, level)
+        if level > self._max_workers:
+            raise ExerciserError(
+                f"level {level} exceeds worker capacity {self._max_workers}"
+            )
+        self._level = float(level)
+
+    def stop(self) -> None:
+        if not self._threads:
+            return
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+        if self._path is not None:
+            try:
+                self._path.unlink()
+            except OSError:
+                pass
+            self._path = None
+
+    def __enter__(self) -> "DiskExerciser":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,116 @@
+"""The memory exerciser (paper §2.2).
+
+"It keeps a pool of allocated pages equal to the size of physical memory
+... and then touches the fraction corresponding to the contention level
+with a high frequency, making its working set size inflate to that
+fraction of the physical memory."
+
+The pool here defaults to a configurable size rather than all of physical
+memory so tests and demos are safe; the touching logic is the same.  A
+background thread sweeps the first ``level`` fraction of the pool,
+touching one byte per page, at the configured frequency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.resources import Resource, validate_contention
+from repro.errors import ExerciserError
+
+__all__ = ["MemoryExerciser"]
+
+_PAGE = 4096
+
+
+class MemoryExerciser:
+    """Live memory borrowing via a page pool and a touch thread."""
+
+    resource = Resource.MEMORY
+
+    def __init__(
+        self,
+        pool_bytes: int = 256 * 1024 * 1024,
+        touch_interval: float = 0.1,
+    ):
+        if pool_bytes < _PAGE:
+            raise ExerciserError(f"pool_bytes must be >= {_PAGE}, got {pool_bytes}")
+        if touch_interval <= 0:
+            raise ExerciserError(
+                f"touch_interval must be positive, got {touch_interval}"
+            )
+        self._pool_bytes = int(pool_bytes)
+        self._interval = float(touch_interval)
+        self._level = 0.0
+        self._pool: np.ndarray | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._touches = 0
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def pool_bytes(self) -> int:
+        return self._pool_bytes
+
+    @property
+    def touches(self) -> int:
+        """Total pool sweeps performed (observability for tests)."""
+        return self._touches
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ExerciserError("memory exerciser already started")
+        # Allocate and fault in the whole pool up front, as the paper's
+        # exerciser does; the *hot* fraction then tracks the level.
+        self._pool = np.zeros(self._pool_bytes, dtype=np.uint8)
+        self._pool[::_PAGE] = 1
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.wait(self._interval):
+                self._touch()
+
+        self._thread = threading.Thread(
+            target=_loop, name="uucs-memory", daemon=True
+        )
+        self._thread.start()
+
+    def _touch(self) -> None:
+        pool = self._pool
+        level = self._level
+        if pool is None or level <= 0.0:
+            return
+        hot = int(len(pool) * level)
+        if hot >= _PAGE:
+            # One-byte-per-page vectorized sweep keeps the pages resident.
+            pool[:hot:_PAGE] += 1
+        self._touches += 1
+
+    def set_level(self, level: float) -> None:
+        validate_contention(Resource.MEMORY, level)
+        self._level = float(level)
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self._pool = None  # release the borrowed memory immediately
+
+    def __enter__(self) -> "MemoryExerciser":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,191 @@
+"""The network exerciser (paper §2.2).
+
+"Using the network can also lead to user discomfort.  We developed several
+variants of a network exerciser ... but all create a significant impact
+beyond the client machine.  For this reason, we did not study the effect
+of network resource borrowing."
+
+We reproduce that situation faithfully: the exerciser exists, in two of
+the paper's "variants", but no study driver uses it.
+
+* ``udp`` variant — duty-cycled UDP datagrams toward a target address.
+  By default the target is a local discard socket so demos stay on the
+  loopback; pointing it elsewhere is exactly the "impact beyond the
+  client machine" the paper warns about.
+* ``tcp`` variant — a byte stream over a connected TCP socket pair.
+
+Contention level is the fraction of a configured link capacity the
+exerciser attempts to consume, enforced with a token bucket per
+subinterval.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.core.resources import Resource, validate_contention
+from repro.errors import ExerciserError
+
+__all__ = ["NetworkExerciser"]
+
+_CHUNK = 1400  # under typical MTU for the UDP variant
+
+
+class NetworkExerciser:
+    """Live network-bandwidth borrowing via duty-cycled sends."""
+
+    resource = Resource.NETWORK
+
+    def __init__(
+        self,
+        link_capacity_bps: float = 10_000_000.0,
+        variant: str = "udp",
+        target: tuple[str, int] | None = None,
+        subinterval: float = 0.05,
+    ):
+        if link_capacity_bps <= 0:
+            raise ExerciserError(
+                f"link_capacity_bps must be positive, got {link_capacity_bps}"
+            )
+        if variant not in ("udp", "tcp"):
+            raise ExerciserError(f"unknown variant {variant!r}; use udp or tcp")
+        if subinterval <= 0:
+            raise ExerciserError(f"subinterval must be positive, got {subinterval}")
+        self._capacity = float(link_capacity_bps)
+        self._variant = variant
+        self._target = target
+        self._subinterval = float(subinterval)
+        self._level = 0.0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._sender: socket.socket | None = None
+        self._sink: socket.socket | None = None
+        self._drain: socket.socket | None = None
+        self._bytes_sent = 0
+        self._datagrams = 0
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent
+
+    @property
+    def datagrams(self) -> int:
+        """Datagrams (udp) or send() calls (tcp) completed."""
+        return self._datagrams
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    # -- socket plumbing ---------------------------------------------------
+
+    def _open_udp(self) -> None:
+        if self._target is None:
+            # Local discard sink: everything stays on the loopback.
+            self._sink = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            self._sink.bind(("127.0.0.1", 0))
+            self._sink.setblocking(False)
+            target = self._sink.getsockname()
+        else:
+            target = self._target
+        self._sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sender.connect(target)
+        self._sender.setblocking(False)
+
+    def _open_tcp(self) -> None:
+        if self._target is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            self._sender = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._sender.connect(listener.getsockname())
+            self._drain, _ = listener.accept()
+            self._drain.setblocking(False)
+            listener.close()
+        else:
+            self._sender = socket.create_connection(self._target, timeout=5.0)
+        self._sender.setblocking(False)
+
+    def _drain_sink(self) -> None:
+        for sock in (self._sink, self._drain):
+            if sock is None:
+                continue
+            try:
+                while True:
+                    if not sock.recv(65536):
+                        break
+            except (BlockingIOError, OSError):
+                pass
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ExerciserError("network exerciser already started")
+        try:
+            if self._variant == "udp":
+                self._open_udp()
+            else:
+                self._open_tcp()
+        except OSError as exc:
+            raise ExerciserError(f"cannot open sockets: {exc}") from exc
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="uucs-network", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        payload = b"\x00" * _CHUNK
+        while not self._stop.is_set():
+            start = time.perf_counter()
+            budget = int(
+                self._level * self._capacity / 8.0 * self._subinterval
+            )
+            sent = 0
+            while sent < budget and not self._stop.is_set():
+                try:
+                    n = self._sender.send(payload[: min(_CHUNK, budget - sent)])
+                except (BlockingIOError, InterruptedError):
+                    self._drain_sink()
+                    continue
+                except OSError:
+                    return
+                sent += n
+                self._bytes_sent += n
+                self._datagrams += 1
+            self._drain_sink()
+            remainder = self._subinterval - (time.perf_counter() - start)
+            if remainder > 0:
+                self._stop.wait(remainder)
+
+    def set_level(self, level: float) -> None:
+        validate_contention(Resource.NETWORK, level)
+        self._level = float(level)
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        for sock in (self._sender, self._sink, self._drain):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._sender = self._sink = self._drain = None
+
+    def __enter__(self) -> "NetworkExerciser":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,72 @@
+"""Time-based playback of exercise functions (paper §2.2).
+
+"The CPU exerciser implements time-based playback of the exercise
+function": each sample interval, the exerciser's level is set to that
+sample's contention value.  :func:`play` drives any
+:class:`~repro.exercisers.base.Exerciser` through an
+:class:`~repro.core.exercise.ExerciseFunction` in wall-clock time, with an
+optional speed-up for tests and a stop callback for feedback-driven
+termination.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.core.exercise import ExerciseFunction
+from repro.errors import ExerciserError
+from repro.exercisers.base import Exerciser
+
+__all__ = ["play"]
+
+
+def play(
+    function: ExerciseFunction,
+    exerciser: Exerciser,
+    speed: float = 1.0,
+    should_stop: Callable[[float], bool] | None = None,
+) -> float:
+    """Play ``function`` on ``exerciser`` in (scaled) wall-clock time.
+
+    Parameters
+    ----------
+    function:
+        The contention time series to apply.
+    exerciser:
+        A *started* exerciser for the function's resource.
+    speed:
+        Playback speed multiplier (2.0 = twice as fast); tests use large
+        values to compress two-minute testcases into fractions of a second.
+    should_stop:
+        Called with the current offset before each sample; returning True
+        stops playback immediately (the user pressed the hot-key).
+
+    Returns
+    -------
+    float
+        The function-time offset at which playback stopped (the full
+        duration when it was exhausted).
+    """
+    if exerciser.resource is not function.resource:
+        raise ExerciserError(
+            f"exerciser targets {exerciser.resource.value}, function "
+            f"targets {function.resource.value}"
+        )
+    if speed <= 0:
+        raise ExerciserError(f"speed must be positive, got {speed}")
+    dt = 1.0 / function.sample_rate
+    start = time.perf_counter()
+    try:
+        for index, value in enumerate(function.values):
+            offset = index * dt
+            if should_stop is not None and should_stop(offset):
+                return offset
+            exerciser.set_level(float(value))
+            target = (offset + dt) / speed
+            remaining = target - (time.perf_counter() - start)
+            if remaining > 0:
+                time.sleep(remaining)
+        return function.duration
+    finally:
+        exerciser.set_level(0.0)

@@ -1,0 +1,203 @@
+"""Live testcase execution (paper §2.3, on real resources).
+
+The simulated sessions in :mod:`repro.core.session` stand in for most of
+the study; this module is the *real* thing: "the appropriate exercisers
+are started, passed their exercise functions, synchronized, and then let
+run", a monitor records host load, a feedback channel is watched, and on
+feedback "the exercisers are immediately stopped and their resources
+released".
+
+Exercisers are injected through factories so demos can borrow for real
+while tests use tiny pools and accelerated playback.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.feedback import DiscomfortEvent, RunOutcome
+from repro.core.resources import Resource
+from repro.core.run import RunContext, TestcaseRun
+from repro.core.testcase import Testcase
+from repro.errors import ExerciserError
+from repro.exercisers.base import Exerciser
+from repro.exercisers.calibration import CalibrationResult
+from repro.exercisers.cpu import CPUExerciser
+from repro.exercisers.disk import DiskExerciser
+from repro.exercisers.memory import MemoryExerciser
+from repro.monitor.base import Monitor
+from repro.monitor.recorder import LoadRecorder
+
+__all__ = ["ExerciserFactory", "LiveSessionConfig", "run_live_session"]
+
+#: Builds a (not yet started) exerciser for a resource.
+ExerciserFactory = Callable[[Resource], Exerciser]
+
+
+def default_factory(
+    calibration: CalibrationResult | None = None,
+    memory_pool_bytes: int = 64 * 1024 * 1024,
+    disk_file_size: int = 32 * 1024 * 1024,
+) -> ExerciserFactory:
+    """The standard live factory: real CPU/memory/disk exercisers."""
+
+    def build(resource: Resource) -> Exerciser:
+        if resource is Resource.CPU:
+            return CPUExerciser(calibration=calibration)
+        if resource is Resource.MEMORY:
+            return MemoryExerciser(pool_bytes=memory_pool_bytes)
+        if resource is Resource.DISK:
+            return DiskExerciser(file_size=disk_file_size)
+        raise ExerciserError(
+            f"no live exerciser for {resource.value} (the network "
+            "exerciser is excluded from studies, as in the paper)"
+        )
+
+    return build
+
+
+@dataclass(frozen=True)
+class LiveSessionConfig:
+    """Knobs for a live run."""
+
+    #: Playback speed multiplier (tests use large values).
+    speed: float = 1.0
+    #: Monitor sampling rate, Hz (0 disables load recording).
+    monitor_rate: float = 1.0
+    #: Exerciser factory; defaults to the real exercisers.
+    factory: ExerciserFactory = field(default_factory=default_factory)
+
+
+def run_live_session(
+    testcase: Testcase,
+    context: RunContext,
+    feedback_poll: Callable[[], bool],
+    monitor: Monitor | None = None,
+    config: LiveSessionConfig | None = None,
+    run_id: str | None = None,
+) -> TestcaseRun:
+    """Execute ``testcase`` on the real machine.
+
+    ``feedback_poll`` is the hot-key: it is called repeatedly (from the
+    playback threads, once per sample) and returning True expresses
+    discomfort — all exercisers stop immediately and the offset plus the
+    contention levels in effect are recorded, exactly as §2.3 describes.
+    """
+    if config is None:
+        config = LiveSessionConfig()
+    if config.speed <= 0:
+        raise ExerciserError(f"speed must be positive, got {config.speed}")
+
+    exercisers: dict[Resource, Exerciser] = {
+        resource: config.factory(resource)
+        for resource in testcase.functions
+    }
+    recorder: LoadRecorder | None = None
+    if monitor is not None and config.monitor_rate > 0:
+        recorder = LoadRecorder(
+            monitor, sample_rate=config.monitor_rate * config.speed
+        )
+
+    stop_flag = threading.Event()
+    feedback_offset: list[float] = []
+    lock = threading.Lock()
+
+    def should_stop(offset: float) -> bool:
+        if stop_flag.is_set():
+            return True
+        if feedback_poll():
+            with lock:
+                if not feedback_offset:
+                    feedback_offset.append(offset)
+            stop_flag.set()
+            return True
+        return False
+
+    # One playback thread per exercised resource ("started, passed their
+    # exercise functions, synchronized, and then let run").
+    from repro.exercisers.playback import play
+
+    threads: list[threading.Thread] = []
+    errors: list[Exception] = []
+    barrier = threading.Barrier(len(exercisers) + 1)
+
+    def playback(resource: Resource) -> None:
+        exerciser = exercisers[resource]
+        try:
+            exerciser.start()
+            barrier.wait(timeout=30.0)
+            play(
+                testcase.functions[resource],
+                exerciser,
+                speed=config.speed,
+                should_stop=should_stop,
+            )
+        except Exception as exc:  # surfaced after join
+            errors.append(exc)
+            stop_flag.set()
+        finally:
+            try:
+                exerciser.stop()
+            except Exception as exc:
+                errors.append(exc)
+
+    try:
+        for resource in exercisers:
+            thread = threading.Thread(
+                target=playback, args=(resource,),
+                name=f"uucs-play-{resource.value}", daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        barrier.wait(timeout=30.0)
+        if recorder is not None:
+            recorder.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        if recorder is not None:
+            recorder.stop()
+        for exerciser in exercisers.values():
+            exerciser.stop()
+    if errors:
+        raise ExerciserError(f"live session failed: {errors[0]}") from errors[0]
+
+    if feedback_offset:
+        offset = min(feedback_offset[0], testcase.duration)
+        outcome = RunOutcome.DISCOMFORT
+        event: DiscomfortEvent | None = DiscomfortEvent(
+            offset=offset,
+            levels=testcase.levels_at(offset),
+            source="live",
+        )
+    else:
+        offset = testcase.duration
+        outcome = RunOutcome.EXHAUSTED
+        event = None
+
+    load_trace: Mapping[str, tuple[float, ...]] = {}
+    trace_rate = testcase.sample_rate
+    if recorder is not None and len(recorder):
+        trace = recorder.trace()
+        load_trace = trace.as_run_trace()
+        trace_rate = config.monitor_rate
+
+    return TestcaseRun(
+        run_id=run_id if run_id is not None else TestcaseRun.new_run_id(),
+        testcase_id=testcase.testcase_id,
+        context=context,
+        outcome=outcome,
+        end_offset=offset,
+        testcase_duration=testcase.duration,
+        shapes={r: fn.shape for r, fn in testcase.functions.items()},
+        levels_at_end=testcase.levels_at(offset),
+        last_values={
+            r: tuple(v) for r, v in testcase.last_values(offset).items()
+        },
+        feedback=event,
+        load_trace=load_trace,
+        load_trace_rate=trace_rate,
+    )

@@ -1,0 +1,37 @@
+"""Simulated host substrate.
+
+The paper ran on real Windows XP desktops (Figure 7).  This subpackage
+models the host analytically, implementing exactly the contention semantics
+the paper's exercisers were verified to produce (§2.2): equal-priority CPU
+sharing (``rate = 1/(1+c)``), physical-memory borrowing with paging
+pressure, and disk-bandwidth sharing.  The simulated machine turns applied
+contention into foreground *interactivity* (slowdown, jitter), which the
+synthetic users in :mod:`repro.users` perceive.
+"""
+
+from repro.machine.disk import disk_slowdown
+from repro.machine.interaction import (
+    HCI_COMFORT_LIMIT,
+    HCI_TOLERANCE_LIMIT,
+    LatencyTrace,
+    simulate_interaction_latencies,
+)
+from repro.machine.machine import LoadSample, SimulatedMachine
+from repro.machine.memory import MemoryPressure, memory_pressure
+from repro.machine.scheduler import cpu_share, cpu_slowdown
+from repro.machine.specs import MachineSpec
+
+__all__ = [
+    "HCI_COMFORT_LIMIT",
+    "HCI_TOLERANCE_LIMIT",
+    "LatencyTrace",
+    "LoadSample",
+    "MachineSpec",
+    "MemoryPressure",
+    "SimulatedMachine",
+    "cpu_share",
+    "cpu_slowdown",
+    "disk_slowdown",
+    "memory_pressure",
+    "simulate_interaction_latencies",
+]

@@ -1,0 +1,38 @@
+"""Disk-bandwidth sharing model (paper §2.2).
+
+The disk exerciser creates contention "nearly identically to the CPU
+exerciser" in effect: contention ``c`` slows "the I/O of another I/O-busy
+thread similarly", i.e. an I/O-saturated foreground task completes I/O at
+rate ``1/(1+c)``.  A task that is only partly I/O-bound is slowed only on
+its I/O component; interactions with no disk work are untouched.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+__all__ = ["disk_slowdown"]
+
+
+def disk_slowdown(io_fraction: float, contention: float) -> float:
+    """Latency inflation of a task whose interactions are partly disk-bound.
+
+    Parameters
+    ----------
+    io_fraction:
+        Fraction of interaction latency attributable to disk I/O on an
+        uncontended machine, in [0, 1].
+    contention:
+        Disk exerciser contention level (competing I/O-task equivalents).
+
+    Returns
+    -------
+    float
+        ``(1 - f) + f * (1 + c)``: the CPU part of the interaction is
+        unchanged, the I/O part inflates by ``1 + c``.
+    """
+    if not 0.0 <= io_fraction <= 1.0:
+        raise ValidationError(f"io_fraction must be in [0,1], got {io_fraction}")
+    if contention < 0:
+        raise ValidationError(f"contention must be >= 0, got {contention}")
+    return (1.0 - io_fraction) + io_fraction * (1.0 + contention)

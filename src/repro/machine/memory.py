@@ -1,0 +1,87 @@
+"""Physical-memory borrowing model (paper §2.2).
+
+The memory exerciser "interprets contention as the fraction of physical
+memory it should attempt to allocate" and touches that fraction at high
+frequency, inflating its working set to it.  Borrowing is harmless until the
+sum of resident sets exceeds physical memory; beyond that, the victim is
+whoever touches cold pages — applications with *dynamic* working sets (IE,
+Quake) fault far more than ones that touched their whole set long ago
+(Word, Powerpoint), which is exactly the paper's §3.3.3 observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.machine.specs import MachineSpec
+
+__all__ = ["MemoryPressure", "memory_pressure"]
+
+
+@dataclass(frozen=True)
+class MemoryPressure:
+    """Paging state of the simulated host under memory borrowing."""
+
+    #: Fraction of physical memory demanded beyond capacity (>= 0).
+    overflow: float
+    #: Fraction of the *application's* working set forced out.
+    app_eviction: float
+    #: Multiplicative foreground slowdown from page faults (>= 1).
+    slowdown: float
+    #: Extra jitter contributed by paging, in [0, 1].
+    jitter: float
+
+
+def memory_pressure(
+    spec: MachineSpec,
+    working_set: float,
+    dynamism: float,
+    borrowed: float,
+    page_weight: float = 1.0,
+) -> MemoryPressure:
+    """Paging impact of borrowing a fraction ``borrowed`` of memory.
+
+    Parameters
+    ----------
+    spec:
+        Host description (supplies OS residency and page-fault penalty).
+    working_set:
+        Application working set as a fraction of physical memory on the
+        study machine (scaled by the host's actual memory).
+    dynamism:
+        Fraction of the working set the application re-touches per
+        interaction; static sets (formed long ago) have low dynamism.
+    borrowed:
+        Memory exerciser contention level: fraction of physical memory
+        borrowed, in [0, 1].
+    page_weight:
+        Scales the penalty (ablation hook).
+    """
+    if not 0.0 <= borrowed <= 1.0:
+        raise ValidationError(f"borrowed fraction must be in [0,1], got {borrowed}")
+    if not 0.0 < working_set <= 1.0:
+        raise ValidationError(f"working_set must be in (0,1], got {working_set}")
+    if not 0.0 <= dynamism <= 1.0:
+        raise ValidationError(f"dynamism must be in [0,1], got {dynamism}")
+    # Scale the app's study-machine working set to this host's memory.
+    ws = min(1.0, working_set * 512.0 / spec.memory_mb)
+    total = ws + spec.os_resident_fraction + borrowed
+    overflow = max(0.0, total - 1.0)
+    if overflow == 0.0:
+        return MemoryPressure(0.0, 0.0, 1.0, 0.0)
+    # The app and OS yield pages proportionally to their resident share;
+    # the exerciser keeps touching its pool, so it evicts others.
+    evictable = ws + spec.os_resident_fraction
+    app_eviction = min(1.0, (overflow * ws / evictable) / ws)
+    # Each interaction re-touches dynamism * ws of the set; the evicted part
+    # faults at page_fault_penalty cost relative to a warm touch.
+    fault_fraction = dynamism * app_eviction
+    slowdown = 1.0 + page_weight * spec.page_fault_penalty * fault_fraction
+    jitter = min(1.0, 0.5 * fault_fraction * spec.page_fault_penalty / 10.0)
+    return MemoryPressure(
+        overflow=overflow,
+        app_eviction=app_eviction,
+        slowdown=slowdown,
+        jitter=jitter,
+    )

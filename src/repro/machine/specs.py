@@ -1,0 +1,107 @@
+"""Machine specifications.
+
+:class:`MachineSpec` captures the hardware parameters the contention models
+need.  :meth:`MachineSpec.dell_gx270` is the controlled study's machine
+(Figure 7: 2.0 GHz P4, 512 MB, 80 GB, Dell Optiplex GX270, Windows XP);
+the other constructors give the heterogeneity used by the Internet-wide
+study simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = ["MachineSpec"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a (simulated) host."""
+
+    name: str
+    #: Single-thread CPU speed relative to the study machine (2.0 GHz P4 = 1).
+    cpu_speed: float = 1.0
+    #: Physical memory, MB.
+    memory_mb: int = 512
+    #: Disk capacity, GB.
+    disk_gb: int = 80
+    #: Sequential disk bandwidth, MB/s, relative sharing base.
+    disk_bandwidth_mbps: float = 40.0
+    #: Fraction of physical memory held by the OS and resident services.
+    os_resident_fraction: float = 0.25
+    #: Relative cost of servicing a page fault (higher = slower disk/paging).
+    page_fault_penalty: float = 18.0
+    #: Background jitter of the otherwise-quiescent machine, in [0, 1].
+    baseline_jitter: float = 0.02
+    #: Operating system tag (recorded in registration snapshots).
+    os_name: str = "windows-xp"
+    #: Installed applications (Figure 7 lists the study software).
+    installed: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.cpu_speed <= 0:
+            raise ValidationError(f"cpu_speed must be positive, got {self.cpu_speed}")
+        if self.memory_mb <= 0 or self.disk_gb <= 0:
+            raise ValidationError("memory_mb and disk_gb must be positive")
+        if not 0.0 <= self.os_resident_fraction < 1.0:
+            raise ValidationError(
+                f"os_resident_fraction must be in [0,1), got "
+                f"{self.os_resident_fraction}"
+            )
+        if not 0.0 <= self.baseline_jitter <= 1.0:
+            raise ValidationError("baseline_jitter must be in [0,1]")
+
+    @classmethod
+    def dell_gx270(cls) -> "MachineSpec":
+        """The controlled study machine (Figure 7)."""
+        return cls(
+            name="dell-gx270",
+            cpu_speed=1.0,
+            memory_mb=512,
+            disk_gb=80,
+            disk_bandwidth_mbps=40.0,
+            installed=("word-2002", "powerpoint-2002", "ie6", "quake3"),
+        )
+
+    @classmethod
+    def random_internet_host(cls, seed: SeedLike = None) -> "MachineSpec":
+        """A heterogeneous host for the Internet-wide study simulation.
+
+        Speeds, memory, and disks span the range of circa-2004 consumer
+        machines; raw-host-speed effects (paper question 6) need this
+        spread.
+        """
+        rng = ensure_rng(seed)
+        speed = float(np.exp(rng.normal(0.0, 0.45)))
+        memory = int(rng.choice([128, 256, 512, 1024, 2048]))
+        disk = int(rng.choice([20, 40, 80, 120, 200]))
+        return cls(
+            name=f"inet-host-{rng.integers(0, 1 << 32):08x}",
+            cpu_speed=max(0.2, speed),
+            memory_mb=memory,
+            disk_gb=disk,
+            disk_bandwidth_mbps=float(rng.uniform(15.0, 60.0)),
+            os_resident_fraction=float(rng.uniform(0.15, 0.4)),
+            baseline_jitter=float(rng.uniform(0.0, 0.06)),
+        )
+
+    def scaled(self, cpu_speed: float | None = None) -> "MachineSpec":
+        """Copy with a different CPU speed (raw-host-power experiments)."""
+        return replace(self, cpu_speed=cpu_speed if cpu_speed else self.cpu_speed)
+
+    def snapshot(self) -> dict[str, str]:
+        """The registration snapshot the client sends to the server (§2)."""
+        return {
+            "name": self.name,
+            "cpu_speed": f"{self.cpu_speed:g}",
+            "memory_mb": str(self.memory_mb),
+            "disk_gb": str(self.disk_gb),
+            "disk_bandwidth_mbps": f"{self.disk_bandwidth_mbps:g}",
+            "os": self.os_name,
+            "installed": ",".join(self.installed),
+        }

@@ -1,0 +1,22 @@
+"""System monitoring (paper §2.3).
+
+The UUCS client stores "CPU, memory and Disk load measurements for [the]
+entire duration of the testcase" with each run.  Two monitor
+implementations share one interface: :class:`ProcfsMonitor` samples the
+real host via Linux ``/proc`` (the reproduction's stand-in for the paper's
+Windows performance counters), and :class:`SimulatedMonitor` reads the
+simulated machine.  :class:`LoadRecorder` turns either into a sampled
+trace.
+"""
+
+from repro.monitor.base import Monitor, SimulatedMonitor
+from repro.monitor.procfs import ProcfsMonitor
+from repro.monitor.recorder import LoadRecorder, LoadTrace
+
+__all__ = [
+    "LoadRecorder",
+    "LoadTrace",
+    "Monitor",
+    "ProcfsMonitor",
+    "SimulatedMonitor",
+]

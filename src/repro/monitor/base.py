@@ -1,0 +1,42 @@
+"""Monitor interface and the simulated-machine monitor."""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.apps.base import TaskModel
+from repro.core.resources import Resource
+from repro.machine.machine import LoadSample, SimulatedMachine
+
+__all__ = ["Monitor", "SimulatedMonitor"]
+
+
+@runtime_checkable
+class Monitor(Protocol):
+    """Anything that can produce an instantaneous load sample."""
+
+    def sample(self) -> LoadSample:
+        """Current CPU, memory, and disk load."""
+        ...
+
+
+class SimulatedMonitor:
+    """Monitor over a simulated machine.
+
+    The contention levels "currently applied" are set by the session loop
+    via :meth:`set_levels`, mirroring how the real monitor would observe
+    exerciser activity.
+    """
+
+    def __init__(
+        self, machine: SimulatedMachine, task: TaskModel | None = None
+    ):
+        self._machine = machine
+        self._task = task
+        self._levels: dict[Resource, float] = {}
+
+    def set_levels(self, levels: Mapping[Resource, float]) -> None:
+        self._levels = dict(levels)
+
+    def sample(self) -> LoadSample:
+        return self._machine.sample_load(self._task, self._levels)

@@ -1,0 +1,115 @@
+"""Linux ``/proc`` host monitor.
+
+Samples real CPU utilization (``/proc/stat``), memory use
+(``/proc/meminfo``), and disk utilization (``/proc/diskstats`` I/O-ticks)
+— the reproduction's equivalent of the Windows performance counters the
+paper's client monitored.  CPU and disk figures are rate-based, computed
+from deltas between consecutive samples.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.errors import MonitorError
+from repro.machine.machine import LoadSample
+
+__all__ = ["ProcfsMonitor"]
+
+
+def _read_cpu_times(stat_text: str) -> tuple[float, float]:
+    """(busy, total) jiffies from the aggregate ``cpu`` line."""
+    for line in stat_text.splitlines():
+        if line.startswith("cpu "):
+            fields = [float(x) for x in line.split()[1:]]
+            if len(fields) < 4:
+                raise MonitorError("short cpu line in /proc/stat")
+            idle = fields[3] + (fields[4] if len(fields) > 4 else 0.0)
+            total = sum(fields)
+            return total - idle, total
+    raise MonitorError("no aggregate cpu line in /proc/stat")
+
+
+def _read_meminfo(meminfo_text: str) -> float:
+    """Fraction of physical memory in use (1 - available/total)."""
+    values: dict[str, float] = {}
+    for line in meminfo_text.splitlines():
+        key, _, rest = line.partition(":")
+        parts = rest.split()
+        if parts:
+            values[key.strip()] = float(parts[0])
+    try:
+        total = values["MemTotal"]
+        available = values.get("MemAvailable")
+        if available is None:
+            available = values["MemFree"] + values.get("Cached", 0.0)
+    except KeyError as exc:
+        raise MonitorError(f"missing {exc} in /proc/meminfo") from exc
+    if total <= 0:
+        raise MonitorError("MemTotal is zero")
+    return max(0.0, min(1.0, 1.0 - available / total))
+
+
+def _read_io_ticks(diskstats_text: str) -> float:
+    """Total milliseconds spent doing I/O, summed over physical disks."""
+    ticks = 0.0
+    for line in diskstats_text.splitlines():
+        fields = line.split()
+        if len(fields) < 13:
+            continue
+        name = fields[2]
+        # Skip partitions, loop and ram devices; keep whole disks.
+        if name.startswith(("loop", "ram", "dm-", "zram")):
+            continue
+        if name[-1].isdigit() and not name.startswith("nvme"):
+            continue
+        ticks += float(fields[12])
+    return ticks
+
+
+class ProcfsMonitor:
+    """Real-host monitor reading the Linux proc filesystem."""
+
+    def __init__(self, proc_root: str | Path = "/proc"):
+        self._root = Path(proc_root)
+        if not (self._root / "stat").exists():
+            raise MonitorError(f"{proc_root} has no 'stat'; not a procfs?")
+        self._last_cpu: tuple[float, float] | None = None
+        self._last_io: tuple[float, float] | None = None  # (ticks_ms, wall_s)
+
+    def _read(self, name: str) -> str:
+        try:
+            return (self._root / name).read_text()
+        except OSError as exc:
+            raise MonitorError(f"cannot read /proc/{name}: {exc}") from exc
+
+    def sample(self) -> LoadSample:
+        """One load sample; CPU/disk rates need a prior call to be nonzero."""
+        busy, total = _read_cpu_times(self._read("stat"))
+        cpu = 0.0
+        if self._last_cpu is not None:
+            d_busy = busy - self._last_cpu[0]
+            d_total = total - self._last_cpu[1]
+            if d_total > 0:
+                cpu = max(0.0, min(1.0, d_busy / d_total))
+        self._last_cpu = (busy, total)
+
+        memory = _read_meminfo(self._read("meminfo"))
+
+        disk = 0.0
+        now = time.monotonic()
+        try:
+            ticks = _read_io_ticks(self._read("diskstats"))
+        except MonitorError:
+            ticks = 0.0
+        if self._last_io is not None:
+            d_ticks = ticks - self._last_io[0]
+            d_wall = (now - self._last_io[1]) * 1000.0
+            if d_wall > 0:
+                disk = max(0.0, min(1.0, d_ticks / d_wall))
+        self._last_io = (ticks, now)
+
+        return LoadSample(
+            cpu_utilization=cpu, memory_used=memory, disk_utilization=disk
+        )

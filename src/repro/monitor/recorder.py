@@ -1,0 +1,108 @@
+"""Recording load traces during a run.
+
+:class:`LoadRecorder` samples a monitor at a fixed rate — synchronously
+(:meth:`sample_once`, used by simulations whose time is virtual) or from a
+background thread (:meth:`start`/:meth:`stop`, used with real exercisers)
+— and yields a :class:`LoadTrace` ready to attach to a
+:class:`~repro.core.run.TestcaseRun`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MonitorError
+from repro.monitor.base import Monitor
+from repro.util.timeseries import SampledSeries
+
+__all__ = ["LoadRecorder", "LoadTrace"]
+
+
+@dataclass(frozen=True)
+class LoadTrace:
+    """Sampled CPU/memory/disk load over one run."""
+
+    cpu: SampledSeries
+    memory: SampledSeries
+    disk: SampledSeries
+
+    @property
+    def sample_rate(self) -> float:
+        return self.cpu.sample_rate
+
+    def as_run_trace(self) -> dict[str, tuple[float, ...]]:
+        """The mapping stored in ``TestcaseRun.load_trace``."""
+        return {
+            "load_cpu": tuple(float(v) for v in self.cpu.values),
+            "load_memory": tuple(float(v) for v in self.memory.values),
+            "load_disk": tuple(float(v) for v in self.disk.values),
+        }
+
+
+class LoadRecorder:
+    """Accumulates monitor samples into a trace."""
+
+    def __init__(self, monitor: Monitor, sample_rate: float = 1.0):
+        if sample_rate <= 0:
+            raise MonitorError(f"sample_rate must be positive, got {sample_rate}")
+        self._monitor = monitor
+        self._rate = float(sample_rate)
+        self._cpu: list[float] = []
+        self._memory: list[float] = []
+        self._disk: list[float] = []
+        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+
+    # -- synchronous use (simulated time) ---------------------------------
+
+    def sample_once(self) -> None:
+        """Take one sample now (the caller owns the clock)."""
+        sample = self._monitor.sample()
+        self._cpu.append(sample.cpu_utilization)
+        self._memory.append(sample.memory_used)
+        self._disk.append(sample.disk_utilization)
+
+    # -- threaded use (wall-clock time) ------------------------------------
+
+    def start(self) -> None:
+        """Begin sampling on a background thread at the configured rate."""
+        if self._thread is not None:
+            raise MonitorError("recorder already started")
+        self._stop_event.clear()
+
+        def _loop() -> None:
+            period = 1.0 / self._rate
+            while not self._stop_event.wait(period):
+                self.sample_once()
+
+        self._thread = threading.Thread(
+            target=_loop, name="uucs-load-recorder", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop background sampling (idempotent)."""
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    # -- results --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cpu)
+
+    def trace(self) -> LoadTrace:
+        """The recorded trace; requires at least one sample."""
+        if not self._cpu:
+            raise MonitorError("no samples recorded")
+        return LoadTrace(
+            cpu=SampledSeries(self._rate, np.array(self._cpu)),
+            memory=SampledSeries(self._rate, np.array(self._memory)),
+            disk=SampledSeries(self._rate, np.array(self._disk)),
+        )

@@ -1,0 +1,173 @@
+"""The paper's published results, transcribed as data.
+
+Two distinct consumers use these tables:
+
+* :mod:`repro.users.tolerance` *calibrates* the synthetic user population
+  from them (our substitute for 33 human participants — see DESIGN.md §2);
+* :mod:`repro.analysis.compare` checks regenerated tables against them
+  (EXPERIMENTS.md's paper-vs-measured columns).
+
+Keeping the numbers in one module makes the substitution auditable: the
+analysis pipeline itself never reads this module.
+
+Figure and table numbers refer to the HPDC 2004 paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.resources import Resource
+
+__all__ = [
+    "BLANK_DISCOMFORT_PROB",
+    "CELL_TABLE",
+    "FIG9_COUNTS",
+    "FIG13_SENSITIVITY",
+    "FIG17_SKILL_DIFFS",
+    "FROG_IN_POT",
+    "PaperCell",
+    "RAMP_PARAMS",
+    "STEP_PARAMS",
+    "STUDY_TASKS",
+    "cell",
+]
+
+#: Task names in the controlled-study protocol order (§3.1).
+STUDY_TASKS: tuple[str, ...] = ("word", "powerpoint", "ie", "quake")
+
+#: "Total" row/aggregate key used throughout the paper's tables.
+TOTAL = "total"
+
+
+@dataclass(frozen=True)
+class PaperCell:
+    """One (task, resource) cell of Figures 14-16.
+
+    ``None`` encodes the paper's ``*`` ("insufficient information").
+    """
+
+    task: str
+    resource: Resource
+    f_d: float
+    c_05: float | None
+    c_a: float | None
+    c_a_low: float | None = None
+    c_a_high: float | None = None
+
+
+# Figure 14 (f_d), Figure 15 (c_0.05), Figure 16 (c_a with 95 % CI).
+_CELLS: tuple[PaperCell, ...] = (
+    PaperCell("word", Resource.CPU, 0.71, 3.06, 4.35, 3.97, 4.72),
+    PaperCell("word", Resource.MEMORY, 0.00, None, None, None, None),
+    PaperCell("word", Resource.DISK, 0.10, 3.28, 4.20, 1.89, 6.51),
+    PaperCell("powerpoint", Resource.CPU, 0.95, 1.00, 1.17, 1.11, 1.24),
+    PaperCell("powerpoint", Resource.MEMORY, 0.07, 0.64, 0.64, 0.21, 1.06),
+    PaperCell("powerpoint", Resource.DISK, 0.17, 3.84, 4.65, 3.67, 5.63),
+    PaperCell("ie", Resource.CPU, 0.75, 0.61, 1.20, 1.07, 1.33),
+    PaperCell("ie", Resource.MEMORY, 0.30, 0.31, 0.55, 0.39, 0.71),
+    PaperCell("ie", Resource.DISK, 0.61, 2.02, 3.11, 2.69, 3.52),
+    PaperCell("quake", Resource.CPU, 0.95, 0.18, 0.64, 0.58, 0.69),
+    PaperCell("quake", Resource.MEMORY, 0.45, 0.08, 0.55, 0.37, 0.74),
+    PaperCell("quake", Resource.DISK, 0.29, 0.69, 1.19, 0.86, 1.52),
+    PaperCell(TOTAL, Resource.CPU, 0.86, 0.35, 1.47, 1.31, 1.64),
+    PaperCell(TOTAL, Resource.MEMORY, 0.21, 0.33, 0.58, 0.46, 0.71),
+    PaperCell(TOTAL, Resource.DISK, 0.33, 1.11, 2.97, 2.54, 3.41),
+)
+
+#: All Figure 14-16 cells keyed by (task, resource).
+CELL_TABLE: dict[tuple[str, Resource], PaperCell] = {
+    (c.task, c.resource): c for c in _CELLS
+}
+
+
+def cell(task: str, resource: Resource) -> PaperCell:
+    """The published (task, resource) cell; ``task='total'`` for aggregates."""
+    return CELL_TABLE[(task, resource)]
+
+
+# Figure 8: ramp(x, t) parameters per (task, resource).
+RAMP_PARAMS: dict[tuple[str, Resource], tuple[float, float]] = {
+    ("word", Resource.CPU): (7.0, 120.0),
+    ("word", Resource.DISK): (7.0, 120.0),
+    ("word", Resource.MEMORY): (1.0, 120.0),
+    ("powerpoint", Resource.CPU): (2.0, 120.0),
+    ("powerpoint", Resource.DISK): (8.0, 120.0),
+    ("powerpoint", Resource.MEMORY): (1.0, 120.0),
+    ("ie", Resource.CPU): (2.0, 120.0),
+    ("ie", Resource.DISK): (5.0, 120.0),
+    ("ie", Resource.MEMORY): (1.0, 120.0),
+    ("quake", Resource.CPU): (1.3, 120.0),
+    ("quake", Resource.DISK): (5.0, 120.0),
+    ("quake", Resource.MEMORY): (1.0, 120.0),
+}
+
+# Figure 8: step(x, t, b) parameters per (task, resource).
+STEP_PARAMS: dict[tuple[str, Resource], tuple[float, float, float]] = {
+    ("word", Resource.CPU): (5.5, 120.0, 40.0),
+    ("word", Resource.DISK): (5.0, 120.0, 40.0),
+    ("word", Resource.MEMORY): (1.0, 120.0, 40.0),
+    ("powerpoint", Resource.CPU): (0.98, 120.0, 40.0),
+    ("powerpoint", Resource.DISK): (6.0, 120.0, 40.0),
+    ("powerpoint", Resource.MEMORY): (1.0, 120.0, 40.0),
+    ("ie", Resource.CPU): (1.0, 120.0, 40.0),
+    ("ie", Resource.DISK): (4.0, 120.0, 40.0),
+    ("ie", Resource.MEMORY): (1.0, 120.0, 40.0),
+    ("quake", Resource.CPU): (0.5, 120.0, 40.0),
+    ("quake", Resource.DISK): (5.0, 120.0, 40.0),
+    ("quake", Resource.MEMORY): (1.0, 120.0, 40.0),
+}
+
+#: Figure 9: probability of discomfort during a *blank* testcase, per task
+#: ("users exhibit this behavior only in IE and Quake").
+BLANK_DISCOMFORT_PROB: dict[str, float] = {
+    "word": 0.00,
+    "powerpoint": 0.00,
+    "ie": 0.22,
+    "quake": 0.30,
+}
+
+#: Figure 9: (discomforted, exhausted) run counts, non-blank and blank.
+FIG9_COUNTS: dict[str, dict[str, tuple[int, int]]] = {
+    TOTAL: {"nonblank": (295, 47), "blank": (33, 212)},
+    "word": {"nonblank": (48, 20), "blank": (0, 59)},
+    "powerpoint": {"nonblank": (71, 4), "blank": (0, 60)},
+    "ie": {"nonblank": (50, 17), "blank": (14, 50)},
+    "quake": {"nonblank": (126, 6), "blank": (19, 43)},
+}
+
+#: Figure 13: qualitative sensitivity (Low/Medium/High) by task & resource.
+FIG13_SENSITIVITY: dict[tuple[str, Resource], str] = {
+    ("word", Resource.CPU): "L",
+    ("word", Resource.MEMORY): "L",
+    ("word", Resource.DISK): "L",
+    ("powerpoint", Resource.CPU): "M",
+    ("powerpoint", Resource.MEMORY): "L",
+    ("powerpoint", Resource.DISK): "L",
+    ("ie", Resource.CPU): "M",
+    ("ie", Resource.MEMORY): "M",
+    ("ie", Resource.DISK): "H",
+    ("quake", Resource.CPU): "H",
+    ("quake", Resource.MEMORY): "M",
+    ("quake", Resource.DISK): "M",
+}
+
+#: Figure 17: significant skill-level differences.  Each entry:
+#: (task, resource, rating category, higher group, lower group, p, diff).
+FIG17_SKILL_DIFFS: tuple[tuple[str, Resource, str, str, str, float, float], ...] = (
+    ("quake", Resource.CPU, "pc", "power", "typical", 0.006, 0.176),
+    ("quake", Resource.CPU, "windows", "power", "typical", 0.031, 0.137),
+    ("quake", Resource.CPU, "quake", "power", "typical", 0.001, 0.224),
+    ("quake", Resource.CPU, "quake", "typical", "beginner", 0.031, 0.139),
+    ("ie", Resource.DISK, "windows", "power", "typical", 0.004, 1.114),
+    ("ie", Resource.MEMORY, "windows", "power", "typical", 0.011, 0.354),
+)
+
+#: §3.3.5: the frog-in-pot observation for Powerpoint/CPU — 96 % of users
+#: tolerated a higher level on the ramp than the step, mean contention
+#: difference 0.22, p = 0.0001.
+FROG_IN_POT: dict[str, float] = {
+    "fraction_higher_on_ramp": 0.96,
+    "mean_difference": 0.22,
+    "p_value": 0.0001,
+}

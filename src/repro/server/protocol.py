@@ -1,0 +1,101 @@
+"""The UUCS wire protocol.
+
+Newline-delimited JSON messages; both interactions are client initiated
+(§2):
+
+* ``register``: the client sends its machine snapshot, the server replies
+  ``registered`` with the client's GUID.
+* ``sync`` ("hot sync"): the client sends its GUID, the testcase ids it
+  already holds, any new results, and how many new testcases it wants; the
+  server replies ``sync_ok`` with fresh testcases (text format) and the
+  number of results accepted.
+
+Errors come back as ``{"type": "error", "reason": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ProtocolError
+
+__all__ = ["Message", "decode_message", "encode_message"]
+
+#: Message types a client may send.
+REQUEST_TYPES = ("register", "sync", "ping")
+#: Message types a server may send.
+RESPONSE_TYPES = ("registered", "sync_ok", "pong", "error")
+
+_MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message: a type tag plus a JSON-safe payload."""
+
+    type: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.type not in REQUEST_TYPES + RESPONSE_TYPES:
+            raise ProtocolError(f"unknown message type {self.type!r}")
+
+    @property
+    def is_request(self) -> bool:
+        return self.type in REQUEST_TYPES
+
+    @property
+    def is_error(self) -> bool:
+        return self.type == "error"
+
+    def expect(self, expected_type: str) -> "Message":
+        """Assert this message has ``expected_type``; surface errors."""
+        if self.type == "error":
+            raise ProtocolError(
+                f"server error: {self.payload.get('reason', 'unknown')}"
+            )
+        if self.type != expected_type:
+            raise ProtocolError(
+                f"expected {expected_type!r}, got {self.type!r}"
+            )
+        return self
+
+    @staticmethod
+    def error(reason: str) -> "Message":
+        return Message("error", {"reason": reason})
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize to one newline-terminated JSON line."""
+    data = json.dumps(
+        {"type": message.type, **dict(message.payload)}, sort_keys=True
+    )
+    raw = data.encode()
+    if len(raw) > _MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(raw)} bytes exceeds the {_MAX_MESSAGE_BYTES} cap"
+        )
+    return raw + b"\n"
+
+
+def decode_message(line: bytes | str) -> Message:
+    """Parse one JSON line into a :class:`Message`."""
+    if isinstance(line, bytes):
+        if len(line) > _MAX_MESSAGE_BYTES:
+            raise ProtocolError("oversized message")
+        line = line.decode(errors="replace")
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON message: {exc}") from exc
+    if not isinstance(data, dict) or "type" not in data:
+        raise ProtocolError("message must be a JSON object with a 'type'")
+    msg_type = data.pop("type")
+    if not isinstance(msg_type, str):
+        raise ProtocolError("message 'type' must be a string")
+    try:
+        return Message(msg_type, data)
+    except ProtocolError:
+        raise

@@ -1,0 +1,111 @@
+"""Client registration (paper §2).
+
+"When the client is initially run, it registers with the server, providing
+it with a detailed snapshot of the hardware and software of the client
+machine, and allowing the server to associate a globally unique identifier
+with the client."
+
+Registrations persist as JSON lines so the server can restart without
+losing its client population.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import RegistrationError, StoreError
+
+__all__ = ["ClientRecord", "ClientRegistry"]
+
+
+@dataclass(frozen=True)
+class ClientRecord:
+    """One registered client."""
+
+    client_id: str
+    snapshot: Mapping[str, str] = field(default_factory=dict)
+    registered_at: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "client_id": self.client_id,
+                "snapshot": dict(self.snapshot),
+                "registered_at": self.registered_at,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClientRecord":
+        try:
+            data = json.loads(text)
+            return cls(
+                client_id=str(data["client_id"]),
+                snapshot={
+                    str(k): str(v) for k, v in dict(data.get("snapshot", {})).items()
+                },
+                registered_at=float(data.get("registered_at", 0.0)),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise RegistrationError(f"bad client record: {exc}") from exc
+
+
+class ClientRegistry:
+    """Persistent map of client GUIDs to registration snapshots."""
+
+    def __init__(self, root: str | Path | None = None):
+        self._records: dict[str, ClientRecord] = {}
+        self._path: Path | None = None
+        if root is not None:
+            root = Path(root)
+            try:
+                root.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise StoreError(f"cannot create registry at {root}: {exc}") from exc
+            self._path = root / "registrations.jsonl"
+            self._load()
+
+    def _load(self) -> None:
+        if self._path is None or not self._path.exists():
+            return
+        with self._path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    record = ClientRecord.from_json(line)
+                    self._records[record.client_id] = record
+
+    def register(
+        self, snapshot: Mapping[str, str], now: float = 0.0
+    ) -> ClientRecord:
+        """Register a client, assigning a fresh GUID."""
+        record = ClientRecord(
+            client_id=uuid.uuid4().hex,
+            snapshot={str(k): str(v) for k, v in snapshot.items()},
+            registered_at=float(now),
+        )
+        self._records[record.client_id] = record
+        if self._path is not None:
+            with self._path.open("a") as fh:
+                fh.write(record.to_json() + "\n")
+        return record
+
+    def lookup(self, client_id: str) -> ClientRecord:
+        try:
+            return self._records[client_id]
+        except KeyError:
+            raise RegistrationError(f"unknown client {client_id!r}") from None
+
+    def __contains__(self, client_id: str) -> bool:
+        return client_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def client_ids(self) -> list[str]:
+        return sorted(self._records)

@@ -1,0 +1,57 @@
+"""Growing random testcase samples (paper §2).
+
+"Hot syncing ... acquires a growing random sample of testcases from the
+server.  This, combined with local random choice of testcases and Poisson
+arrivals of testcase execution, is designed to make a collection of clients
+execute a random sample with respect to testcases, users, and times."
+
+The sampler is stateless with respect to clients: the client reports which
+testcase ids it already holds, and the sampler draws uniformly from the
+remainder.  New testcases added to the server thus automatically enter the
+pool.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ValidationError
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = ["GrowingSampler"]
+
+
+class GrowingSampler:
+    """Uniform sampler over testcase ids a client does not yet hold."""
+
+    def __init__(self, seed: SeedLike = None, default_batch: int = 8):
+        if default_batch < 1:
+            raise ValidationError(f"default_batch must be >= 1, got {default_batch}")
+        self._rng = ensure_rng(seed)
+        self._default_batch = default_batch
+
+    @property
+    def default_batch(self) -> int:
+        return self._default_batch
+
+    def sample(
+        self,
+        available: Sequence[str],
+        held: Sequence[str],
+        want: int | None = None,
+    ) -> list[str]:
+        """Ids to ship: up to ``want`` new ids drawn without replacement.
+
+        ``want`` defaults to the sampler's batch size; asking for more than
+        remains simply returns everything new.
+        """
+        if want is None:
+            want = self._default_batch
+        if want < 0:
+            raise ValidationError(f"want must be >= 0, got {want}")
+        held_set = set(held)
+        fresh = sorted(set(available) - held_set)
+        if want >= len(fresh):
+            return fresh
+        picks = self._rng.choice(len(fresh), size=want, replace=False)
+        return [fresh[i] for i in sorted(int(p) for p in picks)]

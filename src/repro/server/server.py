@@ -1,0 +1,222 @@
+"""The UUCS server core and its transports.
+
+:class:`UUCSServer` is transport-independent: it maps one request
+:class:`~repro.server.protocol.Message` to one response.  Two transports
+expose it:
+
+* :class:`InProcessTransport` — direct calls, used by simulations and tests;
+* :class:`TCPServerTransport` — newline-delimited JSON over TCP (the
+  Internet-facing deployment shape), built on :mod:`socketserver`.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.run import TestcaseRun
+from repro.core.testcase import Testcase
+from repro.errors import (
+    ProtocolError,
+    RegistrationError,
+    SerializationError,
+    StoreError,
+)
+from repro.server.protocol import Message, decode_message, encode_message
+from repro.server.registry import ClientRegistry
+from repro.server.sampling import GrowingSampler
+from repro.stores import ResultStore, TestcaseStore
+from repro.util.rng import SeedLike
+
+__all__ = ["InProcessTransport", "TCPServerTransport", "UUCSServer"]
+
+
+class UUCSServer:
+    """Registration, hot-sync, and storage logic."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        seed: SeedLike = None,
+        sync_batch: int = 8,
+    ):
+        root = Path(root)
+        self.testcases = TestcaseStore(root / "testcases")
+        self.results = ResultStore(root / "results")
+        self.registry = ClientRegistry(root / "registry")
+        self._sampler = GrowingSampler(seed, sync_batch)
+        self._lock = threading.Lock()
+        self._clock = 0.0
+
+    # -- administration ------------------------------------------------------
+
+    def add_testcases(self, testcases: Iterable[Testcase]) -> int:
+        """Publish testcases ("new testcases can be added at any time")."""
+        with self._lock:
+            return self.testcases.add_all(list(testcases))
+
+    def advance_clock(self, now: float) -> None:
+        """Set the server's notion of time (study/simulation driven)."""
+        self._clock = float(now)
+
+    # -- request handling ------------------------------------------------------
+
+    def handle(self, request: Message) -> Message:
+        """Serve one request message; never raises for client mistakes."""
+        try:
+            if request.type == "ping":
+                return Message("pong", {})
+            if request.type == "register":
+                return self._handle_register(request)
+            if request.type == "sync":
+                return self._handle_sync(request)
+            return Message.error(f"cannot serve message type {request.type!r}")
+        except (ProtocolError, RegistrationError, StoreError, SerializationError) as exc:
+            return Message.error(str(exc))
+
+    def _handle_register(self, request: Message) -> Message:
+        snapshot = request.payload.get("snapshot")
+        if not isinstance(snapshot, dict):
+            raise ProtocolError("register requires a 'snapshot' object")
+        with self._lock:
+            record = self.registry.register(snapshot, now=self._clock)
+        return Message("registered", {"client_id": record.client_id})
+
+    def _handle_sync(self, request: Message) -> Message:
+        client_id = request.payload.get("client_id")
+        if not isinstance(client_id, str) or client_id not in self.registry:
+            raise RegistrationError(
+                "sync requires a registered 'client_id' (register first)"
+            )
+        held = request.payload.get("have", [])
+        if not isinstance(held, list):
+            raise ProtocolError("'have' must be a list of testcase ids")
+        uploads = request.payload.get("results", [])
+        if not isinstance(uploads, list):
+            raise ProtocolError("'results' must be a list of run records")
+        want = request.payload.get("want")
+        if want is not None and (not isinstance(want, int) or want < 0):
+            raise ProtocolError("'want' must be a non-negative integer")
+
+        accepted = 0
+        runs: list[TestcaseRun] = []
+        for record in uploads:
+            if not isinstance(record, dict):
+                raise ProtocolError("each result must be a JSON object")
+            runs.append(TestcaseRun.from_dict(record))
+        with self._lock:
+            accepted = self.results.extend(runs)
+            fresh_ids = self._sampler.sample(
+                self.testcases.ids(), [str(h) for h in held], want
+            )
+            shipped = [self.testcases.get(tid).to_text() for tid in fresh_ids]
+        return Message(
+            "sync_ok",
+            {"testcases": shipped, "accepted": accepted},
+        )
+
+
+class InProcessTransport:
+    """Client-side transport that calls a local server directly."""
+
+    def __init__(self, server: UUCSServer):
+        self._server = server
+
+    def request(self, message: Message) -> Message:
+        # Round-trip through the codec so in-process behaves like the wire.
+        encoded = encode_message(message)
+        response = self._server.handle(decode_message(encoded))
+        return decode_message(encode_message(response))
+
+    def close(self) -> None:
+        """Nothing to release; present for transport symmetry."""
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        server: UUCSServer = self.server.uucs_server  # type: ignore[attr-defined]
+        for line in self.rfile:
+            if not line.strip():
+                continue
+            try:
+                request = decode_message(line)
+                response = server.handle(request)
+            except ProtocolError as exc:
+                response = Message.error(str(exc))
+            self.wfile.write(encode_message(response))
+            self.wfile.flush()
+
+
+class TCPServerTransport:
+    """Serve a :class:`UUCSServer` over localhost TCP.
+
+    Also provides the matching client-side transport via
+    :meth:`connect`.
+    """
+
+    def __init__(self, server: UUCSServer, host: str = "127.0.0.1", port: int = 0):
+        self._tcp = socketserver.ThreadingTCPServer(
+            (host, port), _Handler, bind_and_activate=True
+        )
+        self._tcp.daemon_threads = True
+        self._tcp.uucs_server = server  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="uucs-server", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    def connect(self) -> "TCPClientTransport":
+        return TCPClientTransport(*self.address)
+
+    def close(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TCPServerTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class TCPClientTransport:
+    """Newline-delimited JSON request/response over a TCP connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ProtocolError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._file = self._sock.makefile("rb")
+
+    def request(self, message: Message) -> Message:
+        try:
+            self._sock.sendall(encode_message(message))
+            line = self._file.readline()
+        except OSError as exc:
+            raise ProtocolError(f"transport failure: {exc}") from exc
+        if not line:
+            raise ProtocolError("server closed the connection")
+        return decode_message(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TCPClientTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

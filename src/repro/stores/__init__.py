@@ -1,0 +1,12 @@
+"""Text-file testcase and result stores.
+
+"Both [client and server] are Windows applications that store testcases and
+results on permanent storage in text files" (§2).  The same store types
+back the client's local stores and the server's master stores, which is
+what lets the client "operate disconnected from the server".
+"""
+
+from repro.stores.results import ResultStore
+from repro.stores.testcases import TestcaseStore
+
+__all__ = ["ResultStore", "TestcaseStore"]

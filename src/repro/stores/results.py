@@ -1,0 +1,75 @@
+"""Append-only result store.
+
+Run results accumulate in ``results.jsonl`` (one JSON document per run),
+"stored in text-based form for later communication back to the server"
+(§2.3).  The client drains the store at hot-sync time; the server appends
+uploaded results to its own store for the analysis phase.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.run import TestcaseRun
+from repro.errors import SerializationError, StoreError
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """A JSON-lines file of testcase runs."""
+
+    def __init__(self, root: str | Path, filename: str = "results.jsonl"):
+        self._root = Path(root)
+        try:
+            self._root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(f"cannot create result store at {root}: {exc}") from exc
+        self._path = self._root / filename
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def append(self, run: TestcaseRun) -> None:
+        """Append one run."""
+        with self._path.open("a") as fh:
+            fh.write(run.to_json() + "\n")
+
+    def extend(self, runs: Iterable[TestcaseRun]) -> int:
+        count = 0
+        with self._path.open("a") as fh:
+            for run in runs:
+                fh.write(run.to_json() + "\n")
+                count += 1
+        return count
+
+    def __iter__(self) -> Iterator[TestcaseRun]:
+        if not self._path.exists():
+            return
+        with self._path.open() as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield TestcaseRun.from_json(line)
+                except SerializationError as exc:
+                    raise StoreError(
+                        f"corrupt result at {self._path.name}:{line_no}: {exc}"
+                    ) from exc
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def run_ids(self) -> set[str]:
+        return {run.run_id for run in self}
+
+    def drain(self) -> list[TestcaseRun]:
+        """Read all runs and truncate the store (used at hot-sync upload)."""
+        runs = list(self)
+        if self._path.exists():
+            self._path.write_text("")
+        return runs

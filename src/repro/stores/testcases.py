@@ -1,0 +1,91 @@
+"""Directory-backed testcase store.
+
+Each testcase lives in ``<id>.testcase`` in the UUCS text format
+(:meth:`repro.core.testcase.Testcase.to_text`), so stores can be inspected
+and edited with ordinary text tools — the property the paper's toolchain
+(Figure 2) relies on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.testcase import Testcase
+from repro.errors import SerializationError, StoreError
+
+__all__ = ["TestcaseStore"]
+
+_SUFFIX = ".testcase"
+
+
+class TestcaseStore:
+    """A directory of testcase text files, keyed by testcase id."""
+
+    def __init__(self, root: str | Path):
+        self._root = Path(root)
+        try:
+            self._root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(f"cannot create testcase store at {root}: {exc}") from exc
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def _path(self, testcase_id: str) -> Path:
+        if not testcase_id or "/" in testcase_id or testcase_id.startswith("."):
+            raise StoreError(f"illegal testcase id {testcase_id!r}")
+        return self._root / f"{testcase_id}{_SUFFIX}"
+
+    def add(self, testcase: Testcase, overwrite: bool = True) -> None:
+        """Write ``testcase`` to the store."""
+        path = self._path(testcase.testcase_id)
+        if path.exists() and not overwrite:
+            raise StoreError(f"testcase {testcase.testcase_id!r} already stored")
+        path.write_text(testcase.to_text())
+
+    def add_all(self, testcases: Iterator[Testcase] | list[Testcase]) -> int:
+        count = 0
+        for testcase in testcases:
+            self.add(testcase)
+            count += 1
+        return count
+
+    def get(self, testcase_id: str) -> Testcase:
+        """Load one testcase; raises :class:`StoreError` when missing."""
+        path = self._path(testcase_id)
+        if not path.exists():
+            raise StoreError(f"no testcase {testcase_id!r} in {self._root}")
+        try:
+            return Testcase.from_text(path.read_text())
+        except SerializationError as exc:
+            raise StoreError(
+                f"corrupt testcase file {path.name}: {exc}"
+            ) from exc
+
+    def __contains__(self, testcase_id: str) -> bool:
+        try:
+            return self._path(testcase_id).exists()
+        except StoreError:
+            return False
+
+    def ids(self) -> list[str]:
+        """All stored testcase ids, sorted."""
+        return sorted(
+            p.name[: -len(_SUFFIX)]
+            for p in self._root.glob(f"*{_SUFFIX}")
+        )
+
+    def __len__(self) -> int:
+        return len(self.ids())
+
+    def __iter__(self) -> Iterator[Testcase]:
+        for testcase_id in self.ids():
+            yield self.get(testcase_id)
+
+    def remove(self, testcase_id: str) -> None:
+        path = self._path(testcase_id)
+        if not path.exists():
+            raise StoreError(f"no testcase {testcase_id!r} to remove")
+        path.unlink()

@@ -1,0 +1,57 @@
+"""Study drivers: the controlled Northwestern study (§3) and the
+Internet-wide study (§4), plus the Figure 8 testcase table."""
+
+from repro.study.controlled import (
+    ControlledStudyConfig,
+    StudyResult,
+    run_controlled_study,
+)
+from repro.study.burstiness import (
+    BurstinessResult,
+    matched_mean_pair,
+    run_burstiness_study,
+)
+from repro.study.combination import (
+    CombinationResult,
+    combination_testcase,
+    run_combination_study,
+)
+from repro.study.hostspeed import HostSpeedPoint, run_host_speed_experiment
+from repro.study.internet import (
+    InternetStudyConfig,
+    InternetStudyResult,
+    SpeedBin,
+    generate_library,
+    host_speed_effect,
+    internet_discomfort_curve,
+    run_internet_study,
+)
+from repro.study.testcases import (
+    blank_testcase,
+    ramp_testcase,
+    step_testcase,
+    task_testcases,
+)
+
+__all__ = [
+    "BurstinessResult",
+    "CombinationResult",
+    "matched_mean_pair",
+    "run_burstiness_study",
+    "ControlledStudyConfig",
+    "combination_testcase",
+    "run_combination_study",
+    "InternetStudyConfig",
+    "InternetStudyResult",
+    "SpeedBin",
+    "generate_library",
+    "host_speed_effect",
+    "internet_discomfort_curve",
+    "run_internet_study",
+    "StudyResult",
+    "blank_testcase",
+    "ramp_testcase",
+    "run_controlled_study",
+    "step_testcase",
+    "task_testcases",
+]

@@ -1,0 +1,144 @@
+"""Burstiness experiments (question 5, beyond ramp-vs-step).
+
+The Internet study's library is "predominantly from the M/M/1 and M/G/1
+models" precisely to probe time dynamics.  This extension runs the sharp
+version of that comparison in the controlled setting: steady borrowing at
+level m versus bursty (M/M/1) borrowing with the same *mean* m.  Under
+threshold users, what hurts is the peak, not the average — bursty
+borrowing discomforts more users at equal mean load, the flip side of the
+frog-in-the-pot result (slow change is forgiven; spikes are not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.registry import get_task
+from repro.core.exercise import constant, expexp
+from repro.core.resources import CONTENTION_LIMITS, Resource
+from repro.core.run import RunContext, TestcaseRun
+from repro.core.session import run_simulated_session
+from repro.core.testcase import Testcase
+from repro.errors import StudyError
+from repro.machine.machine import SimulatedMachine
+from repro.study.testcases import TESTCASE_DURATION
+from repro.users.behavior import BehaviorParams, SimulatedUser
+from repro.users.population import sample_population
+from repro.users.tolerance import paper_calibrated_table
+from repro.util.rng import derive_rng
+
+__all__ = ["BurstinessResult", "matched_mean_pair", "run_burstiness_study"]
+
+
+def matched_mean_pair(
+    task: str,
+    resource: Resource,
+    mean_level: float,
+    duration: float = TESTCASE_DURATION,
+    sample_rate: float = 4.0,
+    seed: int = 0,
+) -> tuple[Testcase, Testcase]:
+    """A (steady, bursty) testcase pair with equal mean contention.
+
+    The bursty member is an M/M/1 occupancy process rescaled so its mean
+    over the run equals ``mean_level``; its peaks are then several times
+    the steady level.
+    """
+    if mean_level <= 0:
+        raise StudyError(f"mean_level must be positive, got {mean_level}")
+    steady = Testcase.single(
+        f"{task}-{resource.value}-steady-{mean_level:g}",
+        constant(resource, mean_level, duration, sample_rate),
+        {"task": task, "study": "burstiness", "arm": "steady"},
+    )
+    raw = expexp(
+        resource,
+        arrival_rate=0.05,
+        mean_size=25.0,
+        t=duration,
+        sample_rate=sample_rate,
+        seed=derive_rng(seed, "burst", task, resource.value),
+    )
+    mean_raw = float(raw.values.mean())
+    if mean_raw <= 0:
+        raise StudyError("degenerate burst draw; change the seed")
+    limit = CONTENTION_LIMITS[resource]
+    scale = min(mean_level / mean_raw, limit / max(raw.max_level(), 1e-9))
+    bursty_fn = type(raw)(
+        resource, raw.series.scaled(scale), "expexp", dict(raw.params)
+    )
+    bursty = Testcase.single(
+        f"{task}-{resource.value}-bursty-{mean_level:g}",
+        bursty_fn,
+        {"task": task, "study": "burstiness", "arm": "bursty"},
+    )
+    return steady, bursty
+
+
+@dataclass(frozen=True)
+class BurstinessResult:
+    """Steady-vs-bursty outcomes at matched mean contention."""
+
+    task: str
+    resource: Resource
+    mean_level: float
+    f_d_steady: float
+    f_d_bursty: float
+    bursty_peak: float
+    n_users: int
+    runs: tuple[TestcaseRun, ...]
+
+    @property
+    def burstiness_penalty(self) -> float:
+        """Extra discomfort probability bursts cause at equal mean load."""
+        return self.f_d_bursty - self.f_d_steady
+
+
+def run_burstiness_study(
+    task: str = "powerpoint",
+    resource: Resource = Resource.CPU,
+    mean_level: float = 0.6,
+    n_users: int = 33,
+    seed: int = 77,
+) -> BurstinessResult:
+    """Run the matched-mean steady-vs-bursty comparison."""
+    if n_users < 1:
+        raise StudyError("n_users must be >= 1")
+    task = task.strip().lower()
+    steady, bursty = matched_mean_pair(task, resource, mean_level, seed=seed)
+    machine = SimulatedMachine()
+    model = machine.interactivity_model(get_task(task))
+    table = paper_calibrated_table()
+    behavior = BehaviorParams()
+    profiles = sample_population(n_users, derive_rng(seed, "burst-pop"))
+
+    runs: list[TestcaseRun] = []
+    reacted = {"steady": 0, "bursty": 0}
+    for index, profile in enumerate(profiles):
+        user = SimulatedUser(
+            profile, table, behavior,
+            seed=derive_rng(seed, "burst-user", index),
+        )
+        id_rng = derive_rng(seed, "burst-runid", index)
+        for arm, testcase in (("steady", steady), ("bursty", bursty)):
+            context = RunContext(
+                user_id=profile.user_id, task=task,
+                extra={"study": "burstiness", "arm": arm},
+            )
+            run = run_simulated_session(
+                testcase, user, context, model,
+                run_id=TestcaseRun.new_run_id(id_rng),
+            ).run
+            reacted[arm] += run.discomforted
+            runs.append(run)
+
+    return BurstinessResult(
+        task=task,
+        resource=resource,
+        mean_level=mean_level,
+        f_d_steady=reacted["steady"] / n_users,
+        f_d_bursty=reacted["bursty"] / n_users,
+        bursty_peak=bursty.functions[resource].max_level(),
+        n_users=n_users,
+        runs=tuple(runs),
+    )

@@ -1,0 +1,149 @@
+"""Combination-of-resources experiments (paper question 2).
+
+The controlled study exercised one resource per testcase, so "How does the
+level depend on which ... combination of resources is borrowed?" stayed
+open.  The machinery supports multi-resource testcases natively, so this
+extension runs them: for a (task, resource pair) it executes three ramp
+testcases per user — resource A alone, resource B alone, and A+B together
+— and compares the discomfort rates and the levels reached.
+
+Under the threshold user model, combined borrowing discomforts whenever
+*either* resource crosses its threshold, so the combined testcase should
+react at least as often, and at A-levels no higher, than A alone — the
+union effect implementors must budget for when borrowing several resources
+at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import paperdata
+from repro.apps.registry import get_task
+from repro.core.exercise import ramp
+from repro.core.resources import Resource
+from repro.core.run import RunContext, TestcaseRun
+from repro.core.session import run_simulated_session
+from repro.core.testcase import Testcase
+from repro.errors import StudyError
+from repro.machine.machine import SimulatedMachine
+from repro.machine.specs import MachineSpec
+from repro.study.testcases import STUDY_SAMPLE_RATE, TESTCASE_DURATION
+from repro.users.behavior import BehaviorParams, SimulatedUser
+from repro.users.population import sample_population
+from repro.users.tolerance import paper_calibrated_table
+from repro.util.rng import derive_rng
+
+__all__ = ["CombinationResult", "combination_testcase", "run_combination_study"]
+
+
+def combination_testcase(
+    task: str,
+    resources: tuple[Resource, ...],
+    sample_rate: float = STUDY_SAMPLE_RATE,
+) -> Testcase:
+    """A testcase ramping several resources simultaneously, each to its
+    Figure 8 maximum for ``task``."""
+    if len(resources) < 1:
+        raise StudyError("need at least one resource")
+    functions = {}
+    for resource in resources:
+        x, t = paperdata.RAMP_PARAMS[(task, resource)]
+        functions[resource] = ramp(resource, x, t, sample_rate)
+    name = "+".join(r.value for r in resources)
+    return Testcase(
+        f"{task}-{name}-ramp-combo",
+        functions,
+        {"task": task, "study": "combination"},
+    )
+
+
+@dataclass(frozen=True)
+class CombinationResult:
+    """Per-arm outcomes of a combination experiment."""
+
+    task: str
+    resources: tuple[Resource, ...]
+    #: Discomfort fraction per arm: each single resource, then combined.
+    f_d_single: dict[Resource, float]
+    f_d_combined: float
+    #: Mean contention on the *first* resource at discomfort, per arm
+    #: (None when an arm had no reactions).
+    c_a_single: dict[Resource, float | None]
+    c_a_combined_first: float | None
+    n_users: int
+    runs: tuple[TestcaseRun, ...]
+
+    @property
+    def union_effect(self) -> float:
+        """How much likelier discomfort is when borrowing both:
+        ``f_d_combined - max(single f_d)``."""
+        return self.f_d_combined - max(self.f_d_single.values())
+
+
+def run_combination_study(
+    task: str = "ie",
+    resources: tuple[Resource, ...] = (Resource.CPU, Resource.DISK),
+    n_users: int = 33,
+    seed: int = 42,
+) -> CombinationResult:
+    """Run the single-vs-combined comparison for one task."""
+    if n_users < 1:
+        raise StudyError("n_users must be >= 1")
+    if len(resources) < 2:
+        raise StudyError("a combination needs >= 2 resources")
+    task = task.strip().lower()
+    machine = SimulatedMachine(MachineSpec.dell_gx270())
+    model = machine.interactivity_model(get_task(task))
+    table = paper_calibrated_table()
+    behavior = BehaviorParams()
+    profiles = sample_population(n_users, derive_rng(seed, "combo-pop"))
+
+    arms: dict[str, Testcase] = {
+        resource.value: combination_testcase(task, (resource,))
+        for resource in resources
+    }
+    arms["combined"] = combination_testcase(task, resources)
+
+    runs: list[TestcaseRun] = []
+    outcomes: dict[str, list[TestcaseRun]] = {name: [] for name in arms}
+    for index, profile in enumerate(profiles):
+        # One user object per arm set, fresh thresholds per run as usual.
+        user = SimulatedUser(
+            profile, table, behavior, seed=derive_rng(seed, "combo-user", index)
+        )
+        id_rng = derive_rng(seed, "combo-runid", index)
+        for name, testcase in arms.items():
+            context = RunContext(
+                user_id=profile.user_id, task=task,
+                extra={"study": "combination", "arm": name},
+            )
+            run = run_simulated_session(
+                testcase, user, context, model,
+                run_id=TestcaseRun.new_run_id(id_rng),
+            ).run
+            outcomes[name].append(run)
+            runs.append(run)
+
+    def f_d(arm_runs: list[TestcaseRun]) -> float:
+        return float(np.mean([r.discomforted for r in arm_runs]))
+
+    def c_a(arm_runs: list[TestcaseRun], resource: Resource) -> float | None:
+        levels = [
+            r.discomfort_level(resource) for r in arm_runs if r.discomforted
+        ]
+        return float(np.mean(levels)) if levels else None
+
+    first = resources[0]
+    return CombinationResult(
+        task=task,
+        resources=tuple(resources),
+        f_d_single={r: f_d(outcomes[r.value]) for r in resources},
+        f_d_combined=f_d(outcomes["combined"]),
+        c_a_single={r: c_a(outcomes[r.value], r) for r in resources},
+        c_a_combined_first=c_a(outcomes["combined"], first),
+        n_users=n_users,
+        runs=tuple(runs),
+    )

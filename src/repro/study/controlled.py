@@ -1,0 +1,196 @@
+"""The controlled study driver (paper §3).
+
+Reproduces the Northwestern protocol: 33 participants, each spending an
+84-minute session on one of two identically configured machines.  After the
+questionnaire, handout, and acclimatization (which need no simulation),
+each user performs the four tasks in order — Word, Powerpoint, IE, Quake —
+for 16 minutes each, during which the UUCS client runs that task's 8
+two-minute testcases in per-user random order.
+
+Note on counts: this driver executes the *full* protocol, i.e. 6 non-blank
+and 2 blank runs per (user, task).  The paper's Figure 9 reports fewer runs
+per task (sessions ended early, runs were discarded); proportions, not raw
+counts, are the comparison target (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.apps.registry import TASK_ORDER, get_task
+from repro.core.run import RunContext, TestcaseRun
+from repro.core.session import run_simulated_session
+from repro.core.testcase import Testcase
+from repro.errors import StudyError
+from repro.machine.machine import SimulatedMachine
+from repro.monitor.base import SimulatedMonitor
+from repro.machine.specs import MachineSpec
+from repro.study.engine import run_analytic_session
+from repro.study.testcases import STUDY_SAMPLE_RATE, task_testcases
+from repro.users.behavior import BehaviorParams, SimulatedUser
+from repro.users.population import sample_population
+from repro.users.profile import UserProfile
+from repro.users.tolerance import ToleranceTable, paper_calibrated_table
+from repro.util.rng import derive_rng
+
+__all__ = ["ControlledStudyConfig", "StudyResult", "run_controlled_study"]
+
+#: Seconds between testcases (user keeps working; client idles).
+_INTER_TESTCASE_GAP = 0.0
+#: Session phases before the tasks begin (questionnaire, handout,
+#: acclimatization), minutes — only advances the session clock.
+_PREAMBLE_MINUTES = 20.0
+
+
+@dataclass(frozen=True)
+class ControlledStudyConfig:
+    """Configuration of a controlled-study simulation."""
+
+    #: Number of participants (the paper used 33).
+    n_users: int = 33
+    #: Master seed; the entire study is deterministic given it.
+    seed: int = 2004
+    #: Tasks each user performs, in order.
+    tasks: tuple[str, ...] = TASK_ORDER
+    #: Machine both study seats use (Figure 7's Dell by default).
+    machine: MachineSpec = field(default_factory=MachineSpec.dell_gx270)
+    #: Tolerance table for the synthetic users (paper-calibrated default).
+    table: ToleranceTable = field(default_factory=paper_calibrated_table)
+    #: Behavioral constants for the population.
+    behavior: BehaviorParams = field(default_factory=BehaviorParams)
+    #: Testcase sample rate (Hz).
+    sample_rate: float = STUDY_SAMPLE_RATE
+    #: Session engine: "analytic" (vectorized closed form, the default)
+    #: or "loop" (the generic per-sample poll loop).  Both produce
+    #: identical runs; see repro.study.engine.
+    engine: str = "analytic"
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise StudyError(f"n_users must be >= 1, got {self.n_users}")
+        if not self.tasks:
+            raise StudyError("at least one task is required")
+        if self.engine not in ("analytic", "loop"):
+            raise StudyError(f"unknown engine {self.engine!r}")
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """All runs and participants of one study execution."""
+
+    runs: tuple[TestcaseRun, ...]
+    profiles: tuple[UserProfile, ...]
+    config: ControlledStudyConfig
+
+    def runs_for(
+        self,
+        *,
+        task: str | None = None,
+        user_id: str | None = None,
+        blank: bool | None = None,
+    ) -> list[TestcaseRun]:
+        """Runs filtered by task, user, and blankness."""
+        out = []
+        for run in self.runs:
+            if task is not None and run.context.task != task:
+                continue
+            if user_id is not None and run.context.user_id != user_id:
+                continue
+            if blank is not None and self._is_blank(run) != blank:
+                continue
+            out.append(run)
+        return out
+
+    @staticmethod
+    def _is_blank(run: TestcaseRun) -> bool:
+        return all(shape == "blank" for shape in run.shapes.values())
+
+    def profile_for(self, user_id: str) -> UserProfile:
+        for profile in self.profiles:
+            if profile.user_id == user_id:
+                return profile
+        raise StudyError(f"unknown user {user_id!r}")
+
+    def __iter__(self) -> Iterator[TestcaseRun]:
+        return iter(self.runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+def _run_user_session(
+    profile: UserProfile,
+    config: ControlledStudyConfig,
+    machine: SimulatedMachine,
+    testcases_by_task: dict[str, Sequence[Testcase]],
+    user_index: int,
+) -> list[TestcaseRun]:
+    """One participant's 84-minute session."""
+    rng = derive_rng(config.seed, "user-session", user_index)
+    user = SimulatedUser(
+        profile, config.table, config.behavior, seed=derive_rng(config.seed, "user-behavior", user_index)
+    )
+    clock = _PREAMBLE_MINUTES * 60.0
+    runs: list[TestcaseRun] = []
+    for task_name in config.tasks:
+        task = get_task(task_name)
+        model = machine.interactivity_model(task)
+        monitor = SimulatedMonitor(machine, task)
+        order = rng.permutation(len(testcases_by_task[task_name]))
+        for slot in order:
+            testcase = testcases_by_task[task_name][int(slot)]
+            context = RunContext(
+                user_id=profile.user_id,
+                task=task_name,
+                machine_id=machine.spec.name,
+                started_at=clock,
+                extra={
+                    "study": "controlled",
+                    **{
+                        f"rating_{cat}": level
+                        for cat, level in profile.questionnaire().items()
+                    },
+                },
+            )
+            run_session = (
+                run_analytic_session
+                if config.engine == "analytic"
+                else run_simulated_session
+            )
+            result = run_session(
+                testcase,
+                user,
+                context,
+                model,
+                run_id=TestcaseRun.new_run_id(rng),
+                monitor=monitor,
+            )
+            runs.append(result.run)
+            clock += testcase.duration + _INTER_TESTCASE_GAP
+    return runs
+
+
+def run_controlled_study(
+    config: ControlledStudyConfig | None = None,
+) -> StudyResult:
+    """Execute the controlled study and return every run.
+
+    Deterministic for a fixed config: population, per-user testcase orders,
+    thresholds, and noise draws all derive from ``config.seed``.
+    """
+    if config is None:
+        config = ControlledStudyConfig()
+    machine = SimulatedMachine(config.machine)
+    testcases_by_task = {
+        task: task_testcases(task, config.sample_rate) for task in config.tasks
+    }
+    profiles = sample_population(
+        config.n_users, derive_rng(config.seed, "population")
+    )
+    runs: list[TestcaseRun] = []
+    for index, profile in enumerate(profiles):
+        runs.extend(
+            _run_user_session(profile, config, machine, testcases_by_task, index)
+        )
+    return StudyResult(tuple(runs), tuple(profiles), config)

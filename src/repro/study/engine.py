@@ -1,0 +1,191 @@
+"""The analytic (vectorized) study engine.
+
+The generic session loop (:func:`repro.core.session.run_simulated_session`)
+polls an arbitrary feedback source at every sample — the right interface,
+but ~500 Python-level iterations per two-minute testcase.  The controlled
+study only ever pairs deterministic testcase shapes with the threshold
+user model, whose entire randomness is drawn in ``begin_run``; after that
+the feedback decision is a pure function of the level series.  This engine
+computes that decision in closed form with numpy:
+
+* crossing runs (threshold held for one reaction delay, reset on dips) via
+  a vectorized last-false scan;
+* noise events at their scheduled step;
+* slowdown/jitter and monitor-load traces via the machine's batch methods.
+
+The contract is **bit-for-bit equivalence** with the loop engine on the
+same armed user state — enforced by property tests
+(``tests/test_engine_equivalence.py``).  Everything outside the fast path
+(mechanistic users, live exercisers, custom feedback sources) keeps using
+the loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.feedback import DiscomfortEvent, RunOutcome
+from repro.core.resources import Resource
+from repro.core.run import RunContext, TestcaseRun
+from repro.core.session import SessionResult
+from repro.core.testcase import Testcase
+from repro.machine.machine import TaskInteractivityModel
+from repro.monitor.base import SimulatedMonitor
+from repro.users.behavior import SimulatedUser
+
+__all__ = ["run_analytic_session"]
+
+
+def _level_array(testcase: Testcase, resource: Resource, n_steps: int) -> np.ndarray:
+    """Levels at each step, replicating ``Testcase.levels_at`` exactly:
+    beyond a function's duration the level is 0, and the sample exactly at
+    the duration maps to the final value."""
+    fn = testcase.functions[resource]
+    values = fn.values
+    out = np.zeros(n_steps)
+    m = len(values)
+    upto = min(m, n_steps)
+    out[:upto] = values[:upto]
+    if m < n_steps:
+        # t == duration (step index m) still reads the final sample.
+        out[m] = values[-1]
+    return out
+
+
+def _threshold_fire_step(
+    levels: np.ndarray, threshold: float, delay: float, dt: float
+) -> int | None:
+    """First step at which the poll loop would fire for this resource.
+
+    Mirrors the loop: crossing time is the first step at/above the
+    threshold since the last dip below it; fire when ``t - crossed >=
+    delay`` (computed, like the loop, from the products ``i * dt``).
+    """
+    above = levels >= threshold
+    if not above.any():
+        return None
+    idx = np.arange(len(levels))
+    last_false = np.maximum.accumulate(np.where(above, -1, idx))
+    crossed = (last_false + 1).astype(float) * dt
+    t = idx.astype(float) * dt
+    fire = above & (t - crossed >= delay)
+    hits = np.nonzero(fire)[0]
+    return int(hits[0]) if hits.size else None
+
+
+def run_analytic_session(
+    testcase: Testcase,
+    user: SimulatedUser,
+    context: RunContext,
+    interactivity: TaskInteractivityModel | None = None,
+    run_id: str | None = None,
+    monitor: SimulatedMonitor | None = None,
+) -> SessionResult:
+    """Closed-form equivalent of ``run_simulated_session`` for the fast
+    path: a :class:`SimulatedUser` and (optionally) a
+    :class:`TaskInteractivityModel` / :class:`SimulatedMonitor`."""
+    user.begin_run(testcase, context)
+
+    dt = 1.0 / testcase.sample_rate
+    n_steps = int(round(testcase.duration * testcase.sample_rate))
+
+    level_arrays = {
+        resource: _level_array(testcase, resource, n_steps)
+        for resource in testcase.functions
+    }
+
+    # --- the feedback decision, in closed form -------------------------
+    candidates: list[tuple[int, str, float]] = []  # (step, source, offset)
+    noise_time = user.noise_time
+    if noise_time is not None:
+        i_noise = int(math.ceil(noise_time / dt - 1e-12))
+        # The loop fires at the first polled step with t >= noise_time;
+        # fix up both float-rounding directions.
+        while i_noise * dt < noise_time:
+            i_noise += 1
+        while i_noise > 0 and (i_noise - 1) * dt >= noise_time:
+            i_noise -= 1
+        if i_noise < n_steps:
+            candidates.append((i_noise, "noise", i_noise * dt))
+    for resource, threshold in user.armed_thresholds.items():
+        if math.isinf(threshold):
+            continue
+        step = _threshold_fire_step(
+            level_arrays.get(resource, np.zeros(n_steps)),
+            threshold,
+            user.reaction_delay,
+            dt,
+        )
+        if step is not None:
+            candidates.append((step, "simulated", step * dt))
+
+    event: DiscomfortEvent | None = None
+    if candidates:
+        # Noise is polled before thresholds at each step, so on ties it
+        # wins; sorting by (step, source) gives "noise" < "simulated".
+        step, source, offset = min(candidates, key=lambda c: (c[0], c[1]))
+        offset = min(offset, testcase.duration)
+        event = DiscomfortEvent(
+            offset=offset,
+            levels=testcase.levels_at(offset),
+            source=source,
+        )
+        end_offset = offset
+        steps_done = step + 1
+    else:
+        end_offset = testcase.duration
+        steps_done = n_steps
+
+    # --- traces, vectorized ---------------------------------------------
+    if interactivity is not None:
+        slowdowns, jitters = interactivity.interactivity_batch(
+            level_arrays, n_steps
+        )
+    else:
+        slowdowns, jitters = np.ones(n_steps), np.zeros(n_steps)
+
+    extra_trace: dict[str, tuple[float, ...]] = {}
+    if monitor is not None:
+        machine = monitor._machine
+        task = monitor._task
+        cpu, mem, disk = machine.sample_load_batch(task, level_arrays, n_steps)
+        extra_trace = {
+            "load_cpu": tuple(cpu[:steps_done]),
+            "load_memory": tuple(mem[:steps_done]),
+            "load_disk": tuple(disk[:steps_done]),
+        }
+
+    outcome = RunOutcome.DISCOMFORT if event is not None else RunOutcome.EXHAUSTED
+    run = TestcaseRun(
+        run_id=run_id if run_id is not None else TestcaseRun.new_run_id(),
+        testcase_id=testcase.testcase_id,
+        context=context,
+        outcome=outcome,
+        end_offset=end_offset,
+        testcase_duration=testcase.duration,
+        shapes={r: fn.shape for r, fn in testcase.functions.items()},
+        levels_at_end=testcase.levels_at(min(end_offset, testcase.duration)),
+        last_values={
+            r: tuple(v) for r, v in testcase.last_values(end_offset).items()
+        },
+        feedback=event,
+        load_trace={
+            "slowdown": tuple(slowdowns[:steps_done]),
+            "jitter": tuple(jitters[:steps_done]),
+            **extra_trace,
+            **{
+                f"contention_{r.value}": tuple(
+                    fn.values[: min(steps_done, len(fn.values))]
+                )
+                for r, fn in testcase.functions.items()
+            },
+        },
+        load_trace_rate=testcase.sample_rate,
+    )
+    return SessionResult(
+        run=run,
+        slowdown_trace=np.asarray(slowdowns[:steps_done]),
+        jitter_trace=np.asarray(jitters[:steps_done]),
+    )

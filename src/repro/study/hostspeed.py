@@ -1,0 +1,111 @@
+"""Controlled host-speed experiment (paper question 6).
+
+The Internet study measures the raw-host-power effect observationally,
+confounded by everything else that varies across volunteers' machines.
+This extension runs the *controlled* version the paper's setup could not
+(it had two identical Dells): the same mechanistic user population, the
+same Figure 8 CPU ramps, on machines differing **only** in CPU speed.
+
+Expected shape: tolerated CPU contention grows with host speed — on a
+host twice as fast, the foreground's effective demand halves, so roughly
+twice the contention fits into the same fair share before interactivity
+degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.registry import TASK_ORDER, get_task
+from repro.core.resources import Resource
+from repro.core.run import RunContext, TestcaseRun
+from repro.core.session import run_simulated_session
+from repro.errors import StudyError
+from repro.machine.machine import SimulatedMachine
+from repro.machine.specs import MachineSpec
+from repro.study.testcases import ramp_testcase
+from repro.users.mechanistic import MechanisticUser
+from repro.users.population import sample_population
+from repro.util.rng import derive_rng
+from repro.util.stats import mean_confidence_interval
+
+__all__ = ["HostSpeedPoint", "run_host_speed_experiment"]
+
+
+@dataclass(frozen=True)
+class HostSpeedPoint:
+    """Outcomes at one host speed."""
+
+    cpu_speed: float
+    f_d: float
+    #: Mean CPU contention at discomfort (None if nobody reacted).
+    c_a: float | None
+    n_runs: int
+
+
+def run_host_speed_experiment(
+    speeds: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    n_users: int = 25,
+    tasks: tuple[str, ...] = TASK_ORDER,
+    seed: int = 606,
+) -> list[HostSpeedPoint]:
+    """Run the Figure 8 CPU ramps at several host speeds.
+
+    The user population and their tolerance draws are identical across
+    speeds (same seeds); only the machine changes, so differences are
+    attributable to raw host power alone.
+    """
+    if n_users < 1:
+        raise StudyError("n_users must be >= 1")
+    if not speeds:
+        raise StudyError("at least one speed is required")
+    profiles = sample_population(n_users, derive_rng(seed, "hs-pop"))
+    points: list[HostSpeedPoint] = []
+    for speed in speeds:
+        if speed <= 0:
+            raise StudyError(f"speeds must be positive, got {speed}")
+        machine = SimulatedMachine(MachineSpec.dell_gx270().scaled(speed))
+        reacted = 0
+        levels: list[float] = []
+        n_runs = 0
+        for index, profile in enumerate(profiles):
+            # Same per-user seed at every speed: identical tolerance and
+            # reaction-delay draws, so speed is the only difference.
+            rng = derive_rng(seed, "hs-user", index)
+            for task_name in tasks:
+                task = get_task(task_name)
+                model = machine.interactivity_model(task)
+                user = MechanisticUser(
+                    profile, task.jitter_sensitivity, seed=rng
+                )
+                testcase = ramp_testcase(task_name, Resource.CPU)
+                run = run_simulated_session(
+                    testcase,
+                    user,
+                    RunContext(
+                        user_id=profile.user_id,
+                        task=task_name,
+                        machine_id=machine.spec.name,
+                        extra={"cpu_speed": f"{speed:g}"},
+                    ),
+                    model,
+                    run_id=TestcaseRun.new_run_id(rng),
+                ).run
+                n_runs += 1
+                if run.discomforted:
+                    reacted += 1
+                    levels.append(run.discomfort_level(Resource.CPU))
+        c_a = (
+            mean_confidence_interval(np.array(levels)).mean if levels else None
+        )
+        points.append(
+            HostSpeedPoint(
+                cpu_speed=speed,
+                f_d=reacted / n_runs,
+                c_a=c_a,
+                n_runs=n_runs,
+            )
+        )
+    return points

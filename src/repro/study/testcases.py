@@ -1,0 +1,111 @@
+"""The controlled study's testcase table (Figure 8).
+
+Each task has 8 associated two-minute testcases, run in random order within
+the 16-minute task block: ramp and step testcases for each of CPU, disk,
+and memory, plus two blanks:
+
+====  ========  ====
+slot  resource  type
+====  ========  ====
+1     CPU       ramp
+2     —         blank
+3     Disk      ramp
+4     Memory    ramp
+5     CPU       step
+6     Disk      step
+7     —         blank
+8     Memory    step
+====  ========  ====
+
+The ramp/step parameters per task come from Figure 8 (transcribed in
+:mod:`repro.paperdata`); they were calibrated by the authors so that each
+task's testcases straddle its onset of discomfort.
+"""
+
+from __future__ import annotations
+
+from repro import paperdata
+from repro.core.exercise import blank, ramp, step
+from repro.core.resources import Resource
+from repro.core.testcase import Testcase
+from repro.errors import ValidationError
+
+__all__ = [
+    "TESTCASE_DURATION",
+    "blank_testcase",
+    "ramp_testcase",
+    "step_testcase",
+    "task_testcases",
+]
+
+#: Every controlled-study testcase is 2 minutes long (§3.2).
+TESTCASE_DURATION = 120.0
+
+#: Sample rate for generated study testcases.  The paper's example uses
+#: 1 Hz; 4 Hz gives the simulated users finer reaction timing on ramps at
+#: negligible cost.
+STUDY_SAMPLE_RATE = 4.0
+
+
+def _check_task(task: str) -> str:
+    task = task.strip().lower()
+    if task not in paperdata.STUDY_TASKS:
+        raise ValidationError(
+            f"unknown study task {task!r}; expected one of {paperdata.STUDY_TASKS}"
+        )
+    return task
+
+
+def ramp_testcase(
+    task: str, resource: Resource, sample_rate: float = STUDY_SAMPLE_RATE
+) -> Testcase:
+    """The Figure 8 ramp testcase for ``(task, resource)``."""
+    task = _check_task(task)
+    x, t = paperdata.RAMP_PARAMS[(task, resource)]
+    return Testcase.single(
+        f"{task}-{resource.value}-ramp",
+        ramp(resource, x, t, sample_rate),
+        {"task": task, "study": "controlled"},
+    )
+
+
+def step_testcase(
+    task: str, resource: Resource, sample_rate: float = STUDY_SAMPLE_RATE
+) -> Testcase:
+    """The Figure 8 step testcase for ``(task, resource)``."""
+    task = _check_task(task)
+    x, t, b = paperdata.STEP_PARAMS[(task, resource)]
+    return Testcase.single(
+        f"{task}-{resource.value}-step",
+        step(resource, x, t, b, sample_rate),
+        {"task": task, "study": "controlled"},
+    )
+
+
+def blank_testcase(
+    task: str, index: int = 1, sample_rate: float = STUDY_SAMPLE_RATE
+) -> Testcase:
+    """A blank (zero-contention) testcase for the noise floor."""
+    task = _check_task(task)
+    return Testcase.single(
+        f"{task}-blank-{index}",
+        blank(Resource.CPU, TESTCASE_DURATION, sample_rate),
+        {"task": task, "study": "controlled"},
+    )
+
+
+def task_testcases(
+    task: str, sample_rate: float = STUDY_SAMPLE_RATE
+) -> list[Testcase]:
+    """All 8 testcases for one task, in Figure 8 slot order."""
+    task = _check_task(task)
+    return [
+        ramp_testcase(task, Resource.CPU, sample_rate),
+        blank_testcase(task, 1, sample_rate),
+        ramp_testcase(task, Resource.DISK, sample_rate),
+        ramp_testcase(task, Resource.MEMORY, sample_rate),
+        step_testcase(task, Resource.CPU, sample_rate),
+        step_testcase(task, Resource.DISK, sample_rate),
+        blank_testcase(task, 2, sample_rate),
+        step_testcase(task, Resource.MEMORY, sample_rate),
+    ]

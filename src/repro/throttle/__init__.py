@@ -1,0 +1,42 @@
+"""Borrowing throttles (paper §5, "Advice to implementors").
+
+The paper's advice: build a fine-grained throttle; set it from the
+discomfort CDFs to the contention level that discomforts only the fraction
+of users you are willing to affect; adjust for context; and consider using
+user feedback directly.  This package implements all four:
+
+* :class:`Throttle` — a clamped, fine-grained contention limiter;
+* :func:`level_for_target` / :class:`CDFThrottlePolicy` — CDF-driven
+  operating points, optionally per task (context);
+* :class:`FeedbackController` — AIMD adaptation from direct user feedback;
+* :class:`BackgroundBorrower` — a simulated borrowing application that
+  composes the above against the machine and user models, used by the
+  throttle benchmarks.
+"""
+
+from repro.throttle.borrower import BackgroundBorrower, BorrowerReport
+from repro.throttle.multi import MultiResourceThrottle
+from repro.throttle.controller import FeedbackController
+from repro.throttle.strategies import (
+    ActivityModel,
+    aggressive,
+    cdf_operating_point,
+    linger_longer,
+    screensaver,
+)
+from repro.throttle.throttle import CDFThrottlePolicy, Throttle, level_for_target
+
+__all__ = [
+    "ActivityModel",
+    "BackgroundBorrower",
+    "BorrowerReport",
+    "CDFThrottlePolicy",
+    "FeedbackController",
+    "MultiResourceThrottle",
+    "Throttle",
+    "aggressive",
+    "cdf_operating_point",
+    "level_for_target",
+    "linger_longer",
+    "screensaver",
+]

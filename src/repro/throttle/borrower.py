@@ -1,0 +1,182 @@
+"""A simulated background borrowing application.
+
+:class:`BackgroundBorrower` is a stand-in for a Condor/SETI@Home-style
+guest job: it has ``work`` CPU-seconds to finish and borrows CPU through a
+:class:`~repro.throttle.throttle.Throttle` while a synthetic user works in
+the foreground.  It is the harness behind the §5 benchmarks, which compare
+throttle strategies (screensaver-conservative, fixed CDF operating point,
+feedback AIMD) by completion time and user discomfort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import TaskModel
+from repro.core.feedback import DiscomfortEvent
+from repro.core.resources import Resource
+from repro.core.run import RunContext
+from repro.core.testcase import Testcase
+from repro.core.exercise import constant
+from repro.errors import ThrottleError
+from repro.machine.machine import SimulatedMachine
+from repro.throttle.controller import FeedbackController
+from repro.throttle.strategies import ActivityModel, RequestPolicy
+from repro.throttle.throttle import Throttle
+from repro.users.behavior import SimulatedUser
+from repro.util.rng import SeedLike
+
+__all__ = ["BackgroundBorrower", "BorrowerReport"]
+
+
+@dataclass(frozen=True)
+class BorrowerReport:
+    """Outcome of one borrowing session."""
+
+    #: CPU-seconds of guest work completed.
+    work_done: float
+    #: Wall-clock seconds simulated.
+    elapsed: float
+    #: Whether all requested work finished within the horizon.
+    completed: bool
+    #: User discomfort events provoked.
+    discomfort_events: int
+    #: Mean contention level actually applied.
+    mean_level: float
+
+    @property
+    def throughput(self) -> float:
+        """Guest CPU-seconds per wall-clock second."""
+        return self.work_done / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class BackgroundBorrower:
+    """Simulates a guest job borrowing CPU under a throttle."""
+
+    def __init__(
+        self,
+        machine: SimulatedMachine,
+        task: TaskModel,
+        user: SimulatedUser,
+        throttle: Throttle,
+        controller: FeedbackController | None = None,
+        dt: float = 1.0,
+        rethreshold_cooldown: float = 60.0,
+    ):
+        if throttle.resource is not Resource.CPU:
+            raise ThrottleError("BackgroundBorrower borrows CPU only")
+        if dt <= 0:
+            raise ThrottleError(f"dt must be positive, got {dt}")
+        self._machine = machine
+        self._task = task
+        self._user = user
+        self._throttle = throttle
+        self._controller = controller
+        self._dt = float(dt)
+        self._cooldown = float(rethreshold_cooldown)
+
+    def _begin_user_episode(self, level: float, duration: float) -> None:
+        """(Re)sample the user's tolerance via a synthetic constant run.
+
+        The user model is run-oriented; a borrowing session is one long
+        "run" whose contention the throttle varies, so we restart the
+        user's per-run state on session start and after each discomfort.
+        """
+        # A nominal nonzero constant function: begin_run arms thresholds
+        # only for non-blank resources, and "constant" is abrupt exposure
+        # (no ramp habituation bonus) — the right semantics for a guest
+        # job that starts borrowing at full throttle.
+        testcase = Testcase.single(
+            "borrower-episode",
+            constant(Resource.CPU, 0.01, max(duration, self._dt), 1.0 / self._dt),
+            {"synthetic": "borrower"},
+        )
+        context = RunContext(
+            user_id=self._user.profile.user_id, task=self._task.name
+        )
+        self._user.begin_run(testcase, context)
+
+    def run(
+        self,
+        work: float,
+        horizon: float,
+        demand_level: float = 10.0,
+        request: "RequestPolicy | None" = None,
+        activity: "ActivityModel | None" = None,
+        activity_seed: SeedLike = None,
+    ) -> BorrowerReport:
+        """Borrow until ``work`` CPU-seconds finish or ``horizon`` passes.
+
+        ``demand_level`` is what the greedy guest job *asks* the throttle
+        for each step; ``request`` (a :mod:`repro.throttle.strategies`
+        policy) overrides it with an activity-dependent request.  With an
+        ``activity`` model, the user alternates between working and being
+        away: while away they cannot express discomfort and the foreground
+        leaves the whole machine to the guest — the regime screensaver and
+        linger-longer strategies exploit.
+        """
+        if work <= 0 or horizon <= 0:
+            raise ThrottleError("work and horizon must be positive")
+        model = self._machine.interactivity_model(self._task)
+        effective_demand = min(
+            1.0, self._task.cpu_demand / self._machine.spec.cpu_speed
+        )
+        spans = (
+            activity.schedule(horizon, activity_seed)
+            if activity is not None
+            else [(0.0, horizon, True)]
+        )
+        span_index = 0
+        self._begin_user_episode(0.0, horizon)
+        t = 0.0
+        done = 0.0
+        events = 0
+        level_integral = 0.0
+        quiet_since = 0.0
+        was_active = True
+        while t < horizon and done < work:
+            while span_index + 1 < len(spans) and t >= spans[span_index][1]:
+                span_index += 1
+            user_active = spans[span_index][2]
+            if user_active and not was_active:
+                # The user returns with fresh tolerance for this session.
+                self._begin_user_episode(0.0, horizon - t)
+            was_active = user_active
+
+            requested = (
+                request(user_active) if request is not None else demand_level
+            )
+            level = self._throttle.grant(requested)
+            levels = {Resource.CPU: level}
+            # Guest progress: its c thread-equivalents share the CPU with
+            # the foreground's effective demand under equal priority; an
+            # idle machine gives the guest everything up to one CPU.
+            demand_now = effective_demand if user_active else 0.0
+            if level > 0:
+                total = demand_now + level
+                guest_rate = level if total <= 1.0 else level / total
+            else:
+                guest_rate = 0.0
+            done += guest_rate * self._dt
+            level_integral += level * self._dt
+            event: DiscomfortEvent | None = None
+            if user_active:
+                sample = model.interactivity(levels)
+                event = self._user.poll(t, levels, sample)
+            if event is not None:
+                events += 1
+                if self._controller is not None:
+                    self._controller.on_discomfort()
+                # The user calms down; their tolerance re-randomizes.
+                self._begin_user_episode(level, horizon - t)
+                quiet_since = t
+            elif self._controller is not None and t - quiet_since >= self._cooldown:
+                self._controller.on_comfortable(self._dt)
+            t += self._dt
+        return BorrowerReport(
+            work_done=min(done, work),
+            elapsed=t,
+            completed=done >= work,
+            discomfort_events=events,
+            mean_level=level_integral / t if t > 0 else 0.0,
+        )

@@ -1,0 +1,73 @@
+"""Feedback-driven throttle adaptation.
+
+"Consider using user feedback directly in your application" (§5).  The
+controller is AIMD, like TCP congestion control: each user discomfort
+event multiplicatively collapses the ceiling; comfortable time additively
+recovers it toward a configured maximum.  The same discomfort signal the
+UUCS client collects for measurement thus becomes a control input.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ThrottleError
+from repro.throttle.throttle import Throttle
+
+__all__ = ["FeedbackController"]
+
+
+class FeedbackController:
+    """AIMD controller moving a throttle's ceiling from user feedback."""
+
+    def __init__(
+        self,
+        throttle: Throttle,
+        max_level: float,
+        backoff: float = 0.5,
+        recovery_per_minute: float = 0.05,
+        floor: float = 0.0,
+    ):
+        if not 0.0 < backoff < 1.0:
+            raise ThrottleError(f"backoff must be in (0,1), got {backoff}")
+        if recovery_per_minute < 0:
+            raise ThrottleError("recovery_per_minute must be >= 0")
+        if not 0.0 <= floor <= max_level:
+            raise ThrottleError(
+                f"need 0 <= floor <= max_level, got {floor}, {max_level}"
+            )
+        self._throttle = throttle
+        self._max_level = float(max_level)
+        self._backoff = float(backoff)
+        self._recovery = float(recovery_per_minute)
+        self._floor = float(floor)
+        self._discomfort_events = 0
+        throttle.set_ceiling(max_level)
+
+    @property
+    def throttle(self) -> Throttle:
+        return self._throttle
+
+    @property
+    def discomfort_events(self) -> int:
+        return self._discomfort_events
+
+    @property
+    def max_level(self) -> float:
+        return self._max_level
+
+    def on_discomfort(self) -> float:
+        """Multiplicative decrease; returns the new ceiling."""
+        self._discomfort_events += 1
+        new = max(self._floor, self._throttle.ceiling * self._backoff)
+        self._throttle.set_ceiling(new)
+        return new
+
+    def on_comfortable(self, elapsed_seconds: float) -> float:
+        """Additive recovery for ``elapsed_seconds`` of quiet operation."""
+        if elapsed_seconds < 0:
+            raise ThrottleError(
+                f"elapsed_seconds must be >= 0, got {elapsed_seconds}"
+            )
+        gain = self._recovery * elapsed_seconds / 60.0
+        new = min(self._max_level, self._throttle.ceiling + gain)
+        self._throttle.set_ceiling(new)
+        return new

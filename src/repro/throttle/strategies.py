@@ -1,0 +1,128 @@
+"""Borrowing strategies and the foreground activity model.
+
+Current systems are "extremely conservative": Condor, Sprite, and
+SETI@Home's default is "to execute only when they are quite sure the user
+is away" (§1) — the *screensaver* strategy.  The paper argues for more
+aggressive borrowing, citing linger-longer scheduling [Ryu &
+Hollingsworth] as the technique its CDFs could empower.  This module
+provides those strategies as request policies for the
+:class:`~repro.throttle.borrower.BackgroundBorrower`, plus the busy/idle
+:class:`ActivityModel` they need (a user who is away cannot be
+discomforted — and their machine is fully idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ValidationError
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "ActivityModel",
+    "RequestPolicy",
+    "aggressive",
+    "cdf_operating_point",
+    "linger_longer",
+    "screensaver",
+]
+
+#: A request policy maps "is the user active right now?" to the contention
+#: level the guest asks the throttle for.
+RequestPolicy = Callable[[bool], float]
+
+
+@dataclass(frozen=True)
+class ActivityModel:
+    """Alternating active/idle foreground periods.
+
+    Period lengths are exponential, matching the bursty session structure
+    interactive-workload models assume.  ``presence`` rescales both means
+    to tune the long-run active fraction.
+    """
+
+    mean_active: float = 1200.0
+    mean_idle: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.mean_active <= 0 or self.mean_idle <= 0:
+            raise ValidationError("activity period means must be positive")
+
+    @property
+    def active_fraction(self) -> float:
+        """Long-run fraction of time the user is at the machine."""
+        return self.mean_active / (self.mean_active + self.mean_idle)
+
+    def schedule(
+        self, horizon: float, seed: SeedLike = None, start_active: bool = True
+    ) -> list[tuple[float, float, bool]]:
+        """Realize one activity timeline: ``(start, end, active)`` spans."""
+        if horizon <= 0:
+            raise ValidationError(f"horizon must be positive, got {horizon}")
+        rng = ensure_rng(seed)
+        spans: list[tuple[float, float, bool]] = []
+        t, active = 0.0, start_active
+        while t < horizon:
+            mean = self.mean_active if active else self.mean_idle
+            end = min(horizon, t + float(rng.exponential(mean)))
+            spans.append((t, end, active))
+            t, active = end, not active
+        return spans
+
+    def active_at(
+        self, spans: list[tuple[float, float, bool]], t: float
+    ) -> bool:
+        """Whether the user is active at time ``t`` of a realized schedule."""
+        for start, end, active in spans:
+            if start <= t < end:
+                return active
+        return bool(spans[-1][2]) if spans else True
+
+
+# --------------------------------------------------------------------------
+# Request policies (what the guest asks the throttle for)
+# --------------------------------------------------------------------------
+
+
+def screensaver(burst_level: float = 8.0) -> RequestPolicy:
+    """Borrow only when the user is away — today's conservative default."""
+
+    def policy(user_active: bool) -> float:
+        return 0.0 if user_active else burst_level
+
+    return policy
+
+
+def linger_longer(
+    linger_level: float, burst_level: float = 8.0
+) -> RequestPolicy:
+    """Full borrowing when idle, plus a low 'linger' level while the user
+    works — fine-grain cycle stealing in between the user's cycles."""
+    if linger_level < 0:
+        raise ValidationError(f"linger_level must be >= 0, got {linger_level}")
+
+    def policy(user_active: bool) -> float:
+        return linger_level if user_active else burst_level
+
+    return policy
+
+
+def cdf_operating_point(level: float) -> RequestPolicy:
+    """A constant level chosen from the comfort CDFs (§5)."""
+    if level < 0:
+        raise ValidationError(f"level must be >= 0, got {level}")
+
+    def policy(user_active: bool) -> float:
+        return level
+
+    return policy
+
+
+def aggressive(level: float = 8.0) -> RequestPolicy:
+    """Ask for everything all the time (pair with a feedback controller)."""
+
+    def policy(user_active: bool) -> float:
+        return level
+
+    return policy

@@ -1,0 +1,123 @@
+"""The contention throttle and CDF-driven operating points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.metrics import DiscomfortCDF
+from repro.core.resources import CONTENTION_LIMITS, Resource
+from repro.errors import InsufficientDataError, ThrottleError
+
+__all__ = ["CDFThrottlePolicy", "Throttle", "level_for_target"]
+
+
+class Throttle:
+    """A fine-grained limiter on how much contention a borrower creates.
+
+    The borrower asks for whatever level it likes; :meth:`grant` returns
+    the clamped level actually permitted.  The ceiling can be moved at any
+    time (by a policy or a feedback controller), which is the "control its
+    borrowing at a fine granularity" requirement.
+    """
+
+    def __init__(self, resource: Resource, ceiling: float = 0.0):
+        self._resource = resource
+        self._limit = CONTENTION_LIMITS[resource]
+        self.set_ceiling(ceiling)
+
+    @property
+    def resource(self) -> Resource:
+        return self._resource
+
+    @property
+    def ceiling(self) -> float:
+        return self._ceiling
+
+    def set_ceiling(self, ceiling: float) -> None:
+        if not 0.0 <= ceiling <= self._limit:
+            raise ThrottleError(
+                f"ceiling {ceiling} outside [0, {self._limit}] for "
+                f"{self._resource.value}"
+            )
+        self._ceiling = float(ceiling)
+
+    def grant(self, requested: float) -> float:
+        """The contention level the borrower may actually apply."""
+        if requested < 0:
+            raise ThrottleError(f"requested level must be >= 0, got {requested}")
+        return min(requested, self._ceiling)
+
+
+def level_for_target(
+    cdf: DiscomfortCDF, target_fraction: float = 0.05
+) -> float:
+    """The borrowing level that discomforts ``target_fraction`` of users.
+
+    Exactly the paper's "exploit our CDFs to set the throttle according to
+    the percentage of users you are willing to affect".  When even the
+    full explored range discomforts fewer users than the target, the
+    maximum explored level is returned (borrow everything measured safe).
+    """
+    if not 0.0 < target_fraction < 1.0:
+        raise ThrottleError(
+            f"target_fraction must be in (0,1), got {target_fraction}"
+        )
+    try:
+        return cdf.c_percentile(target_fraction)
+    except InsufficientDataError:
+        levels = [obs.level for obs in cdf.observations]
+        return max(levels)
+
+
+@dataclass(frozen=True)
+class CDFThrottlePolicy:
+    """Per-context throttle settings derived from study CDFs.
+
+    "Know what the user is doing.  Their context greatly affects the right
+    throttle setting."  The policy maps each known task to its CDF-derived
+    level and falls back to the aggregate level when the context is
+    unknown.
+    """
+
+    resource: Resource
+    target_fraction: float
+    #: Level per task name.
+    per_task: Mapping[str, float]
+    #: Aggregate fallback level.
+    default: float
+
+    @classmethod
+    def from_cdfs(
+        cls,
+        resource: Resource,
+        aggregate: DiscomfortCDF,
+        per_task: Mapping[str, DiscomfortCDF],
+        target_fraction: float = 0.05,
+    ) -> "CDFThrottlePolicy":
+        levels = {
+            task: level_for_target(cdf, target_fraction)
+            for task, cdf in per_task.items()
+        }
+        return cls(
+            resource=resource,
+            target_fraction=target_fraction,
+            per_task=levels,
+            default=level_for_target(aggregate, target_fraction),
+        )
+
+    def level_for(self, task: str | None) -> float:
+        """The throttle ceiling while the user is doing ``task``."""
+        if task and task in self.per_task:
+            return self.per_task[task]
+        return self.default
+
+    def apply(self, throttle: Throttle, task: str | None) -> None:
+        if throttle.resource is not self.resource:
+            raise ThrottleError(
+                f"policy is for {self.resource.value}, throttle for "
+                f"{throttle.resource.value}"
+            )
+        throttle.set_ceiling(
+            min(self.level_for(task), CONTENTION_LIMITS[self.resource])
+        )

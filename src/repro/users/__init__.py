@@ -1,0 +1,36 @@
+"""Synthetic user population.
+
+The reproduction's substitute for the paper's 33 human participants (see
+DESIGN.md §2).  Each synthetic user carries self-rated skill levels and a
+latent tolerance personality; during a run, their per-(task, resource)
+discomfort threshold — calibrated from the paper's published tables — plus
+a reaction delay, a noise-floor hazard, and a ramp-adaptation effect decide
+when (if ever) they express discomfort.
+"""
+
+from repro.users.behavior import BehaviorParams, SimulatedUser
+from repro.users.mechanistic import MechanisticUser, SlowdownTolerance
+from repro.users.population import make_user, sample_population
+from repro.users.profile import RATING_CATEGORIES, SkillLevel, UserProfile
+from repro.users.tolerance import (
+    ToleranceSpec,
+    ToleranceTable,
+    calibrate_lognormal,
+    paper_calibrated_table,
+)
+
+__all__ = [
+    "BehaviorParams",
+    "MechanisticUser",
+    "RATING_CATEGORIES",
+    "SimulatedUser",
+    "SkillLevel",
+    "SlowdownTolerance",
+    "ToleranceSpec",
+    "ToleranceTable",
+    "UserProfile",
+    "calibrate_lognormal",
+    "make_user",
+    "paper_calibrated_table",
+    "sample_population",
+]

@@ -1,0 +1,116 @@
+"""Mechanistic (slowdown-based) user model.
+
+The calibrated :class:`~repro.users.behavior.SimulatedUser` reacts to
+contention directly, which is what regenerating the paper's tables needs.
+This alternative model instead reacts to the *interactivity* the simulated
+machine reports — latency inflation and jitter — so discomfort emerges from
+the machine and task models rather than from per-cell calibration.  It is
+used in ablation benchmarks to check that the mechanistic pathway
+reproduces the paper's *qualitative* orderings (Word tolerant, Quake
+sensitive; memory harmless until paging) with no per-cell constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.feedback import DiscomfortEvent
+from repro.core.resources import Resource
+from repro.core.run import RunContext
+from repro.core.session import InteractivitySample
+from repro.core.testcase import Testcase
+from repro.errors import ValidationError
+from repro.users.profile import UserProfile
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = ["MechanisticUser", "SlowdownTolerance"]
+
+
+@dataclass(frozen=True)
+class SlowdownTolerance:
+    """Population parameters for slowdown/jitter tolerance."""
+
+    #: Median tolerated latency inflation (e.g. 1.8 = 80 % slower feels bad).
+    slowdown_median: float = 1.8
+    #: Lognormal sigma of the slowdown tolerance.
+    slowdown_sigma: float = 0.35
+    #: Jitter level (0..1) at which a maximally jitter-sensitive task
+    #: becomes uncomfortable.
+    jitter_threshold: float = 0.25
+    #: How strongly task jitter sensitivity tightens the threshold, 0..1.
+    jitter_weight: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.slowdown_median <= 1.0:
+            raise ValidationError("slowdown_median must exceed 1.0")
+        if self.slowdown_sigma < 0:
+            raise ValidationError("slowdown_sigma must be >= 0")
+        if not 0.0 < self.jitter_threshold <= 1.0:
+            raise ValidationError("jitter_threshold must be in (0,1]")
+
+
+class MechanisticUser:
+    """Reacts to machine-reported slowdown and jitter, not contention."""
+
+    def __init__(
+        self,
+        profile: UserProfile,
+        jitter_sensitivity: float = 0.3,
+        tolerance: SlowdownTolerance | None = None,
+        seed: SeedLike = None,
+    ):
+        if not 0.0 <= jitter_sensitivity <= 1.0:
+            raise ValidationError("jitter_sensitivity must be in [0,1]")
+        self._profile = profile
+        self._jitter_sensitivity = jitter_sensitivity
+        self._tolerance = tolerance if tolerance is not None else SlowdownTolerance()
+        self._rng = ensure_rng(seed)
+        self._slowdown_threshold = 0.0
+        self._jitter_threshold = 1.0
+        self._crossed_at: float | None = None
+        self._delay = 0.0
+
+    @property
+    def profile(self) -> UserProfile:
+        return self._profile
+
+    def begin_run(self, testcase: Testcase, context: RunContext) -> None:
+        tol = self._tolerance
+        draw = float(
+            np.exp(np.log(tol.slowdown_median) + tol.slowdown_sigma * self._rng.standard_normal())
+        )
+        self._slowdown_threshold = 1.0 + (draw - 1.0) * self._profile.tolerance_factor
+        sens = self._jitter_sensitivity * tol.jitter_weight
+        # A jitter-insensitive task effectively never reacts to jitter.
+        self._jitter_threshold = tol.jitter_threshold / max(sens, 1e-3)
+        self._crossed_at = None
+        self._delay = float(
+            self._profile.reaction_delay_mean * self._rng.exponential(1.0)
+        )
+
+    def poll(
+        self,
+        t: float,
+        levels: Mapping[Resource, float],
+        interactivity: InteractivitySample,
+    ) -> DiscomfortEvent | None:
+        degraded = (
+            interactivity.slowdown >= self._slowdown_threshold
+            or interactivity.jitter >= self._jitter_threshold
+        )
+        if degraded:
+            if self._crossed_at is None:
+                self._crossed_at = t
+            if t - self._crossed_at >= self._delay:
+                return DiscomfortEvent(
+                    offset=t, levels=dict(levels), source="mechanistic"
+                )
+        else:
+            self._crossed_at = None
+        return None
+
+    def __repr__(self) -> str:
+        return f"MechanisticUser({self._profile.user_id})"

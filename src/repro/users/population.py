@@ -1,0 +1,89 @@
+"""Sampling synthetic user populations.
+
+The controlled study's participants were "primarily ... graduate students
+and undergraduates from the Northwestern engineering departments" — a
+self-selected, technically skilled sample.  :func:`sample_population`
+mirrors that: general PC/Windows ratings lean toward power users and
+correlate with each other, while the Quake rating has a wide spread (not
+everyone games).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.users.behavior import BehaviorParams, SimulatedUser
+from repro.users.profile import RATING_CATEGORIES, SkillLevel, UserProfile
+from repro.users.tolerance import ToleranceTable, paper_calibrated_table
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = ["make_user", "sample_population"]
+
+_LEVELS = (SkillLevel.POWER, SkillLevel.TYPICAL, SkillLevel.BEGINNER)
+
+#: Marginal rating distributions (power, typical, beginner) per category,
+#: reflecting an engineering-school volunteer pool.
+_MARGINALS: dict[str, tuple[float, float, float]] = {
+    "pc": (0.45, 0.45, 0.10),
+    "windows": (0.40, 0.50, 0.10),
+    "word": (0.30, 0.60, 0.10),
+    "powerpoint": (0.25, 0.60, 0.15),
+    "ie": (0.40, 0.55, 0.05),
+    "quake": (0.25, 0.40, 0.35),
+}
+
+#: Probability an application rating simply copies the PC rating
+#: (skill ratings are correlated within a person).
+_CORRELATION = 0.55
+
+
+def _draw_level(
+    rng: np.random.Generator, category: str
+) -> SkillLevel:
+    probs = _MARGINALS[category]
+    return _LEVELS[int(rng.choice(3, p=probs))]
+
+
+def sample_profile(user_id: str, seed: SeedLike = None) -> UserProfile:
+    """Sample one participant profile."""
+    rng = ensure_rng(seed)
+    ratings: dict[str, SkillLevel] = {"pc": _draw_level(rng, "pc")}
+    for category in RATING_CATEGORIES:
+        if category == "pc":
+            continue
+        if rng.random() < _CORRELATION:
+            ratings[category] = ratings["pc"]
+        else:
+            ratings[category] = _draw_level(rng, category)
+    tolerance = float(np.exp(rng.normal(0.0, 0.10)))
+    reaction = float(rng.uniform(1.5, 5.0))
+    return UserProfile(
+        user_id=user_id,
+        ratings=ratings,
+        tolerance_factor=tolerance,
+        reaction_delay_mean=reaction,
+    )
+
+
+def sample_population(n: int, seed: SeedLike = None) -> list[UserProfile]:
+    """Sample ``n`` participant profiles (the study used ``n = 33``)."""
+    rng = ensure_rng(seed)
+    return [
+        sample_profile(f"user-{i:03d}", rng) for i in range(n)
+    ]
+
+
+def make_user(
+    profile: UserProfile,
+    table: ToleranceTable | None = None,
+    params: BehaviorParams | None = None,
+    seed: SeedLike = None,
+) -> SimulatedUser:
+    """Wrap a profile in a behavioral model, defaulting to the
+    paper-calibrated tolerance table."""
+    return SimulatedUser(
+        profile,
+        table if table is not None else paper_calibrated_table(),
+        params,
+        seed,
+    )

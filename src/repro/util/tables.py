@@ -1,0 +1,65 @@
+"""Plain-text table rendering for study reports and benchmark output.
+
+Each benchmark regenerating a paper figure prints a text table mirroring the
+figure's rows and columns; this module is the single place table layout
+lives.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["TextTable", "format_float"]
+
+
+def format_float(value: float | None, digits: int = 2, star: str = "*") -> str:
+    """Format a float like the paper's tables.
+
+    ``None`` and NaN render as ``star`` — the paper's marker for
+    "insufficient information" (Figures 15, 16).
+    """
+    if value is None:
+        return star
+    if isinstance(value, float) and math.isnan(value):
+        return star
+    return f"{value:.{digits}f}"
+
+
+class TextTable:
+    """A minimal fixed-width text table with a title and column headers."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [self.title, sep, line(self.headers), sep]
+        parts.extend(line(row) for row in self.rows)
+        parts.append(sep)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

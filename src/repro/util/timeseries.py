@@ -1,0 +1,165 @@
+"""Uniformly sampled time series.
+
+Exercise functions (paper §2.1) and monitor load traces are both "a vector
+of values representing a time series sampled at the specified rate".
+:class:`SampledSeries` is the common representation: an immutable pairing of
+a sample rate (Hz) with a float vector, plus the handful of operations the
+rest of the system needs (point lookup, resampling, slicing in time,
+trailing windows).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["SampledSeries"]
+
+
+class SampledSeries:
+    """An immutable time series sampled at a fixed rate.
+
+    Sample ``i`` covers the half-open time interval
+    ``[i / rate, (i + 1) / rate)``, matching the paper's example where the
+    vector ``[0, 0.5, 1.0, 1.5, 2.0]`` at 1 Hz "persists from 0 to 5
+    seconds" and the value ``1.5`` applies "from 3 to 4 seconds".
+    """
+
+    __slots__ = ("_rate", "_values")
+
+    def __init__(self, sample_rate: float, values: object):
+        if not (sample_rate > 0) or not np.isfinite(sample_rate):
+            raise ValidationError(
+                f"sample_rate must be positive and finite, got {sample_rate}"
+            )
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1:
+            raise ValidationError(f"values must be 1-D, got shape {arr.shape}")
+        if arr.size == 0:
+            raise ValidationError("a sampled series needs at least one value")
+        if np.any(~np.isfinite(arr)):
+            raise ValidationError("series values must be finite")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self._rate = float(sample_rate)
+        self._values = arr
+
+    @property
+    def sample_rate(self) -> float:
+        """Samples per second."""
+        return self._rate
+
+    @property
+    def values(self) -> np.ndarray:
+        """The (read-only) sample vector."""
+        return self._values
+
+    @property
+    def duration(self) -> float:
+        """Total time covered, in seconds."""
+        return len(self._values) / self._rate
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SampledSeries):
+            return NotImplemented
+        return self._rate == other._rate and np.array_equal(
+            self._values, other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._rate, self._values.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"SampledSeries(rate={self._rate:g} Hz, n={len(self._values)}, "
+            f"duration={self.duration:g}s)"
+        )
+
+    # -- lookups ---------------------------------------------------------
+
+    def index_at(self, t: float) -> int:
+        """Sample index covering time ``t``.
+
+        Raises :class:`ValidationError` outside ``[0, duration)`` except
+        that ``t == duration`` maps to the final sample for convenience.
+        """
+        if t < 0 or t > self.duration:
+            raise ValidationError(
+                f"t={t} outside series duration [0, {self.duration}]"
+            )
+        # The epsilon counters float truncation at exact sample boundaries
+        # (t = i/rate must land in sample i even when t*rate < i by 1 ulp).
+        idx = int(t * self._rate * (1.0 + 1e-12) + 1e-9)
+        return min(idx, len(self._values) - 1)
+
+    def value_at(self, t: float) -> float:
+        """Series value in effect at time ``t`` (zero-order hold)."""
+        return float(self._values[self.index_at(t)])
+
+    def times(self) -> np.ndarray:
+        """Start time of each sample."""
+        return np.arange(len(self._values)) / self._rate
+
+    def last_values(self, t: float, n: int = 5) -> np.ndarray:
+        """The up-to-``n`` values at and before time ``t``.
+
+        The paper records "the last five contention values used in each
+        exercise function at the point of user feedback" (§2.3).
+        """
+        end = self.index_at(t) + 1
+        start = max(0, end - n)
+        return self._values[start:end].copy()
+
+    # -- transforms ------------------------------------------------------
+
+    def slice_time(self, start: float, end: float) -> "SampledSeries":
+        """Sub-series covering ``[start, end)`` (at least one sample)."""
+        if not 0 <= start < end <= self.duration + 1e-12:
+            raise ValidationError(
+                f"bad slice [{start}, {end}) of duration {self.duration}"
+            )
+        i0 = int(start * self._rate)
+        i1 = max(i0 + 1, int(np.ceil(end * self._rate)))
+        return SampledSeries(self._rate, self._values[i0 : min(i1, len(self))])
+
+    def resample(self, new_rate: float) -> "SampledSeries":
+        """Zero-order-hold resample to ``new_rate``, preserving duration."""
+        if not (new_rate > 0) or not np.isfinite(new_rate):
+            raise ValidationError(f"bad new_rate {new_rate}")
+        n_new = max(1, int(round(self.duration * new_rate)))
+        t_new = np.arange(n_new) / new_rate
+        idx = np.minimum(
+            (t_new * self._rate).astype(int), len(self._values) - 1
+        )
+        return SampledSeries(new_rate, self._values[idx])
+
+    def scaled(self, factor: float) -> "SampledSeries":
+        """Series with every value multiplied by ``factor``."""
+        return SampledSeries(self._rate, self._values * float(factor))
+
+    def clipped(self, lo: float, hi: float) -> "SampledSeries":
+        """Series with values clipped into ``[lo, hi]``."""
+        return SampledSeries(self._rate, np.clip(self._values, lo, hi))
+
+    def iter_segments(self) -> Iterator[tuple[float, float, float]]:
+        """Yield ``(start_time, end_time, value)`` for each sample."""
+        dt = 1.0 / self._rate
+        for i, v in enumerate(self._values):
+            yield (i * dt, (i + 1) * dt, float(v))
+
+    # -- summary ---------------------------------------------------------
+
+    def max(self) -> float:
+        return float(self._values.max())
+
+    def min(self) -> float:
+        return float(self._values.min())
+
+    def mean(self) -> float:
+        return float(self._values.mean())

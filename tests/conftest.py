@@ -1,0 +1,75 @@
+"""Shared fixtures.
+
+The controlled study takes a few seconds, so one canonical execution is
+session-scoped and shared by every analysis/report/integration test; tests
+that need different parameters run their own small studies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_task
+from repro.machine import MachineSpec, SimulatedMachine
+from repro.study import ControlledStudyConfig, run_controlled_study
+from repro.users import (
+    BehaviorParams,
+    make_user,
+    paper_calibrated_table,
+    sample_population,
+)
+
+#: Canonical seed for the shared study; chosen once, never tuned per test.
+STUDY_SEED = 2004
+
+
+@pytest.fixture(scope="session")
+def controlled_study():
+    """The full 33-user controlled study, shared across the session."""
+    return run_controlled_study(ControlledStudyConfig(seed=STUDY_SEED))
+
+
+@pytest.fixture(scope="session")
+def study_runs(controlled_study):
+    return list(controlled_study.runs)
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """A quick 6-user study for tests that only need plumbing."""
+    return run_controlled_study(ControlledStudyConfig(n_users=6, seed=99))
+
+
+@pytest.fixture()
+def machine():
+    return SimulatedMachine(MachineSpec.dell_gx270())
+
+
+@pytest.fixture()
+def tolerance_table():
+    return paper_calibrated_table()
+
+
+@pytest.fixture()
+def behavior_params():
+    return BehaviorParams()
+
+
+@pytest.fixture()
+def population():
+    return sample_population(10, seed=5)
+
+
+@pytest.fixture()
+def one_user(population, tolerance_table):
+    return make_user(population[0], tolerance_table, seed=7)
+
+
+@pytest.fixture()
+def word_task():
+    return get_task("word")
+
+
+@pytest.fixture()
+def quake_task():
+    return get_task("quake")

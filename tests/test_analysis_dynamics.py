@@ -1,0 +1,113 @@
+"""Tests for the ramp-vs-step (frog-in-pot) analysis."""
+
+import pytest
+
+from repro.analysis.dynamics import ramp_vs_step
+from repro.core.feedback import DiscomfortEvent, RunOutcome
+from repro.core.resources import Resource
+from repro.core.run import RunContext, TestcaseRun
+from repro.errors import InsufficientDataError
+
+
+def run_for(user, shape, level, discomfort=True, task="powerpoint",
+            resource=Resource.CPU):
+    feedback = None
+    if discomfort:
+        feedback = DiscomfortEvent(offset=60.0, levels={resource: level})
+    return TestcaseRun(
+        run_id=f"{user}-{shape}",
+        testcase_id=f"tc-{shape}",
+        context=RunContext(user_id=user, task=task),
+        outcome=RunOutcome.DISCOMFORT if discomfort else RunOutcome.EXHAUSTED,
+        end_offset=60.0 if discomfort else 120.0,
+        testcase_duration=120.0,
+        shapes={resource: shape},
+        levels_at_end={resource: level},
+        last_values={resource: (level,)},
+        feedback=feedback,
+    )
+
+
+class TestPairing:
+    def test_detects_frog_in_pot(self):
+        runs = []
+        for i in range(20):
+            runs.append(run_for(f"u{i}", "ramp", 1.2 + 0.01 * i))
+            runs.append(run_for(f"u{i}", "step", 0.98))
+        result = ramp_vs_step(runs, "powerpoint", Resource.CPU)
+        assert result.n_pairs == 20
+        assert result.fraction_higher_on_ramp == 1.0
+        assert result.mean_difference > 0.2
+        assert result.supports_frog_in_pot
+
+    def test_no_effect_when_equal(self):
+        runs = []
+        for i in range(20):
+            level = 1.0 + 0.01 * (i % 5)
+            runs.append(run_for(f"u{i}", "ramp", level))
+            runs.append(run_for(f"u{i}", "step", level))
+        result = ramp_vs_step(runs, "powerpoint", Resource.CPU)
+        assert result.mean_difference == pytest.approx(0.0, abs=1e-9)
+        assert not result.supports_frog_in_pot
+
+    @pytest.mark.filterwarnings(
+        "ignore:Precision loss occurred:RuntimeWarning"
+    )
+    def test_censored_runs_use_max_level(self):
+        runs = []
+        for i in range(10):
+            # Ramp exhausted at max 2.0, step reacted at 0.98.
+            runs.append(run_for(f"u{i}", "ramp", 2.0, discomfort=False))
+            runs.append(run_for(f"u{i}", "step", 0.98))
+        result = ramp_vs_step(runs, "powerpoint", Resource.CPU)
+        assert result.fraction_higher_on_ramp == 1.0
+
+    @pytest.mark.filterwarnings(
+        "ignore:Precision loss occurred:RuntimeWarning"
+    )
+    def test_unpaired_users_excluded(self):
+        runs = [
+            run_for("a", "ramp", 1.0),
+            run_for("a", "step", 0.9),
+            run_for("b", "ramp", 1.0),  # no step run
+            run_for("c", "ramp", 1.1),
+            run_for("c", "step", 1.0),
+        ]
+        result = ramp_vs_step(runs, "powerpoint", Resource.CPU)
+        assert result.n_pairs == 2
+
+    def test_too_few_pairs_raises(self):
+        runs = [run_for("a", "ramp", 1.0), run_for("a", "step", 0.9)]
+        with pytest.raises(InsufficientDataError):
+            ramp_vs_step(runs, "powerpoint", Resource.CPU)
+
+    def test_wrong_task_filtered(self):
+        runs = [
+            run_for(f"u{i}", shape, 1.0, task="word")
+            for i in range(5)
+            for shape in ("ramp", "step")
+        ]
+        with pytest.raises(InsufficientDataError):
+            ramp_vs_step(runs, "powerpoint", Resource.CPU)
+
+    @pytest.mark.filterwarnings(
+        "ignore:Precision loss occurred:RuntimeWarning"
+    )
+    def test_describe(self):
+        runs = []
+        for i in range(5):
+            runs.append(run_for(f"u{i}", "ramp", 1.2))
+            runs.append(run_for(f"u{i}", "step", 0.98))
+        text = ramp_vs_step(runs, "powerpoint", Resource.CPU).describe()
+        assert "powerpoint/cpu" in text and "pairs" in text
+
+
+class TestOnStudyData:
+    def test_powerpoint_cpu_shows_effect(self, study_runs):
+        """The paper's §3.3.5 result reproduces on the simulated study."""
+        result = ramp_vs_step(study_runs, "powerpoint", Resource.CPU)
+        assert result.n_pairs == 33
+        assert result.fraction_higher_on_ramp > 0.7
+        assert result.mean_difference > 0.1
+        assert result.test.p_value < 0.01
+        assert result.supports_frog_in_pot

@@ -1,0 +1,110 @@
+"""Tests for the skill-level factor analysis (Figure 17)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.factors import skill_level_differences, skill_table
+from repro.core.feedback import DiscomfortEvent, RunOutcome
+from repro.core.resources import Resource
+from repro.core.run import RunContext, TestcaseRun
+
+
+def synthetic_run(user_id, rating, level, task="quake", resource=Resource.CPU):
+    """A discomfort run with a known rating and reaction level."""
+    return TestcaseRun(
+        run_id=f"{user_id}-{task}-{resource.value}-{level:.3f}",
+        testcase_id="tc",
+        context=RunContext(
+            user_id=user_id,
+            task=task,
+            extra={
+                "rating_pc": rating,
+                "rating_windows": rating,
+                f"rating_{task}": rating,
+            },
+        ),
+        outcome=RunOutcome.DISCOMFORT,
+        end_offset=60.0,
+        testcase_duration=120.0,
+        shapes={resource: "ramp"},
+        levels_at_end={resource: level},
+        last_values={resource: (level,)},
+        feedback=DiscomfortEvent(offset=60.0, levels={resource: level}),
+    )
+
+
+def build_runs(power_mean, typical_mean, n=20, spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    runs = []
+    for i in range(n):
+        runs.append(
+            synthetic_run(
+                f"p{i}", "power", power_mean + rng.normal(0, spread)
+            )
+        )
+        runs.append(
+            synthetic_run(
+                f"t{i}", "typical", typical_mean + rng.normal(0, spread)
+            )
+        )
+    return runs
+
+
+class TestSyntheticGroups:
+    def test_detects_known_difference(self):
+        runs = build_runs(power_mean=0.5, typical_mean=0.8)
+        diffs = skill_level_differences(runs, tasks=("quake",))
+        quake_cpu = [
+            d for d in diffs
+            if d.task == "quake" and d.resource is Resource.CPU
+        ]
+        assert quake_cpu
+        best = quake_cpu[0]
+        assert best.p_value < 0.001
+        assert best.skilled_less_tolerant
+        assert best.diff == pytest.approx(0.3, abs=0.1)
+
+    def test_no_false_positive_on_identical_groups(self):
+        runs = build_runs(power_mean=0.7, typical_mean=0.7, spread=0.2, seed=3)
+        diffs = skill_level_differences(runs, tasks=("quake",), alpha=0.01)
+        assert all(d.p_value >= 0.01 for d in diffs) or not diffs
+
+    def test_sorted_by_significance(self):
+        runs = build_runs(0.5, 0.9)
+        diffs = skill_level_differences(runs, tasks=("quake",))
+        p_values = [d.p_value for d in diffs]
+        assert p_values == sorted(p_values)
+
+    def test_insufficient_groups_skipped(self):
+        runs = [synthetic_run("a", "power", 0.5)]
+        assert skill_level_differences(runs, tasks=("quake",)) == []
+
+    def test_describe_and_table(self):
+        runs = build_runs(0.5, 0.8)
+        diffs = skill_level_differences(runs, tasks=("quake",))
+        text = skill_table(diffs).render()
+        assert "quake" in text and "cpu" in text
+        assert "p" in text
+        assert "vs" in diffs[0].describe()
+
+
+class TestOnStudyData:
+    def test_study_factor_analysis_runs(self, study_runs):
+        diffs = skill_level_differences(study_runs, significant_only=False)
+        assert diffs  # tests exist even if few reach significance at n=33
+        for d in diffs:
+            assert d.category in ("pc", "windows", d.task)
+
+    def test_quake_cpu_direction_on_study(self, study_runs):
+        """Power users tolerate less CPU contention in Quake (Fig 17's
+        headline effect), at least directionally."""
+        diffs = skill_level_differences(study_runs, significant_only=False)
+        quake_cpu = [
+            d for d in diffs
+            if d.task == "quake"
+            and d.resource is Resource.CPU
+            and d.category == "quake"
+            and d.group_high.value == "power"
+        ]
+        assert quake_cpu
+        assert quake_cpu[0].test.diff > -0.05  # not inverted

@@ -1,0 +1,152 @@
+"""Tests for the figure-regeneration reports (Figures 9, 13-16)."""
+
+import pytest
+
+from repro import paperdata
+from repro.analysis.report import (
+    breakdown_table,
+    cell_metrics,
+    metric_tables,
+    sensitivity_grid,
+)
+from repro.core.resources import Resource
+
+
+@pytest.fixture(scope="module")
+def cells_and_tables(controlled_study):
+    return metric_tables(list(controlled_study.runs))
+
+
+class TestBreakdown:
+    def test_totals_add_up(self, study_runs):
+        rows, table = breakdown_table(study_runs)
+        total = rows["total"]
+        per_task = [rows[t] for t in paperdata.STUDY_TASKS]
+        assert total.nonblank_discomforted == sum(
+            r.nonblank_discomforted for r in per_task
+        )
+        assert total.blank_exhausted == sum(r.blank_exhausted for r in per_task)
+        grand = (
+            total.nonblank_discomforted
+            + total.nonblank_exhausted
+            + total.blank_discomforted
+            + total.blank_exhausted
+        )
+        assert grand == len(study_runs)
+
+    def test_noise_floor_shape(self, study_runs):
+        # Figure 9: blank discomfort only in IE and Quake.
+        rows, _ = breakdown_table(study_runs)
+        assert rows["word"].blank_discomfort_prob == 0.0
+        assert rows["powerpoint"].blank_discomfort_prob == 0.0
+        assert rows["ie"].blank_discomfort_prob > 0.1
+        assert rows["quake"].blank_discomfort_prob > 0.15
+
+    def test_render_contains_rows(self, study_runs):
+        _, table = breakdown_table(study_runs)
+        text = table.render()
+        for task in paperdata.STUDY_TASKS:
+            assert task in text
+
+
+class TestCellMetrics:
+    def test_metric_tables_cover_grid(self, cells_and_tables):
+        cells, tables = cells_and_tables
+        assert len(cells) == 15  # 4 tasks + total, x 3 resources
+        assert set(tables) == {"f_d", "c_05", "c_a"}
+
+    def test_starred_cell_word_memory(self, cells_and_tables):
+        cells, tables = cells_and_tables
+        cell = cells[("word", Resource.MEMORY)]
+        assert cell.f_d == 0.0
+        assert cell.c_a is None
+        assert "*" in tables["c_a"].render()
+
+    def test_fd_in_unit_interval(self, cells_and_tables):
+        cells, _ = cells_and_tables
+        for cell in cells.values():
+            assert 0.0 <= cell.f_d <= 1.0
+
+    def test_c05_below_ca(self, cells_and_tables):
+        cells, _ = cells_and_tables
+        for cell in cells.values():
+            if cell.c_05 is not None and cell.c_a is not None:
+                assert cell.c_05 <= cell.c_a.mean + 1e-9
+
+    def test_single_cell_direct(self, study_runs):
+        cell = cell_metrics(study_runs, "quake", Resource.CPU)
+        assert cell.task == "quake"
+        assert cell.has_reactions
+        assert cell.cdf.n == 33
+
+    def test_aggregate_cell(self, study_runs):
+        cell = cell_metrics(study_runs, None, Resource.CPU)
+        assert cell.task == "total"
+        assert cell.cdf.n == 33 * 4
+
+    def test_empty_cell(self):
+        cell = cell_metrics([], "word", Resource.CPU)
+        assert cell.f_d == 0.0 and cell.cdf is None
+
+
+class TestSensitivityGrid:
+    def test_letters_complete(self, cells_and_tables):
+        cells, _ = cells_and_tables
+        letters, table = sensitivity_grid(cells)
+        for task in paperdata.STUDY_TASKS:
+            for col in ("cpu", "memory", "disk", "total"):
+                assert letters[(task, col)] in ("L", "M", "H")
+        for col in ("cpu", "memory", "disk"):
+            assert letters[("total", col)] in ("L", "M", "H")
+
+    def test_robust_shape_claims(self, cells_and_tables):
+        """The claims Figure 13 makes that our classifier must reproduce."""
+        cells, _ = cells_and_tables
+        letters, _ = sensitivity_grid(cells)
+        # Quake is the most CPU-sensitive context.
+        assert letters[("quake", "cpu")] == "H"
+        # Word is never highly sensitive.
+        assert "H" not in {
+            letters[("word", col)] for col in ("cpu", "memory", "disk")
+        }
+        # Memory and disk are Low in the office contexts.
+        assert letters[("word", "memory")] == "L"
+        assert letters[("powerpoint", "memory")] == "L"
+        assert letters[("powerpoint", "disk")] == "L"
+        # IE is the disk-sensitive context.
+        assert letters[("ie", "disk")] == "H"
+        # Aggregate row: memory and disk Low-ish, CPU not Low... CPU >= M.
+        assert letters[("total", "memory")] == "L"
+        assert letters[("total", "cpu")] in ("M", "H")
+
+    def test_classifier_on_paper_numbers(self):
+        """Applied to the paper's own published metrics, the documented
+        heuristic reproduces at least 10 of the 12 cell letters."""
+        from repro.analysis.report import CellMetrics
+        from repro.util.stats import ConfidenceInterval
+
+        cells = {}
+        for task in paperdata.STUDY_TASKS:
+            for resource in (Resource.CPU, Resource.MEMORY, Resource.DISK):
+                published = paperdata.cell(task, resource)
+                ci = (
+                    None
+                    if published.c_a is None
+                    else ConfidenceInterval(
+                        published.c_a, published.c_a_low, published.c_a_high
+                    )
+                )
+                cells[(task, resource)] = CellMetrics(
+                    task, resource, None, published.f_d, published.c_05, ci
+                )
+        for resource in (Resource.CPU, Resource.MEMORY, Resource.DISK):
+            published = paperdata.cell("total", resource)
+            cells[("total", resource)] = CellMetrics(
+                "total", resource, None, published.f_d, published.c_05, None
+            )
+        letters, _ = sensitivity_grid(cells)
+        matches = sum(
+            letters[(task, resource.value)] == expected
+            for (task, resource), expected in paperdata.FIG13_SENSITIVITY.items()
+        )
+        assert matches >= 10

@@ -1,0 +1,84 @@
+"""Tests for the task models."""
+
+import pytest
+
+from repro.apps import ALL_TASKS, TASK_ORDER, TaskModel, get_task
+from repro.errors import ValidationError
+
+
+class TestRegistry:
+    def test_order_matches_protocol(self):
+        assert TASK_ORDER == ("word", "powerpoint", "ie", "quake")
+        assert tuple(t.name for t in ALL_TASKS) == TASK_ORDER
+
+    def test_get_task_case_insensitive(self):
+        assert get_task("QUAKE").name == "quake"
+
+    def test_unknown_task(self):
+        with pytest.raises(ValidationError):
+            get_task("emacs")
+
+    def test_fresh_instances(self):
+        assert get_task("word") == get_task("word")
+        assert get_task("word") is not get_task("word")
+
+
+class TestCharacterizations:
+    """The paper's qualitative task characterizations (§3.2, §3.3.3)."""
+
+    def test_quake_is_most_cpu_demanding(self):
+        quake = get_task("quake")
+        assert all(
+            quake.cpu_demand >= t.cpu_demand for t in ALL_TASKS
+        )
+        assert quake.cpu_demand > 0.9
+
+    def test_word_is_least_demanding(self):
+        word = get_task("word")
+        assert all(word.cpu_demand <= t.cpu_demand for t in ALL_TASKS)
+
+    def test_ie_does_most_io(self):
+        ie = get_task("ie")
+        assert all(ie.io_fraction >= t.io_fraction for t in ALL_TASKS)
+
+    def test_office_working_sets_static(self):
+        # Word/Powerpoint form their set; IE/Quake stay dynamic.
+        assert get_task("word").memory_dynamism < get_task("ie").memory_dynamism
+        assert (
+            get_task("powerpoint").memory_dynamism
+            < get_task("quake").memory_dynamism
+        )
+
+    def test_quake_finest_interaction_grain(self):
+        quake = get_task("quake")
+        assert all(
+            quake.interaction_period <= t.interaction_period for t in ALL_TASKS
+        )
+        assert quake.jitter_sensitivity > 0.9
+
+    def test_interactivity_grain(self):
+        assert get_task("quake").interactivity_grain == pytest.approx(
+            1.0 / get_task("quake").interaction_period
+        )
+
+
+class TestValidation:
+    def test_bounds_enforced(self):
+        good = dict(
+            name="t", cpu_demand=0.5, io_fraction=0.1, working_set=0.2,
+            memory_dynamism=0.1, jitter_sensitivity=0.5,
+            interaction_period=0.1,
+        )
+        TaskModel(**good)
+        for key, bad in [
+            ("cpu_demand", 0.0),
+            ("cpu_demand", 1.5),
+            ("io_fraction", -0.1),
+            ("working_set", 0.0),
+            ("memory_dynamism", 2.0),
+            ("jitter_sensitivity", -1.0),
+            ("interaction_period", 0.0),
+            ("name", "has space"),
+        ]:
+            with pytest.raises(ValidationError):
+                TaskModel(**{**good, key: bad})

@@ -1,0 +1,220 @@
+"""Tests for the synthetic user behavioral model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exercise import blank, ramp, step
+from repro.core.resources import Resource
+from repro.core.run import RunContext
+from repro.core.session import InteractivitySample, run_simulated_session
+from repro.core.testcase import Testcase
+from repro.errors import ValidationError
+from repro.users.behavior import BehaviorParams, SimulatedUser
+from repro.users.profile import SkillLevel, UserProfile
+from repro.users.tolerance import ToleranceSpec, ToleranceTable
+
+SAMPLE = InteractivitySample()
+
+
+def fixed_table(mu=0.0, sigma=1e-6, p_react=1.0, ramp_bonus=0.0, task="word"):
+    """A table whose word/CPU threshold is essentially exp(mu)."""
+    return ToleranceTable(
+        {
+            (task, Resource.CPU): ToleranceSpec(
+                task, Resource.CPU, p_react=p_react, mu=mu, sigma=sigma,
+                ramp_bonus=ramp_bonus,
+            )
+        }
+    )
+
+
+def quiet_params(**kwargs):
+    defaults = dict(noise_prob_blank={}, reaction_delay_sigma=0.0)
+    defaults.update(kwargs)
+    return BehaviorParams(**defaults)
+
+
+def profile(**kwargs):
+    defaults = dict(user_id="u", tolerance_factor=1.0, reaction_delay_mean=1.0)
+    defaults.update(kwargs)
+    return UserProfile(**defaults)
+
+
+def run_ramp(user, x=5.0, t=100.0, task="word", rate=2.0):
+    tc = Testcase.single("r", ramp(Resource.CPU, x, t, rate))
+    return run_simulated_session(
+        tc, user, RunContext(user_id="u", task=task)
+    ).run
+
+
+class TestThresholdReaction:
+    def test_reacts_near_threshold_on_ramp(self):
+        user = SimulatedUser(
+            profile(), fixed_table(mu=math.log(2.0)), quiet_params(), seed=1
+        )
+        run = run_ramp(user)
+        assert run.discomforted
+        # Ramp of 5 over 100 s = 0.05/s; delay 1 s -> overshoot <= ~0.15.
+        assert run.discomfort_level(Resource.CPU) == pytest.approx(2.0, abs=0.2)
+
+    def test_never_reacts_when_unreactive(self):
+        user = SimulatedUser(
+            profile(), fixed_table(p_react=0.0), quiet_params(), seed=2
+        )
+        run = run_ramp(user)
+        assert run.exhausted
+
+    def test_personality_scales_threshold(self):
+        stoic = SimulatedUser(
+            profile(tolerance_factor=2.0), fixed_table(mu=math.log(1.5)),
+            quiet_params(), seed=3,
+        )
+        run = run_ramp(stoic)
+        assert run.discomfort_level(Resource.CPU) == pytest.approx(3.0, abs=0.2)
+
+    def test_reaction_requires_sustained_crossing(self):
+        # A sawtooth that dips below the threshold before the delay elapses
+        # never triggers.
+        from repro.core.exercise import sawtooth
+
+        user = SimulatedUser(
+            profile(reaction_delay_mean=4.0),
+            fixed_table(mu=math.log(1.8)),
+            quiet_params(),
+            seed=4,
+        )
+        tc = Testcase.single(
+            "saw", sawtooth(Resource.CPU, 2.0, 4.0, 60.0, sample_rate=2.0)
+        )
+        run = run_simulated_session(
+            tc, user, RunContext(user_id="u", task="word")
+        ).run
+        # Above 1.8 only in the last ~10% of each 4 s period (< delay).
+        assert run.exhausted
+
+    def test_step_reacts_after_delay_at_plateau(self):
+        user = SimulatedUser(
+            profile(reaction_delay_mean=2.0),
+            fixed_table(mu=math.log(1.0)),
+            quiet_params(),
+            seed=5,
+        )
+        tc = Testcase.single("s", step(Resource.CPU, 2.0, 120.0, 40.0, 2.0))
+        run = run_simulated_session(
+            tc, user, RunContext(user_id="u", task="word")
+        ).run
+        assert run.discomforted
+        assert run.end_offset == pytest.approx(42.0, abs=1.0)
+        assert run.discomfort_level(Resource.CPU) == 2.0
+
+
+class TestFrogInPot:
+    def test_ramp_tolerates_bonus_more_than_step(self):
+        table = fixed_table(mu=math.log(1.5), ramp_bonus=0.5)
+        user = SimulatedUser(profile(), table, quiet_params(), seed=6)
+        ramp_run = run_ramp(user)
+        tc = Testcase.single("s", step(Resource.CPU, 4.0, 100.0, 10.0, 2.0))
+        step_threshold = user.threshold_for("word", Resource.CPU, "step")
+        ramp_threshold = user.threshold_for("word", Resource.CPU, "ramp")
+        assert ramp_threshold == pytest.approx(step_threshold + 0.5, abs=1e-4)
+        assert ramp_run.discomfort_level(Resource.CPU) == pytest.approx(
+            1.5, abs=0.2
+        )
+
+
+class TestSkillShifts:
+    def _user(self, ratings):
+        return SimulatedUser(
+            profile(ratings=ratings),
+            fixed_table(mu=math.log(2.0)),
+            quiet_params(),
+            seed=7,
+        )
+
+    def test_power_user_less_tolerant(self):
+        power = self._user({"word": SkillLevel.POWER})
+        typical = self._user({"word": SkillLevel.TYPICAL})
+        beginner = self._user({"word": SkillLevel.BEGINNER})
+        tp = power.threshold_for("word", Resource.CPU, "ramp")
+        tt = typical.threshold_for("word", Resource.CPU, "ramp")
+        tb = beginner.threshold_for("word", Resource.CPU, "ramp")
+        assert tp < tt < tb
+
+    def test_general_ratings_also_shift(self):
+        power_pc = self._user({"pc": SkillLevel.POWER, "windows": SkillLevel.POWER})
+        typical = self._user({})
+        assert (
+            power_pc.threshold_for("word", Resource.CPU, "ramp")
+            < typical.threshold_for("word", Resource.CPU, "ramp")
+        )
+
+    def test_infinite_threshold_untouched_by_skill(self):
+        user = SimulatedUser(
+            profile(ratings={"word": SkillLevel.POWER}),
+            fixed_table(p_react=0.0),
+            quiet_params(),
+            seed=8,
+        )
+        assert math.isinf(user.threshold_for("word", Resource.CPU, "ramp"))
+
+
+class TestNoiseFloor:
+    def test_blank_noise_rate(self):
+        params = BehaviorParams(
+            noise_prob_blank={"quake": 0.3}, reaction_delay_sigma=0.0
+        )
+        user = SimulatedUser(profile(), fixed_table(p_react=0.0), params, seed=9)
+        tc = Testcase.single("b", blank(Resource.CPU, 120.0, 2.0))
+        reactions = 0
+        trials = 300
+        for _ in range(trials):
+            run = run_simulated_session(
+                tc, user, RunContext(user_id="u", task="quake")
+            ).run
+            reactions += run.discomforted
+        assert reactions / trials == pytest.approx(0.3, abs=0.06)
+
+    def test_noise_events_tagged(self):
+        params = BehaviorParams(
+            noise_prob_blank={"quake": 1.0}, reaction_delay_sigma=0.0
+        )
+        user = SimulatedUser(profile(), fixed_table(p_react=0.0), params, seed=10)
+        tc = Testcase.single("b", blank(Resource.CPU, 120.0, 2.0))
+        run = run_simulated_session(
+            tc, user, RunContext(user_id="u", task="quake")
+        ).run
+        assert run.discomforted
+        assert run.feedback.source == "noise"
+
+    def test_no_noise_for_word(self):
+        user = SimulatedUser(
+            profile(), fixed_table(p_react=0.0), BehaviorParams(), seed=11
+        )
+        tc = Testcase.single("b", blank(Resource.CPU, 120.0, 2.0))
+        for _ in range(100):
+            run = run_simulated_session(
+                tc, user, RunContext(user_id="u", task="word")
+            ).run
+            assert run.exhausted
+
+    def test_inrun_noise_reduced(self):
+        blank_p = BehaviorParams().noise_probability("quake", 120.0, blank=True)
+        inrun_p = BehaviorParams().noise_probability("quake", 120.0, blank=False)
+        assert inrun_p < blank_p * 0.5
+
+
+class TestParamValidation:
+    def test_noise_probability_bounds(self):
+        with pytest.raises(ValidationError):
+            BehaviorParams(noise_prob_blank={"ie": 1.5})
+        with pytest.raises(ValidationError):
+            BehaviorParams(noise_inrun_factor=2.0)
+        with pytest.raises(ValidationError):
+            BehaviorParams(reaction_delay_sigma=-1.0)
+
+    def test_noise_scales_with_duration(self):
+        p = BehaviorParams(noise_prob_blank={"ie": 0.2})
+        assert p.noise_probability("ie", 60.0, True) == pytest.approx(0.1)
+        assert p.noise_probability("ie", 240.0, True) == pytest.approx(0.4)

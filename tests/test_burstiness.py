@@ -1,0 +1,66 @@
+"""Tests for the burstiness (steady vs M/M/1) study extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.resources import CONTENTION_LIMITS, Resource
+from repro.errors import StudyError
+from repro.study import matched_mean_pair, run_burstiness_study
+
+
+class TestMatchedPair:
+    def test_means_match(self):
+        steady, bursty = matched_mean_pair("powerpoint", Resource.CPU, 0.6)
+        steady_mean = float(steady.functions[Resource.CPU].values.mean())
+        bursty_mean = float(bursty.functions[Resource.CPU].values.mean())
+        assert steady_mean == pytest.approx(0.6)
+        assert bursty_mean == pytest.approx(0.6, rel=0.05)
+
+    def test_bursty_has_higher_peak(self):
+        steady, bursty = matched_mean_pair("powerpoint", Resource.CPU, 0.6)
+        assert (
+            bursty.functions[Resource.CPU].max_level()
+            > steady.functions[Resource.CPU].max_level()
+        )
+
+    def test_levels_capped(self):
+        _, bursty = matched_mean_pair("quake", Resource.CPU, 2.0, seed=3)
+        assert (
+            bursty.functions[Resource.CPU].max_level()
+            <= CONTENTION_LIMITS[Resource.CPU] + 1e-9
+        )
+
+    def test_deterministic(self):
+        a = matched_mean_pair("ie", Resource.CPU, 0.5, seed=9)[1]
+        b = matched_mean_pair("ie", Resource.CPU, 0.5, seed=9)[1]
+        assert np.array_equal(
+            a.functions[Resource.CPU].values, b.functions[Resource.CPU].values
+        )
+
+    def test_validation(self):
+        with pytest.raises(StudyError):
+            matched_mean_pair("ie", Resource.CPU, 0.0)
+
+
+class TestBurstinessStudy:
+    def test_bursts_hurt_more_at_equal_mean(self):
+        result = run_burstiness_study(
+            "powerpoint", Resource.CPU, mean_level=0.6, n_users=25, seed=77
+        )
+        assert result.f_d_bursty > result.f_d_steady
+        assert result.burstiness_penalty > 0.2
+
+    def test_run_counts_and_arms(self):
+        result = run_burstiness_study(n_users=5, seed=1)
+        assert len(result.runs) == 10
+        arms = {r.context.extra["arm"] for r in result.runs}
+        assert arms == {"steady", "bursty"}
+
+    def test_deterministic(self):
+        a = run_burstiness_study(n_users=4, seed=2)
+        b = run_burstiness_study(n_users=4, seed=2)
+        assert [r.run_id for r in a.runs] == [r.run_id for r in b.runs]
+
+    def test_validation(self):
+        with pytest.raises(StudyError):
+            run_burstiness_study(n_users=0)

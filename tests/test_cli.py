@@ -1,0 +1,138 @@
+"""Tests for the uucs CLI toolchain."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*args):
+    return main(list(args))
+
+
+class TestTestcaseTools:
+    def test_gen_and_view(self, tmp_path, capsys):
+        store = str(tmp_path / "tcs")
+        assert run_cli("testcase-gen", "--store", store, "--shape", "ramp",
+                       "--resource", "cpu", "--level", "2.0") == 0
+        out = capsys.readouterr().out
+        assert "ramp-cpu-2" in out
+        assert run_cli("testcase-view", "ramp-cpu-2", "--store", store) == 0
+        out = capsys.readouterr().out
+        assert "shape=ramp" in out
+        assert "max=2" in out
+
+    def test_gen_all_shapes(self, tmp_path):
+        store = str(tmp_path / "tcs")
+        for shape in ("step", "ramp", "sine", "sawtooth", "constant", "blank"):
+            assert run_cli("testcase-gen", "--store", store, "--shape", shape,
+                           "--id", f"tc-{shape}") == 0
+
+    def test_gen_library(self, tmp_path, capsys):
+        store = str(tmp_path / "tcs")
+        assert run_cli("testcase-gen", "--store", store, "--library", "12",
+                       "--seed", "1") == 0
+        assert "12" in capsys.readouterr().out
+
+    def test_view_missing_errors(self, tmp_path, capsys):
+        assert run_cli("testcase-view", "nope",
+                       "--store", str(tmp_path)) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_level_reports_error(self, tmp_path, capsys):
+        assert run_cli("testcase-gen", "--store", str(tmp_path),
+                       "--shape", "constant", "--resource", "memory",
+                       "--level", "5.0") == 2
+
+
+class TestStudyPipeline:
+    def test_study_analyze_import(self, tmp_path, capsys):
+        results = str(tmp_path / "results")
+        assert run_cli("study", "--users", "4", "--seed", "9",
+                       "--results", results) == 0
+        assert "128 runs" in capsys.readouterr().out
+        assert run_cli("analyze", "--results", results) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "Figure 14" in out
+        assert "Figure 16" in out
+        assert "Figure 17" in out
+        db = str(tmp_path / "r.sqlite")
+        assert run_cli("import-db", "--results", results,
+                       "--database", db) == 0
+        assert "imported 128" in capsys.readouterr().out
+
+    def test_analyze_empty(self, tmp_path, capsys):
+        assert run_cli("analyze", "--results", str(tmp_path / "empty")) == 1
+
+
+class TestTestcaseEdit:
+    def test_scale_and_rename(self, tmp_path, capsys):
+        store = str(tmp_path / "tcs")
+        run_cli("testcase-gen", "--store", store, "--shape", "ramp",
+                "--resource", "cpu", "--level", "4.0", "--id", "base")
+        assert run_cli("testcase-edit", "base", "--store", store,
+                       "--scale", "0.5", "--new-id", "half") == 0
+        capsys.readouterr()
+        run_cli("testcase-view", "half", "--store", store)
+        assert "max=2" in capsys.readouterr().out
+
+    def test_merge(self, tmp_path, capsys):
+        store = str(tmp_path / "tcs")
+        run_cli("testcase-gen", "--store", store, "--shape", "ramp",
+                "--resource", "cpu", "--level", "1.0", "--id", "a")
+        run_cli("testcase-gen", "--store", store, "--shape", "ramp",
+                "--resource", "disk", "--level", "2.0", "--id", "b")
+        assert run_cli("testcase-edit", "a", "--store", store,
+                       "--merge", "b", "--new-id", "ab") == 0
+        capsys.readouterr()
+        run_cli("testcase-view", "ab", "--store", store)
+        out = capsys.readouterr().out
+        assert "cpu" in out and "disk" in out
+
+    def test_crop_and_speed(self, tmp_path, capsys):
+        store = str(tmp_path / "tcs")
+        run_cli("testcase-gen", "--store", store, "--shape", "ramp",
+                "--resource", "cpu", "--level", "2.0", "--duration", "100",
+                "--id", "base")
+        assert run_cli("testcase-edit", "base", "--store", store,
+                       "--crop-start", "20", "--crop-end", "80",
+                       "--speed", "2.0", "--new-id", "mod") == 0
+        assert "30s" in capsys.readouterr().out
+
+    def test_invalid_edit_errors(self, tmp_path, capsys):
+        store = str(tmp_path / "tcs")
+        run_cli("testcase-gen", "--store", store, "--shape", "ramp",
+                "--resource", "cpu", "--level", "4.0", "--id", "base")
+        assert run_cli("testcase-edit", "base", "--store", store,
+                       "--scale", "100.0") == 2
+
+
+class TestServeAndClient:
+    def test_serve_briefly(self, tmp_path, capsys):
+        assert run_cli("serve", "--root", str(tmp_path / "srv"),
+                       "--library", "3", "--timeout", "0.2") == 0
+        out = capsys.readouterr().out
+        assert "UUCS server on 127.0.0.1" in out
+        assert "3 testcases" in out
+
+    def test_client_against_tcp_server(self, tmp_path, capsys):
+        from repro.server import TCPServerTransport, UUCSServer
+        from repro.study import generate_library
+
+        server = UUCSServer(tmp_path / "srv", seed=1)
+        server.add_testcases(generate_library(10, seed=1))
+        with TCPServerTransport(server) as listener:
+            _, port = listener.address
+            assert run_cli(
+                "client", "--port", str(port),
+                "--root", str(tmp_path / "c"),
+                "--duration", "2500", "--interval", "400", "--seed", "4",
+            ) == 0
+        out = capsys.readouterr().out
+        assert "registered" in out
+        assert "uploaded" in out
+        assert len(server.registry) == 1
+
+    def test_client_refused_connection(self, tmp_path, capsys):
+        assert run_cli("client", "--port", "1",
+                       "--root", str(tmp_path / "c")) == 2

@@ -1,0 +1,68 @@
+"""Tests for the combination-of-resources study extension (question 2)."""
+
+import pytest
+
+from repro.core.resources import Resource
+from repro.errors import StudyError
+from repro.study import combination_testcase, run_combination_study
+
+
+@pytest.fixture(scope="module")
+def combo_result():
+    return run_combination_study(
+        "ie", (Resource.CPU, Resource.DISK), n_users=20, seed=42
+    )
+
+
+class TestCombinationTestcase:
+    def test_multi_resource_ramps(self):
+        tc = combination_testcase("ie", (Resource.CPU, Resource.DISK))
+        assert set(tc.functions) == {Resource.CPU, Resource.DISK}
+        assert tc.functions[Resource.CPU].max_level() == pytest.approx(2.0)
+        assert tc.functions[Resource.DISK].max_level() == pytest.approx(5.0)
+        assert not tc.is_blank()
+
+    def test_single_resource_arm(self):
+        tc = combination_testcase("word", (Resource.CPU,))
+        assert set(tc.functions) == {Resource.CPU}
+
+    def test_needs_resources(self):
+        with pytest.raises(StudyError):
+            combination_testcase("ie", ())
+
+
+class TestCombinationStudy:
+    def test_arms_and_counts(self, combo_result):
+        # 3 arms x 20 users.
+        assert len(combo_result.runs) == 60
+        assert combo_result.n_users == 20
+        arms = {r.context.extra["arm"] for r in combo_result.runs}
+        assert arms == {"cpu", "disk", "combined"}
+
+    def test_union_effect_nonnegative(self, combo_result):
+        """Borrowing both resources discomforts at least as often as the
+        worse single resource (statistically; generous slack for n=20)."""
+        assert combo_result.f_d_combined >= (
+            max(combo_result.f_d_single.values()) - 0.15
+        )
+
+    def test_combined_reacts_at_no_higher_first_resource_level(
+        self, combo_result
+    ):
+        """When both ramps run, discomfort arrives no later (in CPU-level
+        terms) than under the CPU ramp alone."""
+        single = combo_result.c_a_single[Resource.CPU]
+        combined = combo_result.c_a_combined_first
+        assert single is not None and combined is not None
+        assert combined <= single + 0.2
+
+    def test_deterministic(self):
+        a = run_combination_study("quake", n_users=5, seed=7)
+        b = run_combination_study("quake", n_users=5, seed=7)
+        assert [r.run_id for r in a.runs] == [r.run_id for r in b.runs]
+
+    def test_validation(self):
+        with pytest.raises(StudyError):
+            run_combination_study("ie", n_users=0)
+        with pytest.raises(StudyError):
+            run_combination_study("ie", (Resource.CPU,))

@@ -1,0 +1,61 @@
+"""Tests for paper-vs-measured comparison utilities."""
+
+import pytest
+
+from repro import paperdata
+from repro.analysis.compare import (
+    compare_cells,
+    comparison_table,
+    ordering_matches,
+    relative_error,
+)
+from repro.analysis.report import metric_tables
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.9, 1.0) == pytest.approx(0.1)
+
+    def test_both_none_is_exact(self):
+        assert relative_error(None, None) == 0.0
+
+    def test_one_none_is_undefined(self):
+        assert relative_error(None, 1.0) is None
+        assert relative_error(1.0, None) is None
+
+    def test_zero_published(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(0.5, 0.0) is None
+
+
+class TestOrdering:
+    def test_matches(self):
+        published = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert ordering_matches({"a": 0.5, "b": 0.7, "c": 0.9}, published)
+        assert not ordering_matches({"a": 3.0, "b": 2.0, "c": 1.0}, published)
+
+    def test_none_excluded(self):
+        published = {"a": 1.0, "b": None, "c": 3.0}
+        assert ordering_matches({"a": 0.1, "b": 99.0, "c": 0.2}, published)
+
+
+class TestCompareCells:
+    def test_covers_grid_with_totals(self, study_runs):
+        cells, _ = metric_tables(study_runs)
+        comparisons = compare_cells(cells)
+        assert len(comparisons) == 15
+        table_text = comparison_table(comparisons).render()
+        assert "quake/cpu" in table_text
+        assert "total/disk" in table_text
+
+    def test_starred_cell_compares_as_exact(self, study_runs):
+        cells, _ = metric_tables(study_runs)
+        comparisons = compare_cells(cells)
+        word_mem = next(
+            c for c in comparisons
+            if c.task == "word" and c.resource.value == "memory"
+        )
+        # Paper '*' reproduced as '*' counts as exact agreement.
+        assert word_mem.c_a_error == 0.0
+        assert word_mem.published_c_a is None

@@ -1,0 +1,81 @@
+"""Tests for the controlled study driver (protocol, determinism)."""
+
+import pytest
+
+from repro import paperdata
+from repro.errors import StudyError
+from repro.study import ControlledStudyConfig, run_controlled_study
+
+
+class TestProtocol:
+    def test_run_counts(self, small_study):
+        # 6 users x 4 tasks x 8 testcases.
+        assert len(small_study) == 6 * 4 * 8
+
+    def test_tasks_in_order_per_user(self, small_study):
+        for profile in small_study.profiles:
+            runs = small_study.runs_for(user_id=profile.user_id)
+            tasks = [r.context.task for r in runs]
+            boundaries = [tasks.index(t) for t in paperdata.STUDY_TASKS]
+            assert boundaries == sorted(boundaries)
+            # Within a user, started_at strictly increases.
+            starts = [r.context.started_at for r in runs]
+            assert starts == sorted(starts)
+            assert starts[0] >= 20 * 60  # preamble first
+
+    def test_testcase_order_randomized_between_users(self, small_study):
+        orders = set()
+        for profile in small_study.profiles:
+            runs = small_study.runs_for(user_id=profile.user_id, task="word")
+            orders.add(tuple(r.testcase_id for r in runs))
+        assert len(orders) > 1
+
+    def test_each_user_runs_every_testcase(self, small_study):
+        for profile in small_study.profiles:
+            for task in paperdata.STUDY_TASKS:
+                runs = small_study.runs_for(user_id=profile.user_id, task=task)
+                assert len(runs) == 8
+                assert len({r.testcase_id for r in runs}) == 8
+
+    def test_ratings_recorded_in_context(self, small_study):
+        run = small_study.runs[0]
+        profile = small_study.profile_for(run.context.user_id)
+        for category, level in profile.questionnaire().items():
+            assert run.context.extra[f"rating_{category}"] == level
+
+    def test_machine_recorded(self, small_study):
+        assert all(r.context.machine_id == "dell-gx270" for r in small_study)
+
+
+class TestDeterminism:
+    def test_same_seed_same_study(self):
+        a = run_controlled_study(ControlledStudyConfig(n_users=3, seed=17))
+        b = run_controlled_study(ControlledStudyConfig(n_users=3, seed=17))
+        assert [r.run_id for r in a.runs] == [r.run_id for r in b.runs]
+        assert [r.outcome for r in a.runs] == [r.outcome for r in b.runs]
+        assert [r.end_offset for r in a.runs] == [r.end_offset for r in b.runs]
+
+    def test_different_seed_differs(self):
+        a = run_controlled_study(ControlledStudyConfig(n_users=3, seed=17))
+        b = run_controlled_study(ControlledStudyConfig(n_users=3, seed=18))
+        assert [r.outcome for r in a.runs] != [r.outcome for r in b.runs]
+
+
+class TestResultAccess:
+    def test_filters(self, small_study):
+        word = small_study.runs_for(task="word")
+        assert all(r.context.task == "word" for r in word)
+        blanks = small_study.runs_for(blank=True)
+        assert len(blanks) == 6 * 4 * 2
+        non_blanks = small_study.runs_for(blank=False)
+        assert len(blanks) + len(non_blanks) == len(small_study)
+
+    def test_profile_lookup(self, small_study):
+        with pytest.raises(StudyError):
+            small_study.profile_for("ghost")
+
+    def test_config_validation(self):
+        with pytest.raises(StudyError):
+            ControlledStudyConfig(n_users=0)
+        with pytest.raises(StudyError):
+            ControlledStudyConfig(tasks=())

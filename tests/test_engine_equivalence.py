@@ -1,0 +1,148 @@
+"""The analytic engine's contract: bit-for-bit equivalence with the loop.
+
+The vectorized engine (repro.study.engine) may only ever be an
+optimization.  These tests drive both engines with identically-seeded
+users over the full study and over adversarial generated shapes, and
+require *identical* run records — outcomes, offsets, levels, traces.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_task
+from repro.core.exercise import ExerciseFunction
+from repro.core.resources import Resource
+from repro.core.run import RunContext
+from repro.core.session import run_simulated_session
+from repro.core.testcase import Testcase
+from repro.machine import SimulatedMachine
+from repro.monitor.base import SimulatedMonitor
+from repro.study import ControlledStudyConfig, run_controlled_study
+from repro.study.engine import run_analytic_session
+from repro.users.behavior import BehaviorParams, SimulatedUser
+from repro.users.population import sample_profile
+from repro.users.tolerance import ToleranceSpec, ToleranceTable
+from repro.util.timeseries import SampledSeries
+
+
+class TestFullStudyEquivalence:
+    def test_identical_runs_across_engines(self):
+        fast = run_controlled_study(
+            ControlledStudyConfig(n_users=8, seed=321, engine="analytic")
+        )
+        slow = run_controlled_study(
+            ControlledStudyConfig(n_users=8, seed=321, engine="loop")
+        )
+        assert len(fast.runs) == len(slow.runs)
+        for a, b in zip(fast.runs, slow.runs):
+            assert a == b, (a.run_id, a.outcome, b.outcome)
+
+    def test_default_engine_is_analytic(self):
+        assert ControlledStudyConfig().engine == "analytic"
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import StudyError
+
+        with pytest.raises(StudyError):
+            ControlledStudyConfig(engine="quantum")
+
+
+def _user(threshold_mu, noise_prob, delay, seed, sigma=0.3, ramp_bonus=0.1):
+    table = ToleranceTable(
+        {
+            ("word", Resource.CPU): ToleranceSpec(
+                "word", Resource.CPU, p_react=0.9, mu=threshold_mu,
+                sigma=sigma, ramp_bonus=ramp_bonus,
+            )
+        }
+    )
+    profile = sample_profile("eq-user", seed=seed)
+    profile = type(profile)(
+        user_id=profile.user_id,
+        ratings=profile.ratings,
+        tolerance_factor=profile.tolerance_factor,
+        reaction_delay_mean=delay,
+    )
+    params = BehaviorParams(
+        noise_prob_blank={"word": noise_prob}, noise_inrun_factor=0.5
+    )
+    return SimulatedUser(profile, table, params, seed=seed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=8.0), min_size=1, max_size=100
+    ),
+    rate=st.sampled_from([0.5, 1.0, 3.0, 4.0]),
+    mu=st.floats(min_value=-1.5, max_value=1.5),
+    noise=st.floats(min_value=0.0, max_value=1.0),
+    delay=st.floats(min_value=0.1, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_engines_identical(values, rate, mu, noise, delay, seed):
+    """Random level series (dips included), thresholds, delays, and noise:
+    both engines must emit the same run, trace for trace."""
+    fn = ExerciseFunction(
+        Resource.CPU, SampledSeries(rate, np.array(values)), "custom", {}
+    )
+    testcase = Testcase.single("eq", fn)
+    machine = SimulatedMachine()
+    task = get_task("word")
+    model = machine.interactivity_model(task)
+    monitor = SimulatedMonitor(machine, task)
+    context = RunContext(user_id="eq-user", task="word")
+
+    loop_result = run_simulated_session(
+        testcase, _user(mu, noise, delay, seed), context, model,
+        run_id="fixed", monitor=monitor,
+    )
+    analytic_result = run_analytic_session(
+        testcase, _user(mu, noise, delay, seed), context, model,
+        run_id="fixed", monitor=monitor,
+    )
+    a, b = loop_result.run, analytic_result.run
+    assert a.outcome == b.outcome
+    assert a.end_offset == b.end_offset
+    if a.feedback is not None:
+        assert a.feedback.source == b.feedback.source
+        assert a.feedback.offset == b.feedback.offset
+    assert a == b
+    assert np.array_equal(
+        loop_result.slowdown_trace, analytic_result.slowdown_trace
+    )
+    assert np.array_equal(
+        loop_result.jitter_trace, analytic_result.jitter_trace
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    levels=st.dictionaries(
+        st.sampled_from([Resource.CPU, Resource.MEMORY, Resource.DISK]),
+        st.floats(min_value=0.0, max_value=1.0),
+        min_size=1,
+        max_size=3,
+    ),
+    task_name=st.sampled_from(["word", "powerpoint", "ie", "quake"]),
+)
+def test_property_batch_matches_scalar_interactivity(levels, task_name):
+    """The vectorized machine paths are element-identical to scalars."""
+    machine = SimulatedMachine()
+    task = get_task(task_name)
+    model = machine.interactivity_model(task)
+    n = 7
+    arrays = {r: np.full(n, v) for r, v in levels.items()}
+    slow, jit = model.interactivity_batch(arrays, n)
+    scalar = model.interactivity(levels)
+    assert np.all(slow == scalar.slowdown)
+    assert np.all(jit == scalar.jitter)
+    cpu, mem, disk = machine.sample_load_batch(task, arrays, n)
+    load = machine.sample_load(task, levels)
+    assert np.all(cpu == load.cpu_utilization)
+    assert np.all(mem == load.memory_used)
+    assert np.all(disk == load.disk_utilization)

@@ -1,0 +1,64 @@
+"""Unit tests for the analytic engine's building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.exercise import constant, ramp
+from repro.core.resources import Resource
+from repro.core.testcase import Testcase
+from repro.study.engine import _level_array, _threshold_fire_step
+
+
+class TestLevelArray:
+    def test_same_length_function(self):
+        tc = Testcase.single("t", ramp(Resource.CPU, 2.0, 10.0, 1.0))
+        arr = _level_array(tc, Resource.CPU, 10)
+        assert np.array_equal(arr, tc.functions[Resource.CPU].values)
+
+    def test_short_function_pads_like_levels_at(self):
+        tc = Testcase(
+            "t",
+            {
+                Resource.CPU: constant(Resource.CPU, 1.0, 5.0, 1.0),
+                Resource.DISK: constant(Resource.DISK, 2.0, 10.0, 1.0),
+            },
+        )
+        arr = _level_array(tc, Resource.CPU, 10)
+        # Matches Testcase.levels_at at every step, including the boundary
+        # step at exactly the short function's duration.
+        for i in range(10):
+            assert arr[i] == tc.levels_at(float(i))[Resource.CPU], i
+
+
+class TestThresholdFireStep:
+    def test_immediate_fire_with_zero_delay_equivalent(self):
+        levels = np.array([0.0, 1.0, 2.0, 3.0])
+        # delay shorter than one sample: fires at the crossing sample.
+        assert _threshold_fire_step(levels, 1.5, 0.0, 1.0) == 2
+
+    def test_delay_postpones(self):
+        levels = np.array([0.0, 2.0, 2.0, 2.0, 2.0])
+        assert _threshold_fire_step(levels, 1.5, 2.0, 1.0) == 3
+
+    def test_dip_resets_the_clock(self):
+        levels = np.array([2.0, 2.0, 0.0, 2.0, 2.0, 2.0])
+        # Crossing at 0 is reset by the dip at 2; the run from 3 matures
+        # at index 5 (2 seconds after crossing at 3).
+        assert _threshold_fire_step(levels, 1.5, 2.0, 1.0) == 5
+
+    def test_never_fires_below_threshold(self):
+        levels = np.array([0.1, 0.2, 0.3])
+        assert _threshold_fire_step(levels, 1.0, 0.0, 1.0) is None
+
+    def test_never_fires_when_runs_too_short(self):
+        levels = np.array([2.0, 0.0, 2.0, 0.0, 2.0, 0.0])
+        assert _threshold_fire_step(levels, 1.5, 1.0, 1.0) is None
+
+    def test_exact_equality_counts_as_crossing(self):
+        levels = np.array([0.0, 1.5])
+        assert _threshold_fire_step(levels, 1.5, 0.0, 1.0) == 1
+
+    def test_sub_second_rates(self):
+        levels = np.full(20, 2.0)
+        # rate 4 Hz (dt 0.25): 1.0 s delay elapses at index 4.
+        assert _threshold_fire_step(levels, 1.0, 1.0, 0.25) == 4

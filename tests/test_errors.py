@@ -1,0 +1,27 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_validation_error_is_value_error():
+    assert issubclass(errors.ValidationError, ValueError)
+
+
+def test_specific_parents():
+    assert issubclass(errors.RegistrationError, errors.ProtocolError)
+    assert issubclass(errors.CalibrationError, errors.ExerciserError)
+    assert issubclass(errors.InsufficientDataError, errors.AnalysisError)
+
+
+def test_single_except_catches_library_failures():
+    with pytest.raises(errors.ReproError):
+        raise errors.StoreError("x")

@@ -1,0 +1,48 @@
+"""Smoke tests over the example scripts.
+
+Every example must at least compile; the fast ones also run end-to-end
+in a subprocess (the slow ones are exercised piecemeal by the unit and
+benchmark suites already).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("stem", ["quickstart", "custom_study"])
+def test_fast_example_runs(stem):
+    path = next(p for p in EXAMPLES if p.stem == stem)
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr[-800:]
+    assert proc.stdout.strip()
+
+
+def test_example_inventory():
+    """The README promises at least these runnable examples."""
+    stems = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "controlled_study",
+        "internet_study",
+        "live_borrowing",
+        "throttle_scheduler",
+        "custom_study",
+    } <= stems

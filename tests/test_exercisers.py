@@ -1,0 +1,180 @@
+"""Tests for the real resource exercisers.
+
+These run *live* but briefly: tiny durations, small pools/files.  Fidelity
+measurement (does contention c slow a victim to 1/(1+c)?) lives in the
+benchmarks, where timing noise is expected; here we verify lifecycle,
+duty-cycle logic, and observable side effects.
+"""
+
+import time
+
+import pytest
+
+from repro.core.exercise import ramp
+from repro.core.resources import Resource
+from repro.errors import CalibrationError, ExerciserError
+from repro.exercisers import (
+    CPUExerciser,
+    DiskExerciser,
+    MemoryExerciser,
+    calibrate_spin,
+    play,
+)
+from repro.exercisers.calibration import CalibrationResult, spin_for
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate_spin(trials=3, trial_iterations=100_000)
+
+
+class TestCalibration:
+    def test_measures_positive_rate(self, calibration):
+        assert calibration.iterations_per_ms > 100
+        assert calibration.spread >= 0.0
+
+    def test_iterations_for(self, calibration):
+        assert calibration.iterations_for(0.01) == pytest.approx(
+            calibration.iterations_per_ms * 10, rel=0.01
+        )
+        assert calibration.iterations_for(0.0) == 1
+
+    def test_spin_for_duration(self, calibration):
+        start = time.perf_counter()
+        spin_for(0.03, calibration)
+        elapsed = time.perf_counter() - start
+        assert elapsed >= 0.03
+        assert elapsed < 0.3  # generous: shared CI machines stall
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            calibrate_spin(trials=0)
+        with pytest.raises(CalibrationError):
+            calibrate_spin(trial_iterations=10)
+
+
+class TestCPUExerciser:
+    def test_lifecycle(self, calibration):
+        ex = CPUExerciser(calibration=calibration, max_workers=2)
+        assert not ex.running
+        with ex:
+            assert ex.running
+            ex.set_level(1.5)
+            assert ex.level == 1.5
+            time.sleep(0.05)
+        assert not ex.running
+        ex.stop()  # idempotent
+
+    def test_duty_cycles_split_across_workers(self, calibration):
+        ex = CPUExerciser(calibration=calibration, max_workers=3)
+        ex.set_level(1.5)
+        assert list(ex._duties) == [1.0, 0.5, 0.0]
+        ex.set_level(0.25)
+        assert list(ex._duties) == [0.25, 0.0, 0.0]
+
+    def test_level_exceeding_workers_rejected(self, calibration):
+        ex = CPUExerciser(calibration=calibration, max_workers=1)
+        with pytest.raises(ExerciserError):
+            ex.set_level(2.0)
+
+    def test_double_start_rejected(self, calibration):
+        with CPUExerciser(calibration=calibration, max_workers=1) as ex:
+            with pytest.raises(ExerciserError):
+                ex.start()
+
+    def test_bad_params(self, calibration):
+        with pytest.raises(ExerciserError):
+            CPUExerciser(subinterval=0.0, calibration=calibration)
+        with pytest.raises(ExerciserError):
+            CPUExerciser(calibration=calibration, max_workers=0)
+
+
+class TestMemoryExerciser:
+    def test_touches_accumulate(self):
+        with MemoryExerciser(pool_bytes=4 * 1024 * 1024,
+                             touch_interval=0.01) as ex:
+            ex.set_level(0.5)
+            time.sleep(0.15)
+            assert ex.touches >= 3
+
+    def test_zero_level_touches_nothing(self):
+        ex = MemoryExerciser(pool_bytes=1024 * 1024, touch_interval=0.01)
+        with ex:
+            time.sleep(0.05)
+        # Sweeps at level 0 do not count as touches.
+        assert ex.touches == 0
+
+    def test_pool_released_on_stop(self):
+        ex = MemoryExerciser(pool_bytes=1024 * 1024)
+        ex.start()
+        assert ex._pool is not None
+        ex.stop()
+        assert ex._pool is None
+
+    def test_level_validation(self):
+        ex = MemoryExerciser(pool_bytes=1024 * 1024)
+        with pytest.raises(Exception):
+            ex.set_level(1.5)
+
+    def test_bad_params(self):
+        with pytest.raises(ExerciserError):
+            MemoryExerciser(pool_bytes=100)
+        with pytest.raises(ExerciserError):
+            MemoryExerciser(touch_interval=0.0)
+
+
+class TestDiskExerciser:
+    def test_writes_happen_and_file_cleaned(self, tmp_path):
+        ex = DiskExerciser(
+            file_size=1024 * 1024, directory=tmp_path, subinterval=0.01,
+            max_write=16 * 1024, max_workers=2,
+        )
+        with ex:
+            ex.set_level(2.0)
+            time.sleep(0.25)
+            assert ex.writes > 0
+            assert ex.bytes_written > 0
+            assert list(tmp_path.glob("uucs-disk-*"))
+        assert not list(tmp_path.glob("uucs-disk-*"))
+
+    def test_zero_level_writes_nothing(self, tmp_path):
+        with DiskExerciser(file_size=1024 * 1024, directory=tmp_path,
+                           subinterval=0.01, max_workers=1) as ex:
+            time.sleep(0.1)
+            assert ex.writes == 0
+
+    def test_bad_params(self, tmp_path):
+        with pytest.raises(ExerciserError):
+            DiskExerciser(file_size=1024, max_write=64 * 1024)
+        with pytest.raises(ExerciserError):
+            DiskExerciser(subinterval=0.0)
+
+
+class TestPlayback:
+    def test_plays_whole_function(self):
+        ex = MemoryExerciser(pool_bytes=1024 * 1024, touch_interval=0.005)
+        fn = ramp(Resource.MEMORY, 1.0, 10.0, sample_rate=2.0)
+        with ex:
+            offset = play(fn, ex, speed=200.0)
+        assert offset == 10.0
+        assert ex.level == 0.0  # released at end
+
+    def test_stop_callback_interrupts(self):
+        ex = MemoryExerciser(pool_bytes=1024 * 1024)
+        fn = ramp(Resource.MEMORY, 1.0, 10.0, sample_rate=2.0)
+        with ex:
+            offset = play(fn, ex, speed=200.0, should_stop=lambda t: t >= 5.0)
+        assert offset == 5.0
+        assert ex.level == 0.0
+
+    def test_resource_mismatch(self):
+        ex = MemoryExerciser(pool_bytes=1024 * 1024)
+        fn = ramp(Resource.CPU, 1.0, 10.0)
+        with pytest.raises(ExerciserError):
+            play(fn, ex)
+
+    def test_bad_speed(self):
+        ex = MemoryExerciser(pool_bytes=1024 * 1024)
+        fn = ramp(Resource.MEMORY, 1.0, 10.0)
+        with pytest.raises(ExerciserError):
+            play(fn, ex, speed=0.0)

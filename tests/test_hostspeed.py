@@ -1,0 +1,36 @@
+"""Tests for the controlled host-speed experiment."""
+
+import pytest
+
+from repro.errors import StudyError
+from repro.study import run_host_speed_experiment
+
+
+class TestHostSpeedExperiment:
+    def test_speed_reduces_discomfort(self):
+        points = run_host_speed_experiment(
+            speeds=(0.5, 2.0), n_users=12, seed=606
+        )
+        slow, fast = points
+        assert slow.cpu_speed == 0.5 and fast.cpu_speed == 2.0
+        assert slow.f_d > fast.f_d
+
+    def test_run_counts(self):
+        points = run_host_speed_experiment(
+            speeds=(1.0,), n_users=5, tasks=("quake",), seed=1
+        )
+        assert points[0].n_runs == 5
+
+    def test_population_identical_across_speeds(self):
+        # Determinism across the whole experiment.
+        a = run_host_speed_experiment(speeds=(1.0, 2.0), n_users=4, seed=3)
+        b = run_host_speed_experiment(speeds=(1.0, 2.0), n_users=4, seed=3)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(StudyError):
+            run_host_speed_experiment(n_users=0)
+        with pytest.raises(StudyError):
+            run_host_speed_experiment(speeds=())
+        with pytest.raises(StudyError):
+            run_host_speed_experiment(speeds=(0.0,), n_users=2)

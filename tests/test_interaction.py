@@ -1,0 +1,86 @@
+"""Tests for the event-level interaction latency model."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_task
+from repro.core.resources import Resource
+from repro.errors import ValidationError
+from repro.machine import (
+    HCI_COMFORT_LIMIT,
+    SimulatedMachine,
+    simulate_interaction_latencies,
+)
+
+
+def trace_for(task_name, cpu_level, duration=120.0, rate=4.0, seed=1):
+    machine = SimulatedMachine()
+    model = machine.interactivity_model(get_task(task_name))
+    n = int(duration * rate)
+    levels = {Resource.CPU: np.full(n, cpu_level)}
+    return simulate_interaction_latencies(model, levels, rate, seed=seed)
+
+
+class TestLatencyModel:
+    def test_event_count_matches_grain(self):
+        word = trace_for("word", 0.0)   # 0.15 s grain -> ~800 events/120 s
+        quake = trace_for("quake", 0.0)  # 0.02 s grain -> ~6000 events
+        assert word.n_events == pytest.approx(800, rel=0.2)
+        assert quake.n_events == pytest.approx(6000, rel=0.2)
+
+    def test_unloaded_latencies_within_cadence(self):
+        trace = trace_for("word", 0.0)
+        # Uncontended interactions complete well within their period.
+        assert trace.percentile(0.95) < 0.15
+
+    def test_contention_inflates_latency(self):
+        idle = trace_for("quake", 0.0)
+        loaded = trace_for("quake", 2.0)
+        assert loaded.mean() > 2.0 * idle.mean()
+
+    def test_word_unmoved_by_moderate_contention(self):
+        idle = trace_for("word", 0.0)
+        loaded = trace_for("word", 2.0)
+        # Word's demand is tiny: contention 2 leaves its latency alone.
+        assert loaded.mean() == pytest.approx(idle.mean(), rel=0.1)
+
+    def test_fraction_over_hci_limits(self):
+        loaded = trace_for("quake", 3.0)
+        assert 0.0 <= loaded.fraction_over(HCI_COMFORT_LIMIT) <= 1.0
+
+    def test_deterministic(self):
+        a = trace_for("ie", 1.0, seed=9)
+        b = trace_for("ie", 1.0, seed=9)
+        assert np.array_equal(a.latencies, b.latencies)
+
+    def test_times_sorted_within_duration(self):
+        trace = trace_for("powerpoint", 1.0)
+        assert np.all(np.diff(trace.times) >= 0)
+        assert trace.times.max() <= 120.0
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        machine = SimulatedMachine()
+        model = machine.interactivity_model(get_task("word"))
+        with pytest.raises(ValidationError):
+            simulate_interaction_latencies(model, {}, 4.0)
+        with pytest.raises(ValidationError):
+            simulate_interaction_latencies(
+                model,
+                {Resource.CPU: np.zeros(4), Resource.DISK: np.zeros(5)},
+                4.0,
+            )
+        with pytest.raises(ValidationError):
+            simulate_interaction_latencies(
+                model, {Resource.CPU: np.zeros(4)}, 0.0
+            )
+
+    def test_empty_trace_guards(self):
+        from repro.machine.interaction import LatencyTrace
+
+        empty = LatencyTrace(np.empty(0), np.empty(0))
+        with pytest.raises(ValidationError):
+            empty.mean()
+        with pytest.raises(ValidationError):
+            empty.percentile(0.5)

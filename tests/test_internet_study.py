@@ -1,0 +1,140 @@
+"""Tests for the Internet-wide study simulation."""
+
+import pytest
+
+from repro.core.resources import CONTENTION_LIMITS, Resource
+from repro.errors import StudyError
+from repro.study import (
+    InternetStudyConfig,
+    generate_library,
+    host_speed_effect,
+    run_internet_study,
+)
+
+
+@pytest.fixture(scope="module")
+def internet_result():
+    config = InternetStudyConfig(
+        n_clients=12,
+        duration=4 * 3600.0,
+        mean_execution_interval=700.0,
+        sync_interval=3600.0,
+        library_size=50,
+        seed=77,
+    )
+    return run_internet_study(config)
+
+
+class TestLibrary:
+    def test_size_and_uniqueness(self):
+        library = generate_library(100, seed=1)
+        assert len(library) == 100
+        assert len({t.testcase_id for t in library}) == 100
+
+    def test_deterministic(self):
+        a = generate_library(30, seed=2)
+        b = generate_library(30, seed=2)
+        assert [t.testcase_id for t in a] == [t.testcase_id for t in b]
+
+    def test_predominantly_queueing_models(self):
+        library = generate_library(300, seed=3)
+        queueing = sum(
+            1
+            for t in library
+            if any(fn.shape in ("expexp", "exppar") for fn in t.functions.values())
+        )
+        assert queueing / len(library) > 0.4
+
+    def test_levels_within_limits(self):
+        for testcase in generate_library(100, seed=4):
+            for resource, fn in testcase.functions.items():
+                assert fn.max_level() <= CONTENTION_LIMITS[resource] + 1e-9
+
+    def test_rejects_empty(self):
+        with pytest.raises(StudyError):
+            generate_library(0)
+
+
+class TestFleetOperation:
+    def test_every_client_registers(self, internet_result):
+        assert len(internet_result.specs) == 12
+
+    def test_results_reach_server(self, internet_result):
+        assert len(internet_result.runs) > 50
+        # Runs carry the registered client GUIDs.
+        for run in internet_result.runs:
+            assert run.context.client_id in internet_result.specs
+
+    def test_runs_cover_multiple_testcases_and_tasks(self, internet_result):
+        testcases = {r.testcase_id for r in internet_result.runs}
+        tasks = {r.context.task for r in internet_result.runs}
+        assert len(testcases) > 10
+        assert len(tasks) >= 3
+
+    def test_both_outcomes_present(self, internet_result):
+        outcomes = {r.outcome.value for r in internet_result.runs}
+        assert "discomfort" in outcomes
+        assert "exhausted" in outcomes
+
+    def test_deterministic(self):
+        config = InternetStudyConfig(
+            n_clients=3, duration=3600.0, mean_execution_interval=600.0,
+            library_size=20, seed=5,
+        )
+        a = run_internet_study(config)
+        b = run_internet_study(config)
+        assert [r.run_id for r in a.runs] == [r.run_id for r in b.runs]
+
+    def test_explicit_root_keeps_stores(self, tmp_path):
+        config = InternetStudyConfig(
+            n_clients=2, duration=1800.0, mean_execution_interval=400.0,
+            library_size=10, seed=6,
+        )
+        run_internet_study(config, root=tmp_path)
+        assert (tmp_path / "server").exists()
+        assert (tmp_path / "client-0000").exists()
+
+    def test_config_validation(self):
+        with pytest.raises(StudyError):
+            InternetStudyConfig(n_clients=0)
+        with pytest.raises(StudyError):
+            InternetStudyConfig(duration=0.0)
+
+
+class TestHostSpeedEffect:
+    def test_bins_cover_all_runs(self, internet_result):
+        bins = host_speed_effect(internet_result, Resource.CPU, n_groups=2)
+        assert len(bins) == 2
+        total = sum(b.n_runs for b in bins)
+        assert total == len(internet_result.runs_for_resource(Resource.CPU))
+        assert bins[0].mean_speed < bins[1].mean_speed
+
+    def test_too_few_runs_returns_empty(self, internet_result):
+        assert host_speed_effect(internet_result, Resource.NETWORK) == []
+
+
+class TestDiscomfortCurve:
+    def test_km_corrects_naive_on_fleet_data(self, internet_result):
+        from repro.core.resources import Resource as R
+        from repro.study import internet_discomfort_curve
+
+        km, naive = internet_discomfort_curve(internet_result, R.CPU)
+        assert km.n_observations == naive.n
+        # KM dominates the naive curve wherever censoring occurred below
+        # the level (heterogeneous peaks guarantee some).
+        for level in (1.0, 2.0, 4.0):
+            assert km.evaluate(level) >= naive.evaluate(level) - 1e-9
+        # And strictly exceeds it somewhere in the explored range.
+        levels = km.levels
+        assert any(
+            km.evaluate(float(l)) > naive.evaluate(float(l)) + 1e-9
+            for l in levels
+        )
+
+    def test_empty_resource_raises(self, internet_result):
+        from repro.core.resources import Resource as R
+        from repro.errors import StudyError
+        from repro.study import internet_discomfort_curve
+
+        with pytest.raises(StudyError):
+            internet_discomfort_curve(internet_result, R.NETWORK)

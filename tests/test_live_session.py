@@ -1,0 +1,275 @@
+"""Tests for the live (real-exerciser) session runner.
+
+Uses tiny memory pools and accelerated playback so runs finish in well
+under a second while still exercising the real threads and exercisers.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import Resource, ramp, RunContext
+from repro.core.feedback import RunOutcome
+from repro.core.testcase import Testcase
+from repro.errors import ExerciserError
+from repro.exercisers import LiveSessionConfig, MemoryExerciser, run_live_session
+from repro.exercisers.session import default_factory
+from repro.monitor import ProcfsMonitor
+
+
+def tiny_factory(resource):
+    assert resource is Resource.MEMORY
+    return MemoryExerciser(pool_bytes=2 * 1024 * 1024, touch_interval=0.005)
+
+
+def memory_testcase(duration=20.0):
+    return Testcase.single(
+        "live-mem", ramp(Resource.MEMORY, 1.0, duration, 2.0)
+    )
+
+
+def config(speed=100.0, monitor_rate=0.0):
+    return LiveSessionConfig(
+        speed=speed, monitor_rate=monitor_rate, factory=tiny_factory
+    )
+
+
+class TestExhaustion:
+    def test_full_playback(self):
+        run = run_live_session(
+            memory_testcase(), RunContext(user_id="u"), lambda: False,
+            config=config(),
+        )
+        assert run.outcome is RunOutcome.EXHAUSTED
+        assert run.end_offset == 20.0
+        assert run.shapes[Resource.MEMORY] == "ramp"
+
+    def test_monitor_records_load(self):
+        run = run_live_session(
+            memory_testcase(), RunContext(user_id="u"), lambda: False,
+            monitor=ProcfsMonitor(),
+            config=config(monitor_rate=2.0),
+        )
+        assert "load_cpu" in run.load_trace
+        assert len(run.load_trace["load_cpu"]) >= 1
+
+
+class TestDiscomfort:
+    def test_feedback_stops_immediately(self):
+        counter = itertools.count()
+        run = run_live_session(
+            memory_testcase(), RunContext(user_id="u"),
+            lambda: next(counter) > 10,
+            config=config(),
+        )
+        assert run.outcome is RunOutcome.DISCOMFORT
+        assert run.end_offset < 20.0
+        assert run.feedback is not None
+        assert run.feedback.source == "live"
+        assert run.levels_at_end[Resource.MEMORY] == pytest.approx(
+            memory_testcase().levels_at(run.end_offset)[Resource.MEMORY]
+        )
+
+    def test_immediate_feedback(self):
+        run = run_live_session(
+            memory_testcase(), RunContext(user_id="u"), lambda: True,
+            config=config(),
+        )
+        assert run.discomforted
+        assert run.end_offset == 0.0
+
+
+class TestConfig:
+    def test_bad_speed(self):
+        with pytest.raises(ExerciserError):
+            run_live_session(
+                memory_testcase(), RunContext(user_id="u"), lambda: False,
+                config=LiveSessionConfig(speed=0.0, factory=tiny_factory),
+            )
+
+    def test_default_factory_rejects_network(self):
+        factory = default_factory()
+        with pytest.raises(ExerciserError):
+            factory(Resource.NETWORK)
+
+    def test_run_id_passthrough(self):
+        run = run_live_session(
+            memory_testcase(5.0), RunContext(user_id="u"), lambda: False,
+            config=config(), run_id="fixed",
+        )
+        assert run.run_id == "fixed"
+
+
+class TestFeedbackChannels:
+    def test_callback_channel(self):
+        from repro.exercisers import CallbackChannel
+
+        channel = CallbackChannel()
+        assert not channel()
+        channel.trigger()
+        assert channel()
+        assert channel.triggers == 1
+        channel.reset()
+        assert not channel()
+
+    def test_callback_channel_in_live_session(self):
+        import threading
+
+        from repro.exercisers import CallbackChannel
+
+        channel = CallbackChannel()
+        timer = threading.Timer(0.05, channel.trigger)
+        timer.start()
+        try:
+            run = run_live_session(
+                memory_testcase(60.0), RunContext(user_id="u"), channel,
+                config=config(speed=50.0),
+            )
+        finally:
+            timer.cancel()
+        assert run.discomforted
+
+    def test_timed_channel(self):
+        import time
+
+        from repro.exercisers import TimedChannel
+
+        channel = TimedChannel(after=0.05)
+        assert not channel()
+        time.sleep(0.06)
+        assert channel()
+
+    def test_timed_channel_validation(self):
+        from repro.exercisers import TimedChannel
+
+        with pytest.raises(ExerciserError):
+            TimedChannel(after=-1.0)
+
+    def test_keypress_channel_with_pipe(self):
+        import os
+
+        from repro.exercisers import KeyPressChannel
+
+        read_fd, write_fd = os.pipe()
+        reader = os.fdopen(read_fd, "r")
+        try:
+            channel = KeyPressChannel(stream=reader)
+            assert not channel()
+            os.write(write_fd, b"x")
+            assert channel()
+            assert channel()  # latched
+        finally:
+            reader.close()
+            os.close(write_fd)
+
+    def test_keypress_specific_key(self):
+        import os
+
+        from repro.exercisers import KeyPressChannel
+
+        read_fd, write_fd = os.pipe()
+        reader = os.fdopen(read_fd, "r")
+        try:
+            channel = KeyPressChannel(key="q", stream=reader)
+            os.write(write_fd, b"a")
+            assert not channel()
+            os.write(write_fd, b"q")
+            assert channel()
+        finally:
+            reader.close()
+            os.close(write_fd)
+
+    def test_keypress_requires_tty(self):
+        import io
+
+        from repro.exercisers import KeyPressChannel
+
+        class NotTty(io.StringIO):
+            def isatty(self):
+                return False
+
+        import contextlib
+
+        with contextlib.redirect_stdout(io.StringIO()):
+            with pytest.raises(ExerciserError):
+                # Patch stdin to a non-tty object.
+                import sys
+
+                old = sys.stdin
+                sys.stdin = NotTty()
+                try:
+                    KeyPressChannel()
+                finally:
+                    sys.stdin = old
+
+    def test_keypress_bad_key(self):
+        from repro.exercisers import KeyPressChannel
+
+        with pytest.raises(ExerciserError):
+            KeyPressChannel(key="esc", stream=__import__("io").StringIO())
+
+
+class TestMultiResourceLive:
+    def test_memory_and_disk_together(self, tmp_path):
+        from repro.core import merge
+        from repro.core.exercise import constant
+        from repro.exercisers import DiskExerciser
+
+        def factory(resource):
+            if resource is Resource.MEMORY:
+                return MemoryExerciser(
+                    pool_bytes=2 * 1024 * 1024, touch_interval=0.005
+                )
+            if resource is Resource.DISK:
+                return DiskExerciser(
+                    file_size=1024 * 1024, directory=tmp_path,
+                    subinterval=0.01, max_write=16 * 1024, max_workers=2,
+                )
+            raise AssertionError(resource)
+
+        testcase = merge(
+            Testcase.single("m", constant(Resource.MEMORY, 0.5, 10.0, 2.0)),
+            Testcase.single("d", constant(Resource.DISK, 2.0, 10.0, 2.0)),
+            new_id="combo",
+        )
+        run = run_live_session(
+            testcase, RunContext(user_id="u"), lambda: False,
+            config=LiveSessionConfig(speed=40.0, factory=factory),
+        )
+        assert run.exhausted
+        assert set(run.shapes) == {Resource.MEMORY, Resource.DISK}
+        # Both exercisers actually played their functions to completion.
+        assert run.end_offset == 10.0
+
+    def test_feedback_stops_both_exercisers(self, tmp_path):
+        from repro.core import merge
+        from repro.core.exercise import constant
+        from repro.exercisers import DiskExerciser
+
+        built = {}
+
+        def factory(resource):
+            if resource is Resource.MEMORY:
+                ex = MemoryExerciser(pool_bytes=1024 * 1024)
+            else:
+                ex = DiskExerciser(
+                    file_size=1024 * 1024, directory=tmp_path,
+                    subinterval=0.01, max_workers=1,
+                )
+            built[resource] = ex
+            return ex
+
+        testcase = merge(
+            Testcase.single("m", constant(Resource.MEMORY, 0.5, 30.0, 2.0)),
+            Testcase.single("d", constant(Resource.DISK, 1.0, 30.0, 2.0)),
+            new_id="combo",
+        )
+        counter = itertools.count()
+        run = run_live_session(
+            testcase, RunContext(user_id="u"), lambda: next(counter) > 5,
+            config=LiveSessionConfig(speed=40.0, factory=factory),
+        )
+        assert run.discomforted
+        # "Resource borrowing stops immediately": everything released.
+        for exerciser in built.values():
+            assert not exerciser.running

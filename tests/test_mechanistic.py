@@ -1,0 +1,99 @@
+"""Tests for the mechanistic (slowdown-based) user model."""
+
+import pytest
+
+from repro.apps import get_task
+from repro.core.exercise import ramp
+from repro.core.resources import Resource
+from repro.core.run import RunContext
+from repro.core.session import run_simulated_session
+from repro.core.testcase import Testcase
+from repro.errors import ValidationError
+from repro.machine import MachineSpec, SimulatedMachine
+from repro.users.mechanistic import MechanisticUser, SlowdownTolerance
+from repro.users.profile import UserProfile
+
+
+def run_cpu_ramp(user, machine, task, x=8.0, t=120.0):
+    model = machine.interactivity_model(task)
+    tc = Testcase.single("r", ramp(Resource.CPU, x, t, 2.0))
+    return run_simulated_session(
+        tc, user, RunContext(user_id="u", task=task.name), model
+    ).run
+
+
+def profile(**kwargs):
+    defaults = dict(user_id="u", tolerance_factor=1.0, reaction_delay_mean=0.5)
+    defaults.update(kwargs)
+    return UserProfile(**defaults)
+
+
+class TestMechanisticReactions:
+    def test_quake_reacts_word_tolerates(self, machine):
+        quake = get_task("quake")
+        word = get_task("word")
+        quake_run = run_cpu_ramp(
+            MechanisticUser(profile(), quake.jitter_sensitivity, seed=1),
+            machine, quake,
+        )
+        word_run = run_cpu_ramp(
+            MechanisticUser(profile(), word.jitter_sensitivity, seed=1),
+            machine, word,
+        )
+        assert quake_run.discomforted
+        if word_run.discomforted:
+            assert (
+                word_run.discomfort_level(Resource.CPU)
+                > quake_run.discomfort_level(Resource.CPU)
+            )
+
+    def test_faster_host_reacts_later(self):
+        quake = get_task("quake")
+        slow = SimulatedMachine(MachineSpec.dell_gx270().scaled(cpu_speed=0.5))
+        fast = SimulatedMachine(MachineSpec.dell_gx270().scaled(cpu_speed=2.0))
+        slow_run = run_cpu_ramp(
+            MechanisticUser(profile(), quake.jitter_sensitivity, seed=2),
+            slow, quake,
+        )
+        fast_run = run_cpu_ramp(
+            MechanisticUser(profile(), quake.jitter_sensitivity, seed=2),
+            fast, quake,
+        )
+        assert slow_run.discomforted
+        slow_level = slow_run.discomfort_level(Resource.CPU)
+        fast_level = (
+            fast_run.discomfort_level(Resource.CPU)
+            if fast_run.discomforted
+            else 8.0
+        )
+        assert fast_level > slow_level
+
+    def test_degradation_must_be_sustained(self, machine):
+        quake = get_task("quake")
+        user = MechanisticUser(
+            profile(reaction_delay_mean=3.0), quake.jitter_sensitivity, seed=3
+        )
+        model = machine.interactivity_model(quake)
+        # A ramp so short the delay cannot elapse after crossing.
+        tc = Testcase.single("r", ramp(Resource.CPU, 1.0, 4.0, 2.0))
+        run = run_simulated_session(
+            tc, user, RunContext(user_id="u", task="quake"), model
+        ).run
+        assert run.exhausted or run.end_offset > 0
+
+
+class TestValidation:
+    def test_tolerance_bounds(self):
+        with pytest.raises(ValidationError):
+            SlowdownTolerance(slowdown_median=1.0)
+        with pytest.raises(ValidationError):
+            SlowdownTolerance(slowdown_sigma=-0.1)
+        with pytest.raises(ValidationError):
+            SlowdownTolerance(jitter_threshold=0.0)
+
+    def test_jitter_sensitivity_bounds(self):
+        with pytest.raises(ValidationError):
+            MechanisticUser(profile(), jitter_sensitivity=1.5)
+
+    def test_repr(self):
+        assert "u" in repr(MechanisticUser(profile(), 0.5))

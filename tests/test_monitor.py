@@ -1,0 +1,134 @@
+"""Tests for the system monitor (simulated, procfs, recorder)."""
+
+import time
+
+import pytest
+
+from repro.apps import get_task
+from repro.core.resources import Resource
+from repro.errors import MonitorError
+from repro.machine import SimulatedMachine
+from repro.monitor import LoadRecorder, ProcfsMonitor, SimulatedMonitor
+from repro.monitor.procfs import _read_cpu_times, _read_io_ticks, _read_meminfo
+
+
+class TestSimulatedMonitor:
+    def test_tracks_levels(self, machine):
+        monitor = SimulatedMonitor(machine, get_task("word"))
+        idle = monitor.sample()
+        monitor.set_levels({Resource.CPU: 5.0, Resource.MEMORY: 0.5})
+        loaded = monitor.sample()
+        assert loaded.cpu_utilization > idle.cpu_utilization
+        assert loaded.memory_used > idle.memory_used
+
+    def test_no_task(self, machine):
+        monitor = SimulatedMonitor(machine)
+        sample = monitor.sample()
+        assert sample.cpu_utilization == 0.0
+
+
+class TestProcfsParsing:
+    def test_cpu_line(self):
+        busy, total = _read_cpu_times(
+            "cpu  100 0 50 800 50 0 0 0 0 0\ncpu0 1 2 3 4\n"
+        )
+        assert total == 1000.0
+        assert busy == 150.0
+
+    def test_cpu_line_missing(self):
+        with pytest.raises(MonitorError):
+            _read_cpu_times("intr 1 2 3\n")
+
+    def test_meminfo(self):
+        text = "MemTotal: 1000 kB\nMemFree: 200 kB\nMemAvailable: 400 kB\n"
+        assert _read_meminfo(text) == pytest.approx(0.6)
+
+    def test_meminfo_fallback_without_available(self):
+        text = "MemTotal: 1000 kB\nMemFree: 300 kB\nCached: 100 kB\n"
+        assert _read_meminfo(text) == pytest.approx(0.6)
+
+    def test_meminfo_missing_total(self):
+        with pytest.raises(MonitorError):
+            _read_meminfo("MemFree: 1 kB\n")
+
+    def test_io_ticks_skips_partitions_and_virtual(self):
+        lines = [
+            "8 0 sda 1 0 0 0 0 0 0 0 0 500 0",
+            "8 1 sda1 1 0 0 0 0 0 0 0 0 400 0",
+            "7 0 loop0 1 0 0 0 0 0 0 0 0 300 0",
+            "259 0 nvme0n1 1 0 0 0 0 0 0 0 0 200 0",
+        ]
+        assert _read_io_ticks("\n".join(lines)) == 700.0
+
+
+class TestProcfsMonitor:
+    def test_live_sampling(self):
+        monitor = ProcfsMonitor()
+        first = monitor.sample()
+        assert 0.0 <= first.memory_used <= 1.0
+        time.sleep(0.05)
+        second = monitor.sample()
+        assert 0.0 <= second.cpu_utilization <= 1.0
+        assert 0.0 <= second.disk_utilization <= 1.0
+
+    def test_bad_root(self, tmp_path):
+        with pytest.raises(MonitorError):
+            ProcfsMonitor(tmp_path)
+
+    def test_fake_procfs(self, tmp_path):
+        (tmp_path / "stat").write_text("cpu  100 0 0 900 0 0 0 0 0 0\n")
+        (tmp_path / "meminfo").write_text(
+            "MemTotal: 1000 kB\nMemAvailable: 500 kB\nMemFree: 100 kB\n"
+        )
+        (tmp_path / "diskstats").write_text(
+            "8 0 sda 1 0 0 0 0 0 0 0 0 100 0\n"
+        )
+        monitor = ProcfsMonitor(tmp_path)
+        monitor.sample()
+        # Advance the fake counters: 50 busy of 100 total new jiffies.
+        (tmp_path / "stat").write_text("cpu  150 0 0 950 0 0 0 0 0 0\n")
+        sample = monitor.sample()
+        assert sample.cpu_utilization == pytest.approx(0.5)
+        assert sample.memory_used == pytest.approx(0.5)
+
+
+class TestRecorder:
+    def test_synchronous_sampling(self, machine):
+        monitor = SimulatedMonitor(machine, get_task("ie"))
+        recorder = LoadRecorder(monitor, sample_rate=2.0)
+        for level in (0.0, 1.0, 2.0):
+            monitor.set_levels({Resource.CPU: level})
+            recorder.sample_once()
+        trace = recorder.trace()
+        assert len(recorder) == 3
+        assert trace.sample_rate == 2.0
+        assert trace.cpu.values[0] < trace.cpu.values[-1]
+        run_trace = trace.as_run_trace()
+        assert set(run_trace) == {"load_cpu", "load_memory", "load_disk"}
+
+    def test_threaded_sampling(self, machine):
+        monitor = SimulatedMonitor(machine, get_task("word"))
+        recorder = LoadRecorder(monitor, sample_rate=50.0)
+        recorder.start()
+        time.sleep(0.2)
+        recorder.stop()
+        assert len(recorder) >= 3
+        recorder.stop()  # idempotent
+
+    def test_double_start_rejected(self, machine):
+        recorder = LoadRecorder(SimulatedMonitor(machine), sample_rate=10.0)
+        recorder.start()
+        try:
+            with pytest.raises(MonitorError):
+                recorder.start()
+        finally:
+            recorder.stop()
+
+    def test_empty_trace_rejected(self, machine):
+        recorder = LoadRecorder(SimulatedMonitor(machine))
+        with pytest.raises(MonitorError):
+            recorder.trace()
+
+    def test_bad_rate(self, machine):
+        with pytest.raises(MonitorError):
+            LoadRecorder(SimulatedMonitor(machine), sample_rate=0.0)

@@ -1,0 +1,95 @@
+"""Tests for the multi-resource discomfort-budget throttle."""
+
+import pytest
+
+from repro.analysis.cdf import aggregate_cdf
+from repro.core.resources import Resource
+from repro.errors import ThrottleError
+from repro.throttle import MultiResourceThrottle
+
+RESOURCES = (Resource.CPU, Resource.MEMORY, Resource.DISK)
+
+
+@pytest.fixture(scope="module")
+def cdfs(controlled_study):
+    runs = list(controlled_study.runs)
+    return {r: aggregate_cdf(runs, r) for r in RESOURCES}
+
+
+class TestBudgetSplit:
+    def test_equal_weights_split_budget(self, cdfs):
+        multi = MultiResourceThrottle(cdfs, total_budget=0.06)
+        for resource in RESOURCES:
+            assert multi.budget_for(resource) == pytest.approx(0.02)
+
+    def test_weighted_allocation(self, cdfs):
+        multi = MultiResourceThrottle(
+            cdfs, total_budget=0.06,
+            weights={Resource.CPU: 4.0, Resource.MEMORY: 1.0,
+                     Resource.DISK: 1.0},
+        )
+        assert multi.budget_for(Resource.CPU) == pytest.approx(0.04)
+        assert multi.budget_for(Resource.MEMORY) == pytest.approx(0.01)
+
+    def test_tighter_budget_lower_ceilings(self, cdfs):
+        loose = MultiResourceThrottle(cdfs, total_budget=0.15)
+        tight = MultiResourceThrottle(cdfs, total_budget=0.03)
+        for resource in RESOURCES:
+            assert (
+                tight.throttle(resource).ceiling
+                <= loose.throttle(resource).ceiling + 1e-9
+            )
+
+    def test_union_bound_respected(self, cdfs):
+        multi = MultiResourceThrottle(cdfs, total_budget=0.06)
+        assert multi.expected_discomfort_bound(cdfs) <= 0.06 + 1e-9
+
+    def test_naive_per_resource_policy_overspends(self, cdfs):
+        """Setting every resource to the 5% level (the naive reading of
+        §5) spends ~3x the intended budget — the motivation for this
+        class."""
+        naive = MultiResourceThrottle(
+            cdfs, total_budget=0.15  # equal split => 5% each
+        )
+        assert naive.expected_discomfort_bound(cdfs) > 0.06
+
+
+class TestGrant:
+    def test_grant_clamps_each_resource(self, cdfs):
+        multi = MultiResourceThrottle(cdfs, total_budget=0.06)
+        granted = multi.grant({r: 100.0 for r in RESOURCES})
+        for resource in RESOURCES:
+            assert granted[resource] == multi.throttle(resource).ceiling
+        # Memory stays within its envelope regardless of budget.
+        assert granted[Resource.MEMORY] <= 1.0
+
+    def test_unknown_resource_rejected(self, cdfs):
+        multi = MultiResourceThrottle(
+            {Resource.CPU: cdfs[Resource.CPU]}, total_budget=0.05
+        )
+        with pytest.raises(ThrottleError):
+            multi.grant({Resource.DISK: 1.0})
+        with pytest.raises(ThrottleError):
+            multi.budget_for(Resource.DISK)
+
+
+class TestValidation:
+    def test_bad_budget(self, cdfs):
+        with pytest.raises(ThrottleError):
+            MultiResourceThrottle(cdfs, total_budget=0.0)
+        with pytest.raises(ThrottleError):
+            MultiResourceThrottle(cdfs, total_budget=1.0)
+
+    def test_empty(self):
+        with pytest.raises(ThrottleError):
+            MultiResourceThrottle({}, total_budget=0.05)
+
+    def test_bad_weights(self, cdfs):
+        with pytest.raises(ThrottleError):
+            MultiResourceThrottle(
+                cdfs, weights={Resource.CPU: 1.0}  # missing others
+            )
+        with pytest.raises(ThrottleError):
+            MultiResourceThrottle(
+                cdfs, weights={r: 0.0 for r in RESOURCES}
+            )

@@ -1,0 +1,88 @@
+"""Tests for the network exerciser (built but unstudied, matching §2.2)."""
+
+import time
+
+import pytest
+
+from repro.core.resources import Resource
+from repro.errors import ExerciserError, ValidationError
+from repro.exercisers import NetworkExerciser
+
+
+class TestLifecycle:
+    def test_udp_variant_sends(self):
+        with NetworkExerciser(link_capacity_bps=2_000_000,
+                              subinterval=0.02) as net:
+            net.set_level(0.5)
+            time.sleep(0.25)
+            assert net.bytes_sent > 0
+            assert net.datagrams > 0
+        assert not net.running
+
+    def test_tcp_variant_sends(self):
+        with NetworkExerciser(variant="tcp", link_capacity_bps=2_000_000,
+                              subinterval=0.02) as net:
+            net.set_level(0.5)
+            time.sleep(0.25)
+            assert net.bytes_sent > 0
+
+    def test_zero_level_sends_nothing(self):
+        with NetworkExerciser(link_capacity_bps=1_000_000,
+                              subinterval=0.02) as net:
+            time.sleep(0.1)
+            assert net.bytes_sent == 0
+
+    def test_rate_tracks_level(self):
+        capacity = 4_000_000.0
+        with NetworkExerciser(link_capacity_bps=capacity,
+                              subinterval=0.02) as net:
+            net.set_level(0.5)
+            time.sleep(0.4)
+            sent = net.bytes_sent
+        # Token bucket: ~level * capacity/8 bytes per second, generous
+        # bounds for scheduling noise.
+        expected = 0.5 * capacity / 8.0 * 0.4
+        assert sent == pytest.approx(expected, rel=0.6)
+
+    def test_double_start_rejected(self):
+        net = NetworkExerciser(link_capacity_bps=1_000_000)
+        net.start()
+        try:
+            with pytest.raises(ExerciserError):
+                net.start()
+        finally:
+            net.stop()
+        net.stop()  # idempotent
+
+
+class TestValidation:
+    def test_level_envelope(self):
+        net = NetworkExerciser(link_capacity_bps=1_000_000)
+        with pytest.raises(ValidationError):
+            net.set_level(1.5)
+        with pytest.raises(ValidationError):
+            net.set_level(-0.1)
+
+    def test_params(self):
+        with pytest.raises(ExerciserError):
+            NetworkExerciser(link_capacity_bps=0.0)
+        with pytest.raises(ExerciserError):
+            NetworkExerciser(variant="carrier-pigeon")
+        with pytest.raises(ExerciserError):
+            NetworkExerciser(subinterval=0.0)
+
+    def test_resource_tag(self):
+        assert NetworkExerciser.resource is Resource.NETWORK
+
+
+class TestStudiesExcludeNetwork:
+    def test_controlled_study_never_exercises_network(self, small_study):
+        """The paper excluded network borrowing from its studies; so do we."""
+        for run in small_study.runs:
+            assert Resource.NETWORK not in run.shapes
+
+    def test_internet_library_excludes_network(self):
+        from repro.study import generate_library
+
+        for testcase in generate_library(50, seed=1):
+            assert Resource.NETWORK not in testcase.functions

@@ -1,0 +1,117 @@
+"""Integrity checks on the transcribed paper data.
+
+These guard against transcription typos by asserting the published
+tables' *internal* consistency — relations that must hold between the
+paper's own numbers.
+"""
+
+import pytest
+
+from repro import paperdata
+from repro.core.resources import CONTENTION_LIMITS, Resource
+
+RESOURCES = (Resource.CPU, Resource.MEMORY, Resource.DISK)
+
+
+class TestCellTable:
+    def test_grid_complete(self):
+        for task in [*paperdata.STUDY_TASKS, "total"]:
+            for resource in RESOURCES:
+                cell = paperdata.cell(task, resource)
+                assert 0.0 <= cell.f_d <= 1.0
+
+    def test_c05_at_most_ca(self):
+        for cell in paperdata.CELL_TABLE.values():
+            if cell.c_05 is not None and cell.c_a is not None:
+                assert cell.c_05 <= cell.c_a + 1e-9, cell
+
+    def test_ci_brackets_mean(self):
+        for cell in paperdata.CELL_TABLE.values():
+            if cell.c_a is not None:
+                assert cell.c_a_low <= cell.c_a <= cell.c_a_high, cell
+
+    def test_starred_cells_consistent(self):
+        # A cell with no c_a has no c_05 and (near-)zero f_d.
+        for cell in paperdata.CELL_TABLE.values():
+            if cell.c_a is None:
+                assert cell.c_05 is None
+                assert cell.f_d == 0.0
+
+    def test_thresholds_within_explored_ramps(self):
+        # c_a cannot exceed the ramp maximum that produced it.
+        for (task, resource), (x, _) in paperdata.RAMP_PARAMS.items():
+            cell = paperdata.cell(task, resource)
+            if cell.c_a is not None:
+                assert cell.c_a <= x + 1e-9, (task, resource)
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            paperdata.cell("emacs", Resource.CPU)
+
+
+class TestProtocolTables:
+    def test_ramp_and_step_cover_all_cells(self):
+        keys = {
+            (task, resource)
+            for task in paperdata.STUDY_TASKS
+            for resource in RESOURCES
+        }
+        assert set(paperdata.RAMP_PARAMS) == keys
+        assert set(paperdata.STEP_PARAMS) == keys
+
+    def test_all_testcases_two_minutes(self):
+        for x, t in paperdata.RAMP_PARAMS.values():
+            assert t == 120.0
+        for x, t, b in paperdata.STEP_PARAMS.values():
+            assert t == 120.0 and b == 40.0
+
+    def test_levels_within_hard_caps(self):
+        for (task, resource), (x, _) in paperdata.RAMP_PARAMS.items():
+            assert x <= CONTENTION_LIMITS[resource], (task, resource)
+        for (task, resource), (x, _, _) in paperdata.STEP_PARAMS.items():
+            assert x <= CONTENTION_LIMITS[resource], (task, resource)
+
+    def test_memory_ramps_full_range(self):
+        for task in paperdata.STUDY_TASKS:
+            assert paperdata.RAMP_PARAMS[(task, Resource.MEMORY)][0] == 1.0
+
+    def test_step_level_at_most_ramp_level(self):
+        # Steps were calibrated inside the ramps' explored ranges.
+        for task in paperdata.STUDY_TASKS:
+            for resource in RESOURCES:
+                ramp_x = paperdata.RAMP_PARAMS[(task, resource)][0]
+                step_x = paperdata.STEP_PARAMS[(task, resource)][0]
+                assert step_x <= ramp_x + 1e-9, (task, resource)
+
+
+class TestFig9Consistency:
+    def test_totals_are_column_sums(self):
+        for key in ("nonblank", "blank"):
+            for i in (0, 1):
+                total = paperdata.FIG9_COUNTS["total"][key][i]
+                parts = sum(
+                    paperdata.FIG9_COUNTS[task][key][i]
+                    for task in paperdata.STUDY_TASKS
+                )
+                assert total == parts, (key, i)
+
+    def test_blank_probabilities_match_counts(self):
+        for task in paperdata.STUDY_TASKS:
+            df, ex = paperdata.FIG9_COUNTS[task]["blank"]
+            expected = df / (df + ex)
+            assert paperdata.BLANK_DISCOMFORT_PROB[task] == pytest.approx(
+                expected, abs=0.015
+            )
+
+
+class TestFig17:
+    def test_rows_reference_valid_cells(self):
+        for task, resource, category, high, low, p, diff in (
+            paperdata.FIG17_SKILL_DIFFS
+        ):
+            assert task in paperdata.STUDY_TASKS
+            assert resource in RESOURCES
+            assert category in ("pc", "windows", "word", "powerpoint",
+                                "ie", "quake")
+            assert 0.0 < p < 0.05
+            assert diff > 0.0

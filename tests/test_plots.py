@@ -1,0 +1,70 @@
+"""Tests for the text figure renderers."""
+
+import pytest
+
+from repro.analysis.plots import render_cdf, render_mini_cdf, sparkline
+from repro.core.metrics import DiscomfortCDF, DiscomfortObservation
+from repro.core.resources import Resource
+from repro.errors import ValidationError
+
+
+def cdf(levels=(0.5, 1.0, 1.5), censored=1):
+    obs = [
+        DiscomfortObservation(level=l, censored=False, resource=Resource.CPU)
+        for l in levels
+    ] + [
+        DiscomfortObservation(level=2.0, censored=True, resource=Resource.CPU)
+        for _ in range(censored)
+    ]
+    return DiscomfortCDF(obs)
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+        assert len(line) == 4
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_downsampling(self):
+        line = sparkline(list(range(1000)), width=20)
+        assert len(line) == 20
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_bad_width(self):
+        with pytest.raises(ValidationError):
+            sparkline([1.0], width=0)
+
+
+class TestRenderCdf:
+    def test_contains_counts_and_axes(self):
+        text = render_cdf(cdf(), "Figure X", x_max=2.0)
+        assert "Figure X" in text
+        assert "DfCount=3 ExCount=1" in text
+        assert "f_d=0.75" in text
+        assert "contention" in text
+        assert "*" in text
+
+    def test_dimensions(self):
+        text = render_cdf(cdf(), "T", x_max=2.0, width=40, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 2 + 8 + 2  # header(2) + grid + axis(2)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            render_cdf(cdf(), "T", x_max=0.0)
+        with pytest.raises(ValidationError):
+            render_cdf(cdf(), "T", x_max=1.0, width=4)
+
+
+class TestRenderMiniCdf:
+    def test_rows(self):
+        rows = render_mini_cdf(cdf(), x_max=2.0, width=10, height=4)
+        assert len(rows) == 4
+        assert all(len(r) == 12 for r in rows)  # content + side bars
+        assert any("*" in r for r in rows)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            render_mini_cdf(cdf(), x_max=-1.0)

@@ -1,0 +1,101 @@
+"""Tests for user profiles and population sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.users import (
+    RATING_CATEGORIES,
+    SkillLevel,
+    make_user,
+    sample_population,
+)
+from repro.users.population import sample_profile
+from repro.users.profile import UserProfile
+
+
+class TestProfile:
+    def test_defaults_to_typical(self):
+        profile = UserProfile(user_id="u")
+        assert profile.rating("quake") is SkillLevel.TYPICAL
+
+    def test_rating_for_task_falls_back_to_pc(self):
+        profile = UserProfile(user_id="u", ratings={"pc": SkillLevel.POWER})
+        assert profile.rating_for_task("unknown-task") is SkillLevel.POWER
+        assert profile.rating_for_task("quake") is SkillLevel.TYPICAL
+
+    def test_questionnaire_covers_all_categories(self):
+        q = UserProfile(user_id="u").questionnaire()
+        assert set(q) == set(RATING_CATEGORIES)
+        assert all(v in ("power", "typical", "beginner") for v in q.values())
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            UserProfile(user_id="")
+        with pytest.raises(ValidationError):
+            UserProfile(user_id="u", tolerance_factor=0.0)
+        with pytest.raises(ValidationError):
+            UserProfile(user_id="u", reaction_delay_mean=-1.0)
+        with pytest.raises(ValidationError):
+            UserProfile(user_id="u", ratings={"vim": SkillLevel.POWER})
+        with pytest.raises(ValidationError):
+            UserProfile(user_id="u").rating("emacs")
+
+    def test_skill_level_parse(self):
+        assert SkillLevel.parse(" POWER ") is SkillLevel.POWER
+        with pytest.raises(ValidationError):
+            SkillLevel.parse("guru")
+
+
+class TestPopulation:
+    def test_deterministic(self):
+        a = sample_population(10, seed=1)
+        b = sample_population(10, seed=1)
+        assert a == b
+
+    def test_unique_ids(self):
+        pop = sample_population(33, seed=2)
+        assert len({p.user_id for p in pop}) == 33
+
+    def test_engineering_pool_leans_skilled(self):
+        pop = sample_population(500, seed=3)
+        power_pc = sum(p.rating("pc") is SkillLevel.POWER for p in pop)
+        beginner_pc = sum(p.rating("pc") is SkillLevel.BEGINNER for p in pop)
+        assert power_pc > beginner_pc
+
+    def test_quake_ratings_spread(self):
+        pop = sample_population(500, seed=4)
+        beginners = sum(p.rating("quake") is SkillLevel.BEGINNER for p in pop)
+        assert beginners > 50  # plenty of non-gamers
+
+    def test_ratings_correlated_within_person(self):
+        pop = sample_population(500, seed=5)
+        same = sum(p.rating("windows") is p.rating("pc") for p in pop)
+        assert same / len(pop) > 0.5
+
+    def test_tolerance_factor_centered_near_one(self):
+        pop = sample_population(500, seed=6)
+        factors = np.array([p.tolerance_factor for p in pop])
+        assert np.median(factors) == pytest.approx(1.0, abs=0.1)
+        assert factors.std() < 0.3
+
+    def test_sample_profile_single(self):
+        profile = sample_profile("solo", seed=7)
+        assert profile.user_id == "solo"
+        assert 1.5 <= profile.reaction_delay_mean <= 5.0
+
+
+class TestMakeUser:
+    def test_defaults_to_paper_table(self, population):
+        import math
+
+        from repro.core.resources import Resource
+
+        user = make_user(population[0], seed=1)
+        # quake/cpu is a reactive cell: thresholds mostly finite.
+        draws = [
+            user.threshold_for("quake", Resource.CPU, "ramp") for _ in range(50)
+        ]
+        finite = [d for d in draws if not math.isinf(d)]
+        assert len(finite) > 30
+        assert all(d > 0 for d in finite)

@@ -1,0 +1,82 @@
+"""Protocol fuzzing: the server must answer garbage with errors, never
+crash or corrupt state (hypothesis-generated requests)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exercise import constant
+from repro.core.resources import Resource
+from repro.core.testcase import Testcase
+from repro.errors import ProtocolError
+from repro.server import UUCSServer
+from repro.server.protocol import Message, decode_message, encode_message
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=30),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    server = UUCSServer(tmp_path_factory.mktemp("fuzz-server"), seed=1)
+    server.add_testcases(
+        [Testcase.single("t", constant(Resource.CPU, 1.0, 10.0))]
+    )
+    return server
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    msg_type=st.sampled_from(["register", "sync", "ping"]),
+    payload=st.dictionaries(
+        st.text(min_size=1, max_size=12).filter(lambda s: s != "type"),
+        json_values,
+        max_size=5,
+    ),
+)
+def test_property_server_always_answers(server, msg_type, payload):
+    request = Message(msg_type, payload)
+    response = server.handle(request)
+    assert isinstance(response, Message)
+    assert not response.is_request
+    # The response always survives the codec.
+    assert decode_message(encode_message(response)).type == response.type
+    # The testcase store is never corrupted by a request.
+    assert server.testcases.ids() == ["t"]
+
+
+@settings(max_examples=80, deadline=None)
+@given(raw=st.binary(max_size=200))
+def test_property_decoder_never_crashes_unexpectedly(raw):
+    try:
+        message = decode_message(raw)
+    except ProtocolError:
+        return
+    # Anything that decodes must be a well-formed message.
+    assert isinstance(message, Message)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=json_values)
+def test_property_decoder_rejects_non_request_json(payload):
+    line = json.dumps(payload)
+    try:
+        message = decode_message(line)
+    except ProtocolError:
+        return
+    assert isinstance(message, Message)

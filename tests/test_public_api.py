@@ -1,0 +1,60 @@
+"""Public-API surface checks: every exported name resolves and is
+documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.apps",
+    "repro.client",
+    "repro.core",
+    "repro.exercisers",
+    "repro.machine",
+    "repro.monitor",
+    "repro.server",
+    "repro.stores",
+    "repro.study",
+    "repro.throttle",
+    "repro.users",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert module.__all__, f"{package} exports nothing"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_sorted_unique(package):
+    module = importlib.import_module(package)
+    names = list(module.__all__)
+    assert len(names) == len(set(names)), f"{package} has duplicate exports"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_exports_documented(package):
+    module = importlib.import_module(package)
+    assert (module.__doc__ or "").strip(), f"{package} lacks a docstring"
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if callable(obj) or isinstance(obj, type):
+            assert (getattr(obj, "__doc__", None) or "").strip(), (
+                f"{package}.{name} lacks a docstring"
+            )
+
+
+def test_version_consistent():
+    import repro
+
+    import tomllib
+
+    with open("pyproject.toml", "rb") as fh:
+        pyproject = tomllib.load(fh)
+    assert repro.__version__ == pyproject["project"]["version"]

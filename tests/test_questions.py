@@ -1,0 +1,88 @@
+"""Tests for the six-questions report."""
+
+import pytest
+
+from repro.analysis.questions import answer_questions
+from repro.core.resources import Resource
+
+
+@pytest.fixture(scope="module")
+def report(controlled_study):
+    return answer_questions(list(controlled_study.runs))
+
+
+class TestAnswers:
+    def test_q1_safe_levels(self, report):
+        assert report.safe_levels[Resource.CPU] is not None
+        assert report.safe_levels[Resource.DISK] > report.safe_levels[Resource.CPU]
+
+    def test_q2_resource_ordering(self, report):
+        fd = report.resource_fd
+        assert fd[Resource.CPU] > fd[Resource.DISK] > fd[Resource.MEMORY]
+
+    def test_q3_context_spread(self, report):
+        assert report.context_ca["word"] > report.context_ca["quake"]
+
+    def test_q5_frog(self, report):
+        assert report.frog_in_pot is not None
+        assert report.frog_in_pot.supports_frog_in_pot
+
+    def test_q6_absent_without_internet_data(self, report):
+        assert report.host_speed is None
+
+    def test_q6_with_internet_data(self, controlled_study):
+        from repro.core.resources import Resource as R
+        from repro.study import (
+            InternetStudyConfig,
+            host_speed_effect,
+            run_internet_study,
+        )
+
+        result = run_internet_study(
+            InternetStudyConfig(
+                n_clients=10, duration=2 * 3600.0,
+                mean_execution_interval=500.0, library_size=30, seed=3,
+            )
+        )
+        bins = host_speed_effect(result, R.CPU, n_groups=2)
+        report = answer_questions(
+            list(controlled_study.runs), host_speed_bins=bins
+        )
+        assert report.host_speed is not None
+        assert "host" in report.render().lower()
+
+
+class TestRendering:
+    def test_render_covers_all_questions(self, report):
+        text = report.render()
+        for q in ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6"):
+            assert q in text
+        assert "frog" in text.lower()
+        assert "memory" in text
+
+    def test_render_on_empty_study(self):
+        report = answer_questions([])
+        text = report.render()
+        assert "beyond explored range" in text or "Q1" in text
+
+
+class TestFullReport:
+    def test_full_report_covers_every_section(self, controlled_study):
+        from repro.analysis import full_report
+
+        text = full_report(list(controlled_study.runs))
+        for marker in (
+            "Figure 9", "Figure 10", "Figure 11", "Figure 12",
+            "Figure 13", "Figure 14", "Figure 15", "Figure 16",
+            "Figure 17", "Time dynamics", "Q1", "Q6",
+        ):
+            assert marker in text, marker
+
+    def test_full_report_without_plots(self, controlled_study):
+        from repro.analysis import full_report
+
+        text = full_report(
+            list(controlled_study.runs), include_cdf_plots=False
+        )
+        assert "Figure 10" not in text
+        assert "Figure 14" in text

@@ -1,0 +1,148 @@
+"""Reproduction acceptance tests: DESIGN.md §5's shape criteria.
+
+These assert the *shape* of the paper's findings on the canonical
+controlled-study simulation — orderings, rough magnitudes, qualitative
+effects — not exact counts from the original 33-human sample.
+"""
+
+import pytest
+
+from repro import paperdata
+from repro.analysis import (
+    aggregate_cdf,
+    breakdown_table,
+    metric_tables,
+    ramp_vs_step,
+)
+from repro.core.resources import Resource
+
+
+@pytest.fixture(scope="module")
+def cells(controlled_study):
+    cells, _ = metric_tables(list(controlled_study.runs))
+    return cells
+
+
+class TestFigure9Shape:
+    def test_blank_noise_floor(self, study_runs):
+        rows, _ = breakdown_table(study_runs)
+        # "users exhibit this behavior only in IE and Quake"
+        assert rows["word"].blank_discomforted == 0
+        assert rows["powerpoint"].blank_discomforted == 0
+        assert rows["ie"].blank_discomfort_prob == pytest.approx(0.22, abs=0.12)
+        assert rows["quake"].blank_discomfort_prob == pytest.approx(0.30, abs=0.12)
+
+    def test_most_nonblank_cpu_runs_cause_discomfort(self, study_runs):
+        cdf = aggregate_cdf(study_runs, Resource.CPU)
+        assert cdf.f_d() > 0.6
+
+
+class TestFigure10to12Shape:
+    def test_fd_ordering_cpu_gt_disk_gt_memory(self, cells):
+        """Figure 14 totals: CPU 0.86 > Disk 0.33 > Memory 0.21."""
+        fd_cpu = cells[("total", Resource.CPU)].f_d
+        fd_disk = cells[("total", Resource.DISK)].f_d
+        fd_mem = cells[("total", Resource.MEMORY)].f_d
+        assert fd_cpu > fd_disk > fd_mem
+        assert fd_cpu == pytest.approx(0.86, abs=0.15)
+        assert fd_mem == pytest.approx(0.21, abs=0.12)
+
+    def test_memory_and_disk_tolerated_aggressively(self, cells):
+        """'Borrow disk and memory aggressively, CPU less so' (§5)."""
+        # ~80% unfazed by near-total memory borrowing.
+        assert cells[("total", Resource.MEMORY)].f_d < 0.35
+        # ~70% comfortable with heavy disk contention.
+        assert cells[("total", Resource.DISK)].f_d < 0.5
+
+    def test_headline_operating_points(self, cells):
+        """Figure 15 totals: c_0.05 ~ 0.35 CPU / 0.33 mem / 1.11 disk."""
+        c05_cpu = cells[("total", Resource.CPU)].c_05
+        c05_disk = cells[("total", Resource.DISK)].c_05
+        assert 0.1 <= c05_cpu <= 0.7
+        # A full disk-writing task (level 1) stays under the 5% point.
+        assert c05_disk >= 0.6
+
+    def test_some_users_tolerate_extreme_cpu(self, study_runs):
+        """Figure 10: >10% of users unfazed even at the CPU ramp maxima."""
+        cdf = aggregate_cdf(study_runs, Resource.CPU)
+        assert cdf.ex_count / cdf.n > 0.08
+
+
+class TestFigure16Shape:
+    def test_cpu_tolerance_ordering_across_tasks(self, cells):
+        """Quake < IE ~ PPT < Word in mean tolerated CPU contention."""
+        ca = {
+            task: cells[(task, Resource.CPU)].c_a.mean
+            for task in paperdata.STUDY_TASKS
+        }
+        assert ca["quake"] < ca["ie"]
+        assert ca["quake"] < ca["powerpoint"]
+        assert max(ca["ie"], ca["powerpoint"]) < ca["word"]
+
+    def test_word_tolerates_very_high_cpu(self, cells):
+        """'For an undemanding application like Word, the CPU contention
+        can be very high (> 4)' — c_a ~ 4.35."""
+        assert cells[("word", Resource.CPU)].c_a.mean > 3.0
+
+    def test_quake_cpu_low_threshold(self, cells):
+        """Quake/CPU c_a ~ 0.64: even modest borrowing is felt."""
+        assert cells[("quake", Resource.CPU)].c_a.mean == pytest.approx(
+            0.64, abs=0.25
+        )
+
+    def test_word_memory_starved_cell(self, cells):
+        """Word/Memory reproduces the paper's '*' (no discomfort at all)."""
+        assert cells[("word", Resource.MEMORY)].f_d == 0.0
+        assert cells[("word", Resource.MEMORY)].c_a is None
+
+    def test_disk_tolerance_office_vs_interactive(self, cells):
+        """Office tasks tolerate far more disk contention than Quake."""
+        assert (
+            cells[("powerpoint", Resource.DISK)].c_a.mean
+            > cells[("quake", Resource.DISK)].c_a.mean
+        )
+
+    def test_measured_ca_within_factor_two_of_paper(self, cells):
+        """Magnitude check: every reactive cell's c_a is within 2x of the
+        published value (substrate differs; shape must hold).  Cells with
+        fewer than 5 reactions are skipped — at that sample size even the
+        paper's own CIs span a factor of 5 (e.g. PPT/Memory: 0.21-1.06)."""
+        for task in [*paperdata.STUDY_TASKS, "total"]:
+            for resource in (Resource.CPU, Resource.MEMORY, Resource.DISK):
+                published = paperdata.cell(task, resource)
+                measured = cells[(task, resource)]
+                if published.c_a is None or measured.c_a is None:
+                    continue
+                if measured.cdf.df_count < 5:
+                    continue
+                ratio = measured.c_a.mean / published.c_a
+                assert 0.5 <= ratio <= 2.0, (
+                    f"{task}/{resource.value}: measured "
+                    f"{measured.c_a.mean:.2f} vs published {published.c_a:.2f}"
+                )
+
+
+class TestMemoryContextShape:
+    def test_office_immune_interactive_sensitive(self, cells):
+        """§3.3.3: memory borrowing barely touches Word/PPT; IE and Quake
+        react far more."""
+        office = max(
+            cells[("word", Resource.MEMORY)].f_d,
+            cells[("powerpoint", Resource.MEMORY)].f_d,
+        )
+        interactive = min(
+            cells[("ie", Resource.MEMORY)].f_d,
+            cells[("quake", Resource.MEMORY)].f_d,
+        )
+        assert interactive > office + 0.15
+
+
+class TestFrogInPot:
+    def test_powerpoint_cpu_effect(self, study_runs):
+        """§3.3.5: most users tolerate a higher level on the ramp than the
+        step, with a positive mean difference near 0.22 and small p."""
+        result = ramp_vs_step(study_runs, "powerpoint", Resource.CPU)
+        assert result.fraction_higher_on_ramp > 0.7
+        assert result.mean_difference == pytest.approx(0.22, abs=0.2)
+        assert result.test.p_value < 0.01
+        assert result.supports_frog_in_pot

@@ -1,0 +1,53 @@
+"""Tests for repro.core.resources."""
+
+import pytest
+
+from repro.core.resources import (
+    CONTENTION_LIMITS,
+    VERIFIED_LIMITS,
+    Resource,
+    validate_contention,
+)
+from repro.errors import ValidationError
+
+
+class TestResource:
+    def test_parse_case_insensitive(self):
+        assert Resource.parse("CPU") is Resource.CPU
+        assert Resource.parse(" memory ") is Resource.MEMORY
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValidationError):
+            Resource.parse("gpu")
+
+    def test_str_is_value(self):
+        assert str(Resource.DISK) == "disk"
+
+    def test_network_not_studied(self):
+        assert not Resource.NETWORK.studied
+        assert all(
+            r.studied for r in (Resource.CPU, Resource.MEMORY, Resource.DISK)
+        )
+
+
+class TestLimits:
+    def test_verified_limits_match_paper(self):
+        # §2.2: CPU verified to 10, disk to 7; memory capped at 1.
+        assert VERIFIED_LIMITS[Resource.CPU] == 10.0
+        assert VERIFIED_LIMITS[Resource.DISK] == 7.0
+        assert VERIFIED_LIMITS[Resource.MEMORY] == 1.0
+
+    def test_hard_caps_cover_study_parameters(self):
+        # Figure 8's Powerpoint disk ramp reaches 8.0.
+        assert CONTENTION_LIMITS[Resource.DISK] >= 8.0
+        assert CONTENTION_LIMITS[Resource.CPU] >= 10.0
+        assert CONTENTION_LIMITS[Resource.MEMORY] == 1.0
+
+    def test_validate_contention(self):
+        assert validate_contention(Resource.CPU, 5.0) == 5.0
+        with pytest.raises(ValidationError):
+            validate_contention(Resource.CPU, -1.0)
+        with pytest.raises(ValidationError):
+            validate_contention(Resource.MEMORY, 1.5)
+        with pytest.raises(ValidationError):
+            validate_contention(Resource.CPU, float("nan"))

@@ -1,0 +1,72 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_rng, ensure_rng, spawn_child
+
+
+class TestEnsureRng:
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).integers(0, 1 << 30, 10)
+        b = ensure_rng(42).integers(0, 1 << 30, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        a = ensure_rng(seq)
+        assert isinstance(a, np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_same_key_same_stream(self):
+        a = derive_rng(1, "population").integers(0, 1000, 5)
+        b = derive_rng(1, "population").integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_different_key_different_stream(self):
+        a = derive_rng(1, "x").integers(0, 1 << 30, 8)
+        b = derive_rng(1, "y").integers(0, 1 << 30, 8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seed_different_stream(self):
+        a = derive_rng(1, "x").integers(0, 1 << 30, 8)
+        b = derive_rng(2, "x").integers(0, 1 << 30, 8)
+        assert not np.array_equal(a, b)
+
+    def test_multi_part_keys(self):
+        a = derive_rng(1, "user", 3).integers(0, 1 << 30, 4)
+        b = derive_rng(1, "user", 4).integers(0, 1 << 30, 4)
+        assert not np.array_equal(a, b)
+
+    def test_order_independence(self):
+        # Deriving "b" after "a" must equal deriving "b" alone.
+        _ = derive_rng(9, "a").integers(0, 100, 3)
+        b1 = derive_rng(9, "b").integers(0, 1 << 30, 6)
+        b2 = derive_rng(9, "b").integers(0, 1 << 30, 6)
+        assert np.array_equal(b1, b2)
+
+    def test_rejects_generator_seed(self):
+        with pytest.raises(TypeError):
+            derive_rng(np.random.default_rng(0), "k")
+
+    def test_none_entropy_allowed(self):
+        rng = derive_rng(None, "k")
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSpawnChild:
+    def test_child_independent_of_parent_continuation(self):
+        parent = np.random.default_rng(5)
+        child = spawn_child(parent)
+        child_draws = child.integers(0, 1 << 30, 4)
+        parent2 = np.random.default_rng(5)
+        child2 = spawn_child(parent2)
+        assert np.array_equal(child_draws, child2.integers(0, 1 << 30, 4))

@@ -1,0 +1,147 @@
+"""Tests for run records (feedback, outcomes, serialization)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feedback import DiscomfortEvent, RunOutcome
+from repro.core.resources import Resource
+from repro.core.run import RunContext, TestcaseRun
+from repro.errors import SerializationError, ValidationError
+
+
+def make_run(outcome=RunOutcome.DISCOMFORT, offset=45.0, **kwargs):
+    feedback = None
+    if outcome is RunOutcome.DISCOMFORT:
+        feedback = DiscomfortEvent(
+            offset=offset, levels={Resource.CPU: 1.5}, source="simulated"
+        )
+    defaults = dict(
+        run_id="r1",
+        testcase_id="tc1",
+        context=RunContext(user_id="u1", task="word", started_at=100.0),
+        outcome=outcome,
+        end_offset=offset,
+        testcase_duration=120.0,
+        shapes={Resource.CPU: "ramp"},
+        levels_at_end={Resource.CPU: 1.5},
+        last_values={Resource.CPU: (1.1, 1.2, 1.3, 1.4, 1.5)},
+        feedback=feedback,
+        load_trace={"slowdown": (1.0, 1.1, 1.2)},
+        load_trace_rate=1.0,
+    )
+    defaults.update(kwargs)
+    return TestcaseRun(**defaults)
+
+
+class TestOutcome:
+    def test_parse(self):
+        assert RunOutcome.parse("DISCOMFORT") is RunOutcome.DISCOMFORT
+        with pytest.raises(ValidationError):
+            RunOutcome.parse("bogus")
+
+
+class TestDiscomfortEvent:
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValidationError):
+            DiscomfortEvent(offset=-1.0)
+
+    def test_level_for(self):
+        event = DiscomfortEvent(offset=1.0, levels={Resource.CPU: 2.0})
+        assert event.level_for(Resource.CPU) == 2.0
+        assert event.level_for(Resource.DISK) == 0.0
+
+
+class TestRunRecord:
+    def test_discomfort_accessors(self):
+        run = make_run()
+        assert run.discomforted and not run.exhausted
+        assert run.discomfort_level(Resource.CPU) == 1.5
+        assert run.max_level(Resource.CPU) == 1.5
+
+    def test_exhausted_has_no_discomfort_level(self):
+        run = make_run(outcome=RunOutcome.EXHAUSTED, offset=120.0)
+        assert run.exhausted
+        with pytest.raises(ValidationError):
+            run.discomfort_level(Resource.CPU)
+
+    def test_feedback_outcome_consistency_enforced(self):
+        with pytest.raises(ValidationError):
+            make_run(outcome=RunOutcome.EXHAUSTED, offset=120.0,
+                     feedback=DiscomfortEvent(offset=1.0))
+        with pytest.raises(ValidationError):
+            make_run(feedback=None)
+
+    def test_end_offset_bounds(self):
+        with pytest.raises(ValidationError):
+            make_run(end_offset=-1.0)
+        with pytest.raises(ValidationError):
+            make_run(end_offset=500.0)
+
+    def test_max_level_uses_last_values(self):
+        run = make_run(levels_at_end={Resource.CPU: 1.0},
+                       last_values={Resource.CPU: (0.5, 2.5)})
+        assert run.max_level(Resource.CPU) == 2.5
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        run = make_run()
+        restored = TestcaseRun.from_json(run.to_json())
+        assert restored == run
+
+    def test_exhausted_roundtrip(self):
+        run = make_run(outcome=RunOutcome.EXHAUSTED, offset=120.0)
+        restored = TestcaseRun.from_json(run.to_json())
+        assert restored == run
+        assert restored.feedback is None
+
+    def test_context_roundtrip_with_extras(self):
+        context = RunContext(
+            user_id="u", task="quake", client_id="c", machine_id="m",
+            started_at=5.0, extra={"rating_pc": "power"},
+        )
+        assert RunContext.from_dict(context.to_dict()) == context
+
+    def test_bad_json(self):
+        with pytest.raises(SerializationError):
+            TestcaseRun.from_json("not json")
+
+    def test_missing_fields(self):
+        with pytest.raises(SerializationError):
+            TestcaseRun.from_dict({"run_id": "x"})
+
+    def test_new_run_id_unique(self):
+        ids = {TestcaseRun.new_run_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_new_run_id_seeded(self):
+        import numpy as np
+
+        a = TestcaseRun.new_run_id(np.random.default_rng(1))
+        b = TestcaseRun.new_run_id(np.random.default_rng(1))
+        assert a == b and len(a) == 32
+
+
+@settings(max_examples=40)
+@given(
+    offset=st.floats(min_value=0.0, max_value=120.0),
+    level=st.floats(min_value=0.0, max_value=10.0),
+    task=st.sampled_from(["word", "powerpoint", "ie", "quake", ""]),
+    source=st.sampled_from(["simulated", "noise", "hotkey"]),
+)
+def test_property_roundtrip(offset, level, task, source):
+    run = TestcaseRun(
+        run_id="rp",
+        testcase_id="tc",
+        context=RunContext(user_id="u", task=task),
+        outcome=RunOutcome.DISCOMFORT,
+        end_offset=offset,
+        testcase_duration=120.0,
+        shapes={Resource.CPU: "ramp"},
+        levels_at_end={Resource.CPU: level},
+        last_values={Resource.CPU: (level,)},
+        feedback=DiscomfortEvent(offset=offset, levels={Resource.CPU: level},
+                                 source=source),
+    )
+    assert TestcaseRun.from_json(run.to_json()) == run

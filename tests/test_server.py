@@ -1,0 +1,196 @@
+"""Tests for registry, sampler, server core, and the TCP transport."""
+
+import pytest
+
+from repro.core.exercise import constant
+from repro.core.resources import Resource
+from repro.core.testcase import Testcase
+from repro.errors import RegistrationError, ValidationError
+from repro.server import (
+    ClientRegistry,
+    GrowingSampler,
+    InProcessTransport,
+    Message,
+    TCPServerTransport,
+    UUCSServer,
+)
+
+
+def tc(tcid):
+    return Testcase.single(tcid, constant(Resource.CPU, 1.0, 10.0))
+
+
+class TestRegistry:
+    def test_register_assigns_unique_guids(self, tmp_path):
+        registry = ClientRegistry(tmp_path)
+        a = registry.register({"os": "xp"})
+        b = registry.register({"os": "xp"})
+        assert a.client_id != b.client_id
+        assert len(registry) == 2
+
+    def test_lookup(self, tmp_path):
+        registry = ClientRegistry(tmp_path)
+        record = registry.register({"cpu": "p4"}, now=5.0)
+        found = registry.lookup(record.client_id)
+        assert found.snapshot == {"cpu": "p4"}
+        assert found.registered_at == 5.0
+
+    def test_unknown_client(self, tmp_path):
+        registry = ClientRegistry(tmp_path)
+        with pytest.raises(RegistrationError):
+            registry.lookup("ghost")
+
+    def test_persistence_across_restart(self, tmp_path):
+        first = ClientRegistry(tmp_path)
+        record = first.register({"os": "xp"})
+        second = ClientRegistry(tmp_path)
+        assert record.client_id in second
+        assert second.lookup(record.client_id).snapshot == {"os": "xp"}
+
+    def test_memory_only_registry(self):
+        registry = ClientRegistry()
+        record = registry.register({})
+        assert record.client_id in registry
+
+
+class TestGrowingSampler:
+    def test_never_resends_held(self):
+        sampler = GrowingSampler(seed=1, default_batch=3)
+        available = [f"t{i}" for i in range(10)]
+        held = ["t0", "t1"]
+        sample = sampler.sample(available, held)
+        assert len(sample) == 3
+        assert not set(sample) & set(held)
+
+    def test_growing_acquisition_converges(self):
+        sampler = GrowingSampler(seed=2, default_batch=4)
+        available = [f"t{i}" for i in range(10)]
+        held: list[str] = []
+        for _ in range(5):
+            held.extend(sampler.sample(available, held))
+        assert sorted(held) == sorted(available)
+
+    def test_want_zero(self):
+        sampler = GrowingSampler(seed=3)
+        assert sampler.sample(["a", "b"], [], want=0) == []
+
+    def test_want_more_than_fresh(self):
+        sampler = GrowingSampler(seed=4)
+        assert sorted(sampler.sample(["a", "b"], [], want=10)) == ["a", "b"]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            GrowingSampler(default_batch=0)
+        sampler = GrowingSampler()
+        with pytest.raises(ValidationError):
+            sampler.sample(["a"], [], want=-1)
+
+    def test_random_not_prefix_biased(self):
+        # Over many draws every testcase should get picked sometimes.
+        sampler = GrowingSampler(seed=5, default_batch=1)
+        available = [f"t{i}" for i in range(8)]
+        seen = set()
+        for _ in range(200):
+            seen.update(sampler.sample(available, []))
+        assert seen == set(available)
+
+
+class TestServerCore:
+    def make_server(self, tmp_path):
+        server = UUCSServer(tmp_path, seed=1, sync_batch=2)
+        server.add_testcases([tc("a"), tc("b"), tc("c")])
+        return server
+
+    def register(self, server):
+        response = server.handle(Message("register", {"snapshot": {"os": "xp"}}))
+        assert response.type == "registered"
+        return response.payload["client_id"]
+
+    def test_ping(self, tmp_path):
+        assert self.make_server(tmp_path).handle(Message("ping", {})).type == "pong"
+
+    def test_register_and_sync(self, tmp_path):
+        server = self.make_server(tmp_path)
+        client_id = self.register(server)
+        response = server.handle(
+            Message("sync", {"client_id": client_id, "have": [],
+                             "results": [], "want": 2})
+        )
+        assert response.type == "sync_ok"
+        assert len(response.payload["testcases"]) == 2
+
+    def test_sync_requires_registration(self, tmp_path):
+        server = self.make_server(tmp_path)
+        response = server.handle(
+            Message("sync", {"client_id": "ghost", "have": [], "results": []})
+        )
+        assert response.is_error
+
+    def test_register_requires_snapshot(self, tmp_path):
+        server = self.make_server(tmp_path)
+        assert server.handle(Message("register", {})).is_error
+
+    def test_sync_validates_fields(self, tmp_path):
+        server = self.make_server(tmp_path)
+        client_id = self.register(server)
+        bad_have = server.handle(
+            Message("sync", {"client_id": client_id, "have": "x", "results": []})
+        )
+        assert bad_have.is_error
+        bad_want = server.handle(
+            Message("sync", {"client_id": client_id, "have": [],
+                             "results": [], "want": -1})
+        )
+        assert bad_want.is_error
+        bad_results = server.handle(
+            Message("sync", {"client_id": client_id, "have": [],
+                             "results": ["nope"]})
+        )
+        assert bad_results.is_error
+
+    def test_responses_never_raise_for_client_mistakes(self, tmp_path):
+        server = self.make_server(tmp_path)
+        assert server.handle(Message("registered", {})).is_error
+
+
+class TestTCPTransport:
+    def test_full_exchange_over_tcp(self, tmp_path):
+        server = UUCSServer(tmp_path, seed=1)
+        server.add_testcases([tc("a")])
+        with TCPServerTransport(server) as listener:
+            with listener.connect() as transport:
+                pong = transport.request(Message("ping", {}))
+                assert pong.type == "pong"
+                reg = transport.request(
+                    Message("register", {"snapshot": {}})
+                ).expect("registered")
+                sync = transport.request(
+                    Message("sync", {"client_id": reg.payload["client_id"],
+                                     "have": [], "results": [], "want": 5})
+                ).expect("sync_ok")
+                assert len(sync.payload["testcases"]) == 1
+
+    def test_multiple_clients(self, tmp_path):
+        server = UUCSServer(tmp_path, seed=2)
+        with TCPServerTransport(server) as listener:
+            transports = [listener.connect() for _ in range(4)]
+            try:
+                ids = set()
+                for transport in transports:
+                    reg = transport.request(
+                        Message("register", {"snapshot": {}})
+                    ).expect("registered")
+                    ids.add(reg.payload["client_id"])
+                assert len(ids) == 4
+            finally:
+                for transport in transports:
+                    transport.close()
+
+
+class TestInProcessTransport:
+    def test_routes_through_codec(self, tmp_path):
+        server = UUCSServer(tmp_path, seed=1)
+        transport = InProcessTransport(server)
+        response = transport.request(Message("ping", {}))
+        assert response.type == "pong"
+        transport.close()

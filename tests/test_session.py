@@ -1,0 +1,164 @@
+"""Tests for the session run loop (paper §2.3 semantics)."""
+
+import pytest
+
+from repro.core.exercise import blank, ramp, step
+from repro.core.feedback import DiscomfortEvent, RunOutcome
+from repro.core.resources import Resource
+from repro.core.run import RunContext
+from repro.core.session import (
+    InteractivitySample,
+    run_simulated_session,
+)
+from repro.core.testcase import Testcase
+from repro.errors import ValidationError
+
+
+class ScriptedFeedback:
+    """Feedback source that fires at a fixed offset (or never)."""
+
+    def __init__(self, fire_at=None, source="scripted"):
+        self.fire_at = fire_at
+        self.source = source
+        self.began = 0
+        self.polls = 0
+
+    def begin_run(self, testcase, context):
+        self.began += 1
+
+    def poll(self, t, levels, interactivity):
+        self.polls += 1
+        if self.fire_at is not None and t >= self.fire_at:
+            return DiscomfortEvent(offset=self.fire_at, levels=dict(levels),
+                                   source=self.source)
+        return None
+
+
+class RecordingModel:
+    def __init__(self):
+        self.calls = 0
+
+    def interactivity(self, levels):
+        self.calls += 1
+        return InteractivitySample(slowdown=1.0 + levels.get(Resource.CPU, 0.0))
+
+
+def cpu_ramp_testcase(rate=1.0):
+    return Testcase.single("t", ramp(Resource.CPU, 2.0, 120.0, rate))
+
+
+class TestExhaustion:
+    def test_exhausted_run(self):
+        feedback = ScriptedFeedback(fire_at=None)
+        result = run_simulated_session(
+            cpu_ramp_testcase(), feedback, RunContext(user_id="u")
+        )
+        run = result.run
+        assert run.outcome is RunOutcome.EXHAUSTED
+        assert run.end_offset == 120.0
+        assert run.feedback is None
+        assert feedback.began == 1
+        assert feedback.polls == 120
+
+    def test_load_trace_full_length(self):
+        result = run_simulated_session(
+            cpu_ramp_testcase(), ScriptedFeedback(), RunContext(user_id="u")
+        )
+        assert len(result.slowdown_trace) == 120
+        assert len(result.run.load_trace["contention_cpu"]) == 120
+
+
+class TestDiscomfort:
+    def test_stops_immediately_at_feedback(self):
+        feedback = ScriptedFeedback(fire_at=45.0)
+        result = run_simulated_session(
+            cpu_ramp_testcase(), feedback, RunContext(user_id="u")
+        )
+        run = result.run
+        assert run.outcome is RunOutcome.DISCOMFORT
+        assert run.end_offset == pytest.approx(45.0)
+        # Exercisers stop: trace only covers the executed prefix.
+        assert len(result.slowdown_trace) == 46
+        assert run.feedback.source == "scripted"
+
+    def test_levels_recorded_at_feedback(self):
+        result = run_simulated_session(
+            cpu_ramp_testcase(), ScriptedFeedback(fire_at=60.0),
+            RunContext(user_id="u"),
+        )
+        expected = cpu_ramp_testcase().levels_at(60.0)[Resource.CPU]
+        assert result.run.levels_at_end[Resource.CPU] == pytest.approx(expected)
+
+    def test_last_five_values_recorded(self):
+        result = run_simulated_session(
+            cpu_ramp_testcase(), ScriptedFeedback(fire_at=60.0),
+            RunContext(user_id="u"),
+        )
+        assert len(result.run.last_values[Resource.CPU]) == 5
+
+    def test_feedback_offset_clamped_into_sample(self):
+        class EarlyReporter(ScriptedFeedback):
+            def poll(self, t, levels, interactivity):
+                if t >= 10.0:
+                    # Claims an offset far in the past; the session clamps.
+                    return DiscomfortEvent(offset=0.0, levels={})
+                return None
+
+        result = run_simulated_session(
+            cpu_ramp_testcase(), EarlyReporter(), RunContext(user_id="u")
+        )
+        assert result.run.end_offset >= 10.0
+
+
+class TestInteractivityModel:
+    def test_model_consulted_every_step(self):
+        model = RecordingModel()
+        run_simulated_session(
+            cpu_ramp_testcase(), ScriptedFeedback(), RunContext(user_id="u"),
+            model,
+        )
+        assert model.calls == 120
+
+    def test_slowdown_trace_reflects_model(self):
+        model = RecordingModel()
+        result = run_simulated_session(
+            cpu_ramp_testcase(), ScriptedFeedback(), RunContext(user_id="u"),
+            model,
+        )
+        assert result.slowdown_trace[0] == pytest.approx(1.0)
+        assert result.slowdown_trace[-1] > 2.9
+
+    def test_default_model_unimpeded(self):
+        result = run_simulated_session(
+            cpu_ramp_testcase(), ScriptedFeedback(), RunContext(user_id="u")
+        )
+        assert set(result.slowdown_trace) == {1.0}
+
+
+class TestSampleValidation:
+    def test_interactivity_sample_bounds(self):
+        with pytest.raises(ValidationError):
+            InteractivitySample(slowdown=0.5)
+        with pytest.raises(ValidationError):
+            InteractivitySample(jitter=1.5)
+
+    def test_blank_testcase_runs(self):
+        tc = Testcase.single("b", blank(Resource.CPU, 30.0))
+        result = run_simulated_session(
+            tc, ScriptedFeedback(), RunContext(user_id="u")
+        )
+        assert result.run.exhausted
+
+    def test_step_records_plateau_level(self):
+        tc = Testcase.single("s", step(Resource.CPU, 2.0, 120.0, 40.0))
+        result = run_simulated_session(
+            tc, ScriptedFeedback(fire_at=80.0), RunContext(user_id="u")
+        )
+        assert result.run.levels_at_end[Resource.CPU] == 2.0
+
+    def test_run_id_passthrough(self):
+        result = run_simulated_session(
+            cpu_ramp_testcase(), ScriptedFeedback(), RunContext(user_id="u"),
+            run_id="fixed-id",
+        )
+        assert result.run.run_id == "fixed-id"

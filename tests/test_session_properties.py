@@ -1,0 +1,100 @@
+"""Hypothesis property tests over the session loop.
+
+Random exercise functions plus scripted threshold users: whatever the
+shapes, the session must uphold the paper's §2.3 invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exercise import ExerciseFunction
+from repro.core.feedback import DiscomfortEvent, RunOutcome
+from repro.core.resources import CONTENTION_LIMITS, Resource
+from repro.core.run import RunContext
+from repro.core.session import run_simulated_session
+from repro.core.testcase import Testcase
+from repro.util.timeseries import SampledSeries
+
+
+class ThresholdFeedback:
+    """Deterministic user: reacts the first time a level >= threshold."""
+
+    def __init__(self, threshold: float):
+        self.threshold = threshold
+
+    def begin_run(self, testcase, context):
+        pass
+
+    def poll(self, t, levels, interactivity):
+        if any(v >= self.threshold for v in levels.values()):
+            return DiscomfortEvent(offset=t, levels=dict(levels))
+        return None
+
+
+def make_testcase(values, rate):
+    fn = ExerciseFunction(
+        Resource.CPU, SampledSeries(rate, np.array(values)), "custom", {}
+    )
+    return Testcase.single("prop", fn)
+
+
+level_lists = st.lists(
+    st.floats(min_value=0.0, max_value=CONTENTION_LIMITS[Resource.CPU]),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=level_lists, rate=st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+       threshold=st.floats(min_value=0.01, max_value=12.0))
+def test_property_session_invariants(values, rate, threshold):
+    testcase = make_testcase(values, rate)
+    result = run_simulated_session(
+        testcase, ThresholdFeedback(threshold), RunContext(user_id="p")
+    )
+    run = result.run
+
+    # 1. The run ends within the testcase.
+    assert 0.0 <= run.end_offset <= testcase.duration + 1e-9
+
+    # 2. Outcome matches whether any sample reaches the threshold.
+    should_react = any(v >= threshold for v in values)
+    assert run.discomforted == should_react
+
+    # 3. On discomfort, the recorded level is the level in effect at the
+    # feedback offset and it is at or above the threshold.
+    if run.discomforted:
+        expected = testcase.levels_at(run.end_offset)[Resource.CPU]
+        assert run.levels_at_end[Resource.CPU] == pytest.approx(expected)
+        assert run.discomfort_level(Resource.CPU) >= threshold - 1e-9
+        # ...and it reacted at the FIRST qualifying sample.
+        first = next(i for i, v in enumerate(values) if v >= threshold)
+        assert run.end_offset == pytest.approx(first / rate, abs=1e-6)
+
+    # 4. The recorded trace covers exactly the executed prefix.
+    steps_done = len(result.slowdown_trace)
+    assert steps_done == len(run.load_trace["slowdown"])
+    assert steps_done <= len(values)
+
+    # 5. Last-five values are a suffix of the function up to the end.
+    last = run.last_values[Resource.CPU]
+    assert 1 <= len(last) <= 5
+    idx = testcase.functions[Resource.CPU].series.index_at(
+        min(run.end_offset, testcase.duration)
+    )
+    assert list(last) == [pytest.approx(v) for v in values[max(0, idx - 4): idx + 1]]
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=level_lists, rate=st.sampled_from([1.0, 4.0]))
+def test_property_exhausted_runs_full_duration(values, rate):
+    testcase = make_testcase(values, rate)
+    result = run_simulated_session(
+        testcase, ThresholdFeedback(float("inf")), RunContext(user_id="p")
+    )
+    assert result.run.outcome is RunOutcome.EXHAUSTED
+    assert result.run.end_offset == testcase.duration
+    assert len(result.slowdown_trace) == len(values)

@@ -1,0 +1,79 @@
+"""Tests for per-shape discomfort analysis, plus the exppar
+serialization regression it uncovered."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.shapes import shape_table, summarize_shapes
+from repro.core import Resource, Testcase, exppar
+from repro.errors import InsufficientDataError
+
+
+class TestExpparSerializationRegression:
+    def test_shape_tag_survives_roundtrip(self):
+        """The Pareto tail index must not be (de)serialized as the shape
+        tag (it is stored under the key 'alpha')."""
+        tc = Testcase.single(
+            "q", exppar(Resource.CPU, 0.1, 1.5, 10.0, 120.0, seed=5)
+        )
+        restored = Testcase.from_text(tc.to_text())
+        fn = restored.functions[Resource.CPU]
+        assert fn.shape == "exppar"
+        assert fn.params["alpha"] == 1.5
+
+    def test_reserved_param_key_rejected(self):
+        from repro.core.exercise import ExerciseFunction
+        from repro.errors import SerializationError
+        from repro.util.timeseries import SampledSeries
+
+        fn = ExerciseFunction(
+            Resource.CPU, SampledSeries(1.0, np.array([1.0])), "custom",
+            {"shape": 2.0},
+        )
+        with pytest.raises(SerializationError):
+            Testcase.single("bad", fn).to_text()
+
+
+class TestShapeSummaries:
+    @pytest.fixture(scope="class")
+    def internet_runs(self):
+        from repro.study import InternetStudyConfig, run_internet_study
+
+        result = run_internet_study(
+            InternetStudyConfig(
+                n_clients=12, duration=4 * 3600.0,
+                mean_execution_interval=500.0, library_size=60, seed=13,
+            )
+        )
+        return list(result.runs)
+
+    def test_groups_by_generator_tag(self, internet_runs):
+        summaries = summarize_shapes(internet_runs)
+        names = {s.shape for s in summaries}
+        # Only real generator tags appear (the exppar regression guard).
+        assert names <= {"expexp", "exppar", "step", "ramp", "sine",
+                         "sawtooth", "constant"}
+        assert "expexp" in names or "exppar" in names
+
+    def test_sorted_by_fd(self, internet_runs):
+        summaries = summarize_shapes(internet_runs)
+        fds = [s.f_d for s in summaries]
+        assert fds == sorted(fds, reverse=True)
+
+    def test_exposure_fields(self, internet_runs):
+        for s in summarize_shapes(internet_runs):
+            assert s.mean_peak >= s.mean_exposure >= 0.0
+            assert s.n_runs >= 3
+            assert 0.0 <= s.f_d <= 1.0
+
+    def test_table_renders(self, internet_runs):
+        text = shape_table(summarize_shapes(internet_runs)).render()
+        assert "f_d / exposure" in text
+
+    def test_controlled_study_shapes(self, study_runs):
+        summaries = summarize_shapes(study_runs)
+        assert {s.shape for s in summaries} == {"ramp", "step"}
+
+    def test_min_runs_filter(self):
+        with pytest.raises(InsufficientDataError):
+            summarize_shapes([])

@@ -1,0 +1,133 @@
+"""Tests for the text-file testcase and result stores."""
+
+import pytest
+
+from repro.core.exercise import constant, ramp
+from repro.core.feedback import RunOutcome
+from repro.core.resources import Resource
+from repro.core.run import RunContext, TestcaseRun
+from repro.core.testcase import Testcase
+from repro.errors import StoreError
+from repro.stores import ResultStore, TestcaseStore
+
+
+def tc(tcid="t1", level=1.0):
+    return Testcase.single(tcid, constant(Resource.CPU, level, 10.0))
+
+
+def run_record(run_id="r1"):
+    return TestcaseRun(
+        run_id=run_id,
+        testcase_id="t1",
+        context=RunContext(user_id="u"),
+        outcome=RunOutcome.EXHAUSTED,
+        end_offset=10.0,
+        testcase_duration=10.0,
+        shapes={Resource.CPU: "constant"},
+    )
+
+
+class TestTestcaseStore:
+    def test_add_get_roundtrip(self, tmp_path):
+        store = TestcaseStore(tmp_path / "tcs")
+        store.add(tc())
+        assert store.get("t1").testcase_id == "t1"
+        assert "t1" in store
+        assert len(store) == 1
+
+    def test_files_are_plain_text(self, tmp_path):
+        store = TestcaseStore(tmp_path)
+        store.add(tc())
+        text = (tmp_path / "t1.testcase").read_text()
+        assert text.startswith("UUCS-TESTCASE 1")
+
+    def test_ids_sorted(self, tmp_path):
+        store = TestcaseStore(tmp_path)
+        store.add_all([tc("b"), tc("a"), tc("c")])
+        assert store.ids() == ["a", "b", "c"]
+
+    def test_iteration(self, tmp_path):
+        store = TestcaseStore(tmp_path)
+        store.add_all([tc("a"), tc("b")])
+        assert [t.testcase_id for t in store] == ["a", "b"]
+
+    def test_missing_raises(self, tmp_path):
+        store = TestcaseStore(tmp_path)
+        with pytest.raises(StoreError):
+            store.get("nope")
+
+    def test_overwrite_control(self, tmp_path):
+        store = TestcaseStore(tmp_path)
+        store.add(tc("x", 1.0))
+        store.add(tc("x", 2.0))  # default overwrite
+        assert store.get("x").functions[Resource.CPU].max_level() == 2.0
+        with pytest.raises(StoreError):
+            store.add(tc("x"), overwrite=False)
+
+    def test_illegal_ids_rejected(self, tmp_path):
+        store = TestcaseStore(tmp_path)
+        for bad in ("", "../evil", ".hidden", "a/b"):
+            with pytest.raises(StoreError):
+                store.get(bad)
+
+    def test_corrupt_file_surfaces_as_store_error(self, tmp_path):
+        store = TestcaseStore(tmp_path)
+        (tmp_path / "bad.testcase").write_text("garbage")
+        with pytest.raises(StoreError):
+            store.get("bad")
+
+    def test_remove(self, tmp_path):
+        store = TestcaseStore(tmp_path)
+        store.add(tc())
+        store.remove("t1")
+        assert len(store) == 0
+        with pytest.raises(StoreError):
+            store.remove("t1")
+
+
+class TestResultStore:
+    def test_append_and_iterate(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(run_record("a"))
+        store.append(run_record("b"))
+        assert [r.run_id for r in store] == ["a", "b"]
+        assert len(store) == 2
+        assert store.run_ids() == {"a", "b"}
+
+    def test_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert list(store) == []
+        assert len(store) == 0
+
+    def test_extend_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.extend([run_record("a"), run_record("b")]) == 2
+
+    def test_drain_empties(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.extend([run_record("a"), run_record("b")])
+        drained = store.drain()
+        assert len(drained) == 2
+        assert len(store) == 0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(run_record("a"))
+        with store.path.open("a") as fh:
+            fh.write("\n\n")
+        store.append(run_record("b"))
+        assert len(store) == 2
+
+    def test_corruption_reported_with_line(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(run_record("a"))
+        with store.path.open("a") as fh:
+            fh.write("{broken\n")
+        with pytest.raises(StoreError, match="results.jsonl:2"):
+            list(store)
+
+    def test_runs_roundtrip_exactly(self, tmp_path):
+        store = ResultStore(tmp_path)
+        original = run_record()
+        store.append(original)
+        assert next(iter(store)) == original

@@ -1,0 +1,131 @@
+"""Tests for borrowing strategies and the activity model."""
+
+import pytest
+
+from repro.apps import get_task
+from repro.errors import ValidationError
+from repro.machine import SimulatedMachine
+from repro.throttle import (
+    ActivityModel,
+    BackgroundBorrower,
+    Throttle,
+    aggressive,
+    cdf_operating_point,
+    linger_longer,
+    screensaver,
+)
+from repro.core.resources import Resource
+from repro.users import make_user, sample_population
+
+
+class TestActivityModel:
+    def test_schedule_covers_horizon(self):
+        model = ActivityModel(mean_active=100.0, mean_idle=50.0)
+        spans = model.schedule(1000.0, seed=1)
+        assert spans[0][0] == 0.0
+        assert spans[-1][1] == pytest.approx(1000.0)
+        for (s1, e1, a1), (s2, e2, a2) in zip(spans, spans[1:]):
+            assert e1 == s2
+            assert a1 != a2  # strict alternation
+
+    def test_active_fraction(self):
+        model = ActivityModel(mean_active=300.0, mean_idle=100.0)
+        assert model.active_fraction == pytest.approx(0.75)
+        spans = model.schedule(500_000.0, seed=2)
+        active_time = sum(e - s for s, e, a in spans if a)
+        assert active_time / 500_000.0 == pytest.approx(0.75, abs=0.05)
+
+    def test_active_at(self):
+        model = ActivityModel(mean_active=100.0, mean_idle=100.0)
+        spans = [(0.0, 10.0, True), (10.0, 20.0, False)]
+        assert model.active_at(spans, 5.0)
+        assert not model.active_at(spans, 15.0)
+
+    def test_deterministic(self):
+        model = ActivityModel()
+        assert model.schedule(3600.0, seed=7) == model.schedule(3600.0, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ActivityModel(mean_active=0.0)
+        with pytest.raises(ValidationError):
+            ActivityModel().schedule(-1.0)
+
+
+class TestPolicies:
+    def test_screensaver(self):
+        policy = screensaver(burst_level=6.0)
+        assert policy(True) == 0.0
+        assert policy(False) == 6.0
+
+    def test_linger_longer(self):
+        policy = linger_longer(0.3, burst_level=6.0)
+        assert policy(True) == 0.3
+        assert policy(False) == 6.0
+        with pytest.raises(ValidationError):
+            linger_longer(-0.1)
+
+    def test_cdf_operating_point(self):
+        policy = cdf_operating_point(0.35)
+        assert policy(True) == policy(False) == 0.35
+        with pytest.raises(ValidationError):
+            cdf_operating_point(-1.0)
+
+    def test_aggressive(self):
+        policy = aggressive(8.0)
+        assert policy(True) == 8.0
+
+
+class TestBorrowerWithActivity:
+    def _borrower(self, seed=41):
+        machine = SimulatedMachine()
+        user = make_user(sample_population(1, seed=13)[0], seed=seed)
+        throttle = Throttle(Resource.CPU, 8.0)
+        return BackgroundBorrower(machine, get_task("powerpoint"), user, throttle)
+
+    def test_screensaver_never_discomforts(self):
+        borrower = self._borrower()
+        report = borrower.run(
+            work=5000.0,
+            horizon=8 * 3600.0,
+            request=screensaver(8.0),
+            activity=ActivityModel(mean_active=1200.0, mean_idle=600.0),
+            activity_seed=3,
+        )
+        assert report.discomfort_events == 0
+        assert report.work_done > 0  # idle periods were harvested
+
+    def test_linger_longer_beats_screensaver(self):
+        activity = ActivityModel(mean_active=1200.0, mean_idle=600.0)
+        saver = self._borrower(seed=41).run(
+            work=1e9, horizon=4 * 3600.0, request=screensaver(8.0),
+            activity=activity, activity_seed=5,
+        )
+        linger = self._borrower(seed=41).run(
+            work=1e9, horizon=4 * 3600.0, request=linger_longer(0.3, 8.0),
+            activity=activity, activity_seed=5,
+        )
+        assert linger.work_done > saver.work_done
+
+    def test_idle_user_cannot_click(self):
+        # All-idle schedule: full-bore borrowing, zero discomfort.
+        borrower = self._borrower()
+        report = borrower.run(
+            work=1e9, horizon=3600.0, request=aggressive(8.0),
+            activity=ActivityModel(mean_active=1e-3, mean_idle=1e9),
+            activity_seed=1,
+        )
+        assert report.discomfort_events == 0
+        assert report.work_done == pytest.approx(3600.0, rel=0.02)
+
+    def test_activity_schedule_deterministic_run(self):
+        activity = ActivityModel()
+        a = self._borrower(seed=9).run(
+            work=500.0, horizon=7200.0, request=linger_longer(0.2),
+            activity=activity, activity_seed=11,
+        )
+        b = self._borrower(seed=9).run(
+            work=500.0, horizon=7200.0, request=linger_longer(0.2),
+            activity=activity, activity_seed=11,
+        )
+        assert a == b

@@ -1,0 +1,77 @@
+"""Tests for the Figure 8 testcase table."""
+
+import pytest
+
+from repro import paperdata
+from repro.core.resources import Resource
+from repro.errors import ValidationError
+from repro.study.testcases import (
+    TESTCASE_DURATION,
+    blank_testcase,
+    ramp_testcase,
+    step_testcase,
+    task_testcases,
+)
+
+
+class TestFigure8Parameters:
+    @pytest.mark.parametrize("task", paperdata.STUDY_TASKS)
+    def test_eight_testcases_per_task(self, task):
+        testcases = task_testcases(task)
+        assert len(testcases) == 8
+        blanks = [t for t in testcases if t.is_blank()]
+        assert len(blanks) == 2
+        assert all(t.duration == TESTCASE_DURATION for t in testcases)
+
+    @pytest.mark.parametrize("task", paperdata.STUDY_TASKS)
+    @pytest.mark.parametrize(
+        "resource", [Resource.CPU, Resource.MEMORY, Resource.DISK]
+    )
+    def test_ramp_parameters_match_figure8(self, task, resource):
+        x, t = paperdata.RAMP_PARAMS[(task, resource)]
+        testcase = ramp_testcase(task, resource)
+        fn = testcase.functions[resource]
+        assert fn.shape == "ramp"
+        assert fn.max_level() == pytest.approx(x)
+        assert fn.duration == pytest.approx(t)
+        assert testcase.metadata["task"] == task
+
+    @pytest.mark.parametrize("task", paperdata.STUDY_TASKS)
+    @pytest.mark.parametrize(
+        "resource", [Resource.CPU, Resource.MEMORY, Resource.DISK]
+    )
+    def test_step_parameters_match_figure8(self, task, resource):
+        x, t, b = paperdata.STEP_PARAMS[(task, resource)]
+        fn = step_testcase(task, resource).functions[resource]
+        assert fn.shape == "step"
+        assert fn.level_at(b - 1.0) == 0.0
+        assert fn.level_at(b + 1.0) == pytest.approx(x)
+        assert fn.duration == pytest.approx(t)
+
+    def test_word_cpu_is_most_tolerant_calibration(self):
+        # §3.2: Word needs far higher CPU contention than Quake.
+        word_x = paperdata.RAMP_PARAMS[("word", Resource.CPU)][0]
+        quake_x = paperdata.RAMP_PARAMS[("quake", Resource.CPU)][0]
+        assert word_x > 5 * quake_x
+
+    def test_memory_ramps_cover_full_memory(self):
+        for task in paperdata.STUDY_TASKS:
+            x, _ = paperdata.RAMP_PARAMS[(task, Resource.MEMORY)]
+            assert x == 1.0
+
+    def test_unique_ids_across_all_tasks(self):
+        ids = [
+            t.testcase_id
+            for task in paperdata.STUDY_TASKS
+            for t in task_testcases(task)
+        ]
+        assert len(ids) == len(set(ids))
+
+    def test_blank_exercises_nothing(self):
+        tc = blank_testcase("word")
+        assert tc.is_blank()
+        assert tc.levels_at(60.0)[Resource.CPU] == 0.0
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValidationError):
+            task_testcases("emacs")

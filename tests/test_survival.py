@@ -1,0 +1,125 @@
+"""Tests for the Kaplan-Meier discomfort-threshold estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.survival import (
+    kaplan_meier,
+    km_discomfort_probability,
+    km_percentile,
+)
+from repro.core.metrics import DiscomfortCDF, DiscomfortObservation
+from repro.core.resources import Resource
+from repro.errors import InsufficientDataError, ValidationError
+
+
+def obs(level, censored=False):
+    return DiscomfortObservation(
+        level=level, censored=censored, resource=Resource.CPU
+    )
+
+
+class TestUncensored:
+    def test_matches_empirical_cdf_without_censoring(self):
+        levels = [0.5, 1.0, 1.5, 2.0, 3.0]
+        observations = [obs(l) for l in levels]
+        km = kaplan_meier(observations)
+        naive = DiscomfortCDF(observations)
+        for level in levels:
+            assert km.evaluate(level) == pytest.approx(naive.evaluate(level))
+        assert km.max_coverage == pytest.approx(1.0)
+
+    def test_percentile_matches_naive(self):
+        observations = [obs(l) for l in np.linspace(0.1, 10.0, 100)]
+        km = kaplan_meier(observations)
+        naive = DiscomfortCDF(observations)
+        assert km.percentile(0.05) == pytest.approx(naive.c_percentile(0.05))
+
+
+class TestCensoring:
+    def test_early_censoring_raises_estimate_above_naive(self):
+        # Half the runs censored at level 1 (they never explored beyond);
+        # reactions occur at 2.  The naive CDF says P(<=2) = 0.5; KM knows
+        # the censored runs tell us nothing about level 2.
+        observations = [obs(1.0, censored=True)] * 5 + [obs(2.0)] * 5
+        km = kaplan_meier(observations)
+        naive = DiscomfortCDF(observations)
+        assert naive.evaluate(2.0) == 0.5
+        assert km.evaluate(2.0) == pytest.approx(1.0)
+
+    def test_top_censoring_equivalent_to_naive_below_max(self):
+        # Controlled-study shape: all censoring at the common ramp max.
+        observations = [obs(l) for l in (0.5, 1.0, 1.5)] + [
+            obs(2.0, censored=True)
+        ] * 3
+        km = kaplan_meier(observations)
+        naive = DiscomfortCDF(observations)
+        for level in (0.5, 1.0, 1.5):
+            assert km.evaluate(level) == pytest.approx(naive.evaluate(level))
+
+    def test_coverage_capped_when_all_censored_above(self):
+        observations = [obs(1.0)] + [obs(5.0, censored=True)] * 9
+        km = kaplan_meier(observations)
+        assert km.max_coverage == pytest.approx(0.1)
+        with pytest.raises(InsufficientDataError):
+            km.percentile(0.5)
+
+    def test_helpers(self):
+        observations = [obs(1.0), obs(2.0), obs(3.0, censored=True)]
+        assert km_discomfort_probability(observations, 1.5) > 0
+        assert km_percentile(observations, 0.3) in (1.0, 2.0)
+
+
+class TestValidation:
+    def test_empty(self):
+        with pytest.raises(InsufficientDataError):
+            kaplan_meier([])
+
+    def test_bad_percentile(self):
+        km = kaplan_meier([obs(1.0)])
+        with pytest.raises(ValidationError):
+            km.percentile(0.0)
+
+    def test_evaluate_below_first_event(self):
+        km = kaplan_meier([obs(1.0)])
+        assert km.evaluate(0.5) == 0.0
+
+
+class TestOnStudyData:
+    def test_km_close_to_naive_on_controlled_study(self, study_runs):
+        """With common ramp maxima per cell, KM and the paper's naive CDF
+        agree below the max — validating the paper's simpler estimator for
+        its own study design."""
+        from repro.analysis.cdf import observations_from_runs
+
+        observations = observations_from_runs(
+            study_runs, resource=Resource.CPU, task="quake"
+        )
+        km = kaplan_meier(observations)
+        naive = DiscomfortCDF(observations)
+        for level in (0.2, 0.5, 0.8, 1.0):
+            assert km.evaluate(level) == pytest.approx(
+                naive.evaluate(level), abs=0.02
+            )
+
+
+@settings(max_examples=50)
+@given(
+    events=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1,
+                    max_size=80),
+    censors=st.lists(st.floats(min_value=0.01, max_value=10.0), max_size=80),
+)
+def test_property_km_dominates_naive(events, censors):
+    """KM's estimate is always >= the naive CDF (censoring can only have
+    hidden reactions, never un-reacted ones), monotone, and within [0,1]."""
+    observations = [obs(l) for l in events] + [
+        obs(l, censored=True) for l in censors
+    ]
+    km = kaplan_meier(observations)
+    naive = DiscomfortCDF(observations)
+    assert np.all(np.diff(km.cdf) >= -1e-12)
+    assert np.all((km.cdf >= -1e-12) & (km.cdf <= 1.0 + 1e-12))
+    for level in sorted(set(events))[:20]:
+        assert km.evaluate(level) >= naive.evaluate(level) - 1e-9

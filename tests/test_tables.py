@@ -1,0 +1,42 @@
+"""Tests for repro.util.tables."""
+
+import math
+
+import pytest
+
+from repro.util.tables import TextTable, format_float
+
+
+class TestFormatFloat:
+    def test_basic(self):
+        assert format_float(1.2345) == "1.23"
+        assert format_float(1.2345, digits=3) == "1.234"
+
+    def test_star_for_none_and_nan(self):
+        assert format_float(None) == "*"
+        assert format_float(math.nan) == "*"
+        assert format_float(None, star="--") == "--"
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable("Title", ["A", "BB"])
+        table.add_row("x", 1)
+        table.add_row("longer", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "A" in lines[2] and "BB" in lines[2]
+        assert "longer" in text and "22" in text
+        # All data rows share column starts.
+        assert lines[4].index("1") == lines[5].index("22")
+
+    def test_row_arity_enforced(self):
+        table = TextTable("T", ["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_extend_and_str(self):
+        table = TextTable("T", ["A"])
+        table.extend([["1"], ["2"]])
+        assert str(table).count("\n") >= 5

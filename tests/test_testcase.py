@@ -1,0 +1,206 @@
+"""Tests for Testcase construction and text serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exercise import blank, constant, expexp, ramp, step
+from repro.core.resources import Resource
+from repro.core.testcase import Testcase
+from repro.errors import SerializationError, ValidationError
+
+
+def make_testcase(**meta):
+    return Testcase(
+        "tc-1",
+        {
+            Resource.CPU: ramp(Resource.CPU, 2.0, 120.0),
+            Resource.MEMORY: blank(Resource.MEMORY, 120.0),
+        },
+        meta,
+    )
+
+
+class TestConstruction:
+    def test_properties(self):
+        tc = make_testcase()
+        assert tc.sample_rate == 1.0
+        assert tc.duration == 120.0
+        assert tc.resources == (Resource.CPU, Resource.MEMORY)
+
+    def test_id_validation(self):
+        with pytest.raises(ValidationError):
+            Testcase("", {Resource.CPU: ramp(Resource.CPU, 1.0, 10.0)})
+        with pytest.raises(ValidationError):
+            Testcase("has space", {Resource.CPU: ramp(Resource.CPU, 1.0, 10.0)})
+
+    def test_needs_functions(self):
+        with pytest.raises(ValidationError):
+            Testcase("tc", {})
+
+    def test_rejects_mixed_rates(self):
+        with pytest.raises(ValidationError):
+            Testcase(
+                "tc",
+                {
+                    Resource.CPU: ramp(Resource.CPU, 1.0, 10.0, sample_rate=1.0),
+                    Resource.DISK: ramp(Resource.DISK, 1.0, 10.0, sample_rate=2.0),
+                },
+            )
+
+    def test_rejects_mismatched_key(self):
+        with pytest.raises(ValidationError):
+            Testcase("tc", {Resource.DISK: ramp(Resource.CPU, 1.0, 10.0)})
+
+    def test_single_constructor(self):
+        tc = Testcase.single("s", constant(Resource.DISK, 1.0, 10.0))
+        assert tc.resources == (Resource.DISK,)
+
+
+class TestSemantics:
+    def test_levels_at(self):
+        tc = make_testcase()
+        levels = tc.levels_at(119.0)
+        assert levels[Resource.MEMORY] == 0.0
+        assert levels[Resource.CPU] > 1.9
+
+    def test_levels_after_function_end_are_zero(self):
+        tc = Testcase(
+            "tc",
+            {
+                Resource.CPU: constant(Resource.CPU, 1.0, 10.0),
+                Resource.DISK: constant(Resource.DISK, 1.0, 20.0),
+            },
+        )
+        assert tc.duration == 20.0
+        assert tc.levels_at(15.0) == {Resource.CPU: 0.0, Resource.DISK: 1.0}
+
+    def test_blankness(self):
+        assert Testcase.single("b", blank(Resource.CPU, 10.0)).is_blank()
+        assert not make_testcase().is_blank()
+
+    def test_primary_resource(self):
+        assert make_testcase().primary_resource() is Resource.CPU
+        blank_tc = Testcase.single("b", blank(Resource.CPU, 10.0))
+        assert blank_tc.primary_resource() is Resource.CPU
+
+    def test_primary_resource_ambiguous(self):
+        tc = Testcase(
+            "tc",
+            {
+                Resource.CPU: constant(Resource.CPU, 1.0, 10.0),
+                Resource.DISK: constant(Resource.DISK, 1.0, 10.0),
+            },
+        )
+        with pytest.raises(ValidationError):
+            tc.primary_resource()
+
+    def test_last_values(self):
+        tc = make_testcase()
+        last = tc.last_values(60.0)
+        assert len(last[Resource.CPU]) == 5
+        assert len(last[Resource.MEMORY]) == 5
+
+    def test_unique_resources(self):
+        tcs = [
+            Testcase.single("a", constant(Resource.CPU, 1.0, 5.0)),
+            Testcase.single("b", constant(Resource.DISK, 1.0, 5.0)),
+        ]
+        assert Testcase.unique_resources(tcs) == {Resource.CPU, Resource.DISK}
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        tc = make_testcase(task="word", study="controlled")
+        restored = Testcase.from_text(tc.to_text())
+        assert restored.testcase_id == tc.testcase_id
+        assert restored.metadata == dict(tc.metadata)
+        assert restored.resources == tc.resources
+        for resource in tc.resources:
+            assert np.array_equal(
+                restored.functions[resource].values,
+                tc.functions[resource].values,
+            )
+            assert restored.functions[resource].shape == tc.functions[resource].shape
+
+    def test_roundtrip_preserves_params(self):
+        tc = Testcase.single("s", step(Resource.CPU, 2.0, 120.0, 40.0))
+        restored = Testcase.from_text(tc.to_text())
+        fn = restored.functions[Resource.CPU]
+        assert fn.params == {"x": 2.0, "t": 120.0, "b": 40.0}
+
+    def test_stochastic_functions_ship_exact_values(self):
+        # Clients replay exactly what the server generated.
+        tc = Testcase.single("q", expexp(Resource.CPU, 0.1, 10.0, 120.0, seed=5))
+        restored = Testcase.from_text(tc.to_text())
+        assert np.array_equal(
+            restored.functions[Resource.CPU].values,
+            tc.functions[Resource.CPU].values,
+        )
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = make_testcase().to_text()
+        noisy = "# a comment\n" + text.replace("\nid:", "\n\n# mid\nid:")
+        assert Testcase.from_text(noisy).testcase_id == "tc-1"
+
+    def test_missing_header(self):
+        with pytest.raises(SerializationError):
+            Testcase.from_text("id: x\nEND\n")
+
+    def test_missing_end(self):
+        text = make_testcase().to_text().replace("END\n", "")
+        with pytest.raises(SerializationError):
+            Testcase.from_text(text)
+
+    def test_malformed_line(self):
+        text = make_testcase().to_text().replace("id: tc-1", "id tc-1")
+        with pytest.raises(SerializationError):
+            Testcase.from_text(text)
+
+    def test_values_before_function(self):
+        with pytest.raises(SerializationError):
+            Testcase.from_text(
+                "UUCS-TESTCASE 1\nid: x\nsample_rate: 1.0\nvalues: 1 2\nEND\n"
+            )
+
+    def test_incomplete(self):
+        with pytest.raises(SerializationError):
+            Testcase.from_text("UUCS-TESTCASE 1\nid: x\nEND\n")
+
+    def test_metadata_rejects_newlines(self):
+        tc = make_testcase(**{"key": "bad\nvalue"})
+        with pytest.raises(SerializationError):
+            tc.to_text()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.floats(min_value=0.1, max_value=8.0),
+    t=st.floats(min_value=5.0, max_value=300.0),
+    rate=st.sampled_from([1.0, 2.0, 4.0]),
+    resource=st.sampled_from([Resource.CPU, Resource.DISK]),
+    meta=st.dictionaries(
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll",)),
+            min_size=1,
+            max_size=8,
+        ),
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+            max_size=12,
+        ),
+        max_size=4,
+    ),
+)
+def test_property_text_roundtrip(x, t, rate, resource, meta):
+    tc = Testcase.single(
+        "prop-tc", ramp(resource, x, t, sample_rate=rate), meta
+    )
+    restored = Testcase.from_text(tc.to_text())
+    assert restored.testcase_id == tc.testcase_id
+    assert restored.sample_rate == tc.sample_rate
+    assert restored.metadata == dict(meta)
+    assert np.array_equal(
+        restored.functions[resource].values, tc.functions[resource].values
+    )

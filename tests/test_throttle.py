@@ -1,0 +1,184 @@
+"""Tests for the §5 throttle, controller, and borrower."""
+
+import pytest
+
+from repro.analysis.cdf import aggregate_cdf, per_cell_cdf
+from repro.apps import get_task
+from repro.core.metrics import DiscomfortCDF, DiscomfortObservation
+from repro.core.resources import Resource
+from repro.errors import ThrottleError
+from repro.machine import SimulatedMachine
+from repro.throttle import (
+    BackgroundBorrower,
+    CDFThrottlePolicy,
+    FeedbackController,
+    Throttle,
+    level_for_target,
+)
+from repro.users import make_user, sample_population
+
+
+def obs(level, censored=False):
+    return DiscomfortObservation(
+        level=level, censored=censored, resource=Resource.CPU
+    )
+
+
+class TestThrottle:
+    def test_grant_clamps(self):
+        throttle = Throttle(Resource.CPU, ceiling=0.5)
+        assert throttle.grant(10.0) == 0.5
+        assert throttle.grant(0.2) == 0.2
+
+    def test_ceiling_moves(self):
+        throttle = Throttle(Resource.CPU, 1.0)
+        throttle.set_ceiling(2.0)
+        assert throttle.grant(5.0) == 2.0
+
+    def test_bounds(self):
+        with pytest.raises(ThrottleError):
+            Throttle(Resource.MEMORY, ceiling=2.0)
+        throttle = Throttle(Resource.CPU)
+        with pytest.raises(ThrottleError):
+            throttle.set_ceiling(-1.0)
+        with pytest.raises(ThrottleError):
+            throttle.grant(-0.5)
+
+
+class TestLevelForTarget:
+    def test_reads_percentile(self):
+        cdf = DiscomfortCDF([obs(l) for l in [1.0, 2.0, 3.0, 4.0, 5.0] * 20])
+        assert level_for_target(cdf, 0.05) == 1.0
+        assert level_for_target(cdf, 0.5) == 3.0
+
+    def test_full_range_safe_returns_max(self):
+        # Nobody reacts below 5% even at max: borrow everything explored.
+        cdf = DiscomfortCDF([obs(5.0, censored=True)] * 99 + [obs(4.0)])
+        assert level_for_target(cdf, 0.05) == 5.0
+
+    def test_target_bounds(self):
+        cdf = DiscomfortCDF([obs(1.0)])
+        with pytest.raises(ThrottleError):
+            level_for_target(cdf, 0.0)
+        with pytest.raises(ThrottleError):
+            level_for_target(cdf, 1.0)
+
+
+class TestPolicy:
+    def test_from_study_cdfs(self, study_runs):
+        aggregate = aggregate_cdf(study_runs, Resource.CPU)
+        per_task = {
+            task: per_cell_cdf(study_runs, task, Resource.CPU)
+            for task in ("word", "quake")
+        }
+        policy = CDFThrottlePolicy.from_cdfs(
+            Resource.CPU, aggregate, per_task, 0.05
+        )
+        # Context matters: Word tolerates far more than Quake (§5).
+        assert policy.level_for("word") > policy.level_for("quake")
+        assert policy.level_for(None) == policy.default
+        assert policy.level_for("unknown") == policy.default
+
+    def test_apply_sets_ceiling(self, study_runs):
+        aggregate = aggregate_cdf(study_runs, Resource.CPU)
+        policy = CDFThrottlePolicy.from_cdfs(Resource.CPU, aggregate, {}, 0.05)
+        throttle = Throttle(Resource.CPU)
+        policy.apply(throttle, None)
+        assert throttle.ceiling == pytest.approx(policy.default)
+
+    def test_apply_resource_mismatch(self, study_runs):
+        aggregate = aggregate_cdf(study_runs, Resource.CPU)
+        policy = CDFThrottlePolicy.from_cdfs(Resource.CPU, aggregate, {})
+        with pytest.raises(ThrottleError):
+            policy.apply(Throttle(Resource.DISK), None)
+
+
+class TestController:
+    def test_backoff_halves(self):
+        throttle = Throttle(Resource.CPU)
+        controller = FeedbackController(throttle, max_level=4.0, backoff=0.5)
+        assert throttle.ceiling == 4.0
+        controller.on_discomfort()
+        assert throttle.ceiling == 2.0
+        controller.on_discomfort()
+        assert throttle.ceiling == 1.0
+        assert controller.discomfort_events == 2
+
+    def test_recovery_additive_and_capped(self):
+        throttle = Throttle(Resource.CPU)
+        controller = FeedbackController(
+            throttle, max_level=2.0, recovery_per_minute=0.6
+        )
+        controller.on_discomfort()  # 1.0
+        controller.on_comfortable(60.0)
+        assert throttle.ceiling == pytest.approx(1.6)
+        controller.on_comfortable(600.0)
+        assert throttle.ceiling == 2.0  # capped at max
+
+    def test_floor(self):
+        throttle = Throttle(Resource.CPU)
+        controller = FeedbackController(
+            throttle, max_level=4.0, backoff=0.1, floor=0.5
+        )
+        for _ in range(10):
+            controller.on_discomfort()
+        assert throttle.ceiling == 0.5
+
+    def test_validation(self):
+        throttle = Throttle(Resource.CPU)
+        with pytest.raises(ThrottleError):
+            FeedbackController(throttle, max_level=4.0, backoff=1.5)
+        with pytest.raises(ThrottleError):
+            FeedbackController(throttle, max_level=4.0, recovery_per_minute=-1.0)
+        controller = FeedbackController(throttle, max_level=4.0)
+        with pytest.raises(ThrottleError):
+            controller.on_comfortable(-5.0)
+
+
+class TestBorrower:
+    def _borrower(self, ceiling, controller_max=None, task="word", seed=42):
+        machine = SimulatedMachine()
+        user = make_user(sample_population(1, seed=11)[0], seed=seed)
+        throttle = Throttle(Resource.CPU, ceiling)
+        controller = None
+        if controller_max is not None:
+            controller = FeedbackController(throttle, max_level=controller_max)
+        return BackgroundBorrower(
+            machine, get_task(task), user, throttle, controller
+        )
+
+    def test_conservative_vs_aggressive_tradeoff(self):
+        conservative = self._borrower(0.05).run(work=500.0, horizon=7200.0)
+        aggressive = self._borrower(4.0).run(work=500.0, horizon=7200.0)
+        assert aggressive.throughput > conservative.throughput
+        assert not conservative.completed
+        assert aggressive.completed
+
+    def test_feedback_controller_limits_discomfort(self):
+        uncontrolled = self._borrower(8.0).run(work=3000.0, horizon=14400.0)
+        controlled = self._borrower(8.0, controller_max=8.0).run(
+            work=3000.0, horizon=14400.0
+        )
+        assert controlled.discomfort_events <= uncontrolled.discomfort_events
+
+    def test_report_consistency(self):
+        report = self._borrower(0.5).run(work=100.0, horizon=1000.0)
+        assert 0 <= report.work_done <= 100.0
+        assert report.elapsed <= 1000.0 + 1.0
+        assert report.mean_level <= 0.5 + 1e-9
+        assert report.throughput == pytest.approx(
+            report.work_done / report.elapsed
+        )
+
+    def test_only_cpu_supported(self):
+        machine = SimulatedMachine()
+        user = make_user(sample_population(1, seed=1)[0], seed=1)
+        with pytest.raises(ThrottleError):
+            BackgroundBorrower(
+                machine, get_task("word"), user, Throttle(Resource.DISK, 1.0)
+            )
+
+    def test_bad_run_args(self):
+        borrower = self._borrower(1.0)
+        with pytest.raises(ThrottleError):
+            borrower.run(work=0.0, horizon=100.0)

@@ -1,0 +1,182 @@
+"""Unit and property tests for repro.util.timeseries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.util.timeseries import SampledSeries
+
+
+def series(values, rate=1.0):
+    return SampledSeries(rate, np.asarray(values, dtype=float))
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        s = series([0, 0.5, 1.0, 1.5, 2.0])
+        assert len(s) == 5
+        assert s.duration == 5.0
+        assert s.sample_rate == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            series([])
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValidationError):
+            series([1.0], rate=0.0)
+        with pytest.raises(ValidationError):
+            series([1.0], rate=-2.0)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValidationError):
+            series([1.0, float("nan")])
+        with pytest.raises(ValidationError):
+            series([float("inf")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            SampledSeries(1.0, np.zeros((2, 2)))
+
+    def test_values_are_immutable(self):
+        s = series([1.0, 2.0])
+        with pytest.raises(ValueError):
+            s.values[0] = 9.0
+
+    def test_input_array_copied(self):
+        arr = np.array([1.0, 2.0])
+        s = series(arr)
+        arr[0] = 42.0
+        assert s.values[0] == 1.0
+
+    def test_equality_and_hash(self):
+        a = series([1.0, 2.0])
+        b = series([1.0, 2.0])
+        c = series([1.0, 2.0], rate=2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a series"
+
+
+class TestLookup:
+    def test_paper_example_semantics(self):
+        # "[0, 0.5, 1.0, 1.5, 2.0]" at 1 Hz: 1.5 applies from 3 to 4 s.
+        s = series([0, 0.5, 1.0, 1.5, 2.0])
+        assert s.value_at(3.0) == 1.5
+        assert s.value_at(3.999) == 1.5
+        assert s.value_at(4.0) == 2.0
+
+    def test_end_of_series_maps_to_last_sample(self):
+        s = series([1.0, 2.0])
+        assert s.value_at(2.0) == 2.0
+
+    def test_out_of_range_raises(self):
+        s = series([1.0])
+        with pytest.raises(ValidationError):
+            s.value_at(-0.1)
+        with pytest.raises(ValidationError):
+            s.value_at(1.5)
+
+    def test_times(self):
+        s = series([5, 6, 7], rate=2.0)
+        assert np.allclose(s.times(), [0.0, 0.5, 1.0])
+
+    def test_last_values_window(self):
+        s = series([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(s.last_values(6.0)) == [2, 3, 4, 5, 6]
+        assert list(s.last_values(1.0)) == [0, 1]
+        assert list(s.last_values(0.0, n=5)) == [0]
+
+    def test_iter_segments(self):
+        s = series([1.0, 2.0], rate=2.0)
+        segs = list(s.iter_segments())
+        assert segs == [(0.0, 0.5, 1.0), (0.5, 1.0, 2.0)]
+
+
+class TestTransforms:
+    def test_slice_time(self):
+        s = series(np.arange(10.0))
+        sub = s.slice_time(2.0, 5.0)
+        assert list(sub.values) == [2.0, 3.0, 4.0]
+
+    def test_slice_rejects_bad_bounds(self):
+        s = series([1.0, 2.0])
+        with pytest.raises(ValidationError):
+            s.slice_time(1.5, 1.0)
+        with pytest.raises(ValidationError):
+            s.slice_time(-1.0, 1.0)
+
+    def test_resample_preserves_duration(self):
+        s = series(np.arange(10.0))
+        up = s.resample(4.0)
+        assert up.duration == pytest.approx(s.duration)
+        assert up.value_at(3.3) == s.value_at(3.3)
+
+    def test_resample_downsamples(self):
+        s = series(np.arange(10.0))
+        down = s.resample(0.5)
+        assert len(down) == 5
+        assert down.value_at(0.0) == 0.0
+
+    def test_scaled_and_clipped(self):
+        s = series([1.0, 2.0, 3.0])
+        assert list(s.scaled(2.0).values) == [2.0, 4.0, 6.0]
+        assert list(s.clipped(1.5, 2.5).values) == [1.5, 2.0, 2.5]
+
+    def test_summary_stats(self):
+        s = series([1.0, 2.0, 3.0])
+        assert s.min() == 1.0
+        assert s.max() == 3.0
+        assert s.mean() == 2.0
+
+
+@settings(max_examples=60)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    ),
+    rate=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_property_value_at_matches_indexing(values, rate):
+    s = SampledSeries(rate, np.array(values))
+    for i in range(len(values)):
+        t = i / rate
+        assert s.value_at(t) == values[i]
+
+
+@settings(max_examples=40)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    ),
+    new_rate=st.floats(min_value=0.2, max_value=50.0),
+)
+def test_property_resample_preserves_range(values, new_rate):
+    s = SampledSeries(1.0, np.array(values))
+    r = s.resample(new_rate)
+    assert r.min() >= s.min() - 1e-12
+    assert r.max() <= s.max() + 1e-12
+    assert abs(r.duration - s.duration) <= 1.0 / new_rate + 1e-9
+
+
+@settings(max_examples=40)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+    n=st.integers(min_value=1, max_value=10),
+)
+def test_property_last_values_suffix(values, n):
+    s = SampledSeries(1.0, np.array(values))
+    window = s.last_values(s.duration, n)
+    assert 1 <= len(window) <= n
+    assert list(window) == values[-len(window):]

@@ -1,0 +1,66 @@
+"""Tests for slowdown-space trace analysis."""
+
+import pytest
+
+from repro.analysis.traces import slowdown_at_discomfort, trace_statistics
+from repro.errors import InsufficientDataError
+
+
+class TestSlowdownAtDiscomfort:
+    def test_per_task_summaries(self, study_runs):
+        summary = slowdown_at_discomfort(study_runs, "quake")
+        assert summary.task == "quake"
+        assert summary.n > 10
+        assert summary.mean.low <= summary.mean.mean <= summary.mean.high
+        assert all(v >= 1.0 for v in summary.values)
+
+    def test_quake_clicks_at_higher_slowdown_than_word(self, study_runs):
+        """The model-diagnostic result: contention-calibrated users imply
+        task-dependent tolerated slowdown (see module docstring)."""
+        word = slowdown_at_discomfort(study_runs, "word")
+        quake = slowdown_at_discomfort(study_runs, "quake")
+        assert quake.mean.mean > word.mean.mean
+
+    def test_jitter_metric(self, study_runs):
+        jitter = slowdown_at_discomfort(study_runs, "quake", metric="jitter")
+        assert 0.0 <= jitter.mean.mean <= 1.0
+
+    def test_percentiles(self, study_runs):
+        summary = slowdown_at_discomfort(study_runs)
+        assert summary.percentile(0.1) <= summary.percentile(0.9)
+
+    def test_noise_clicks_excluded(self, study_runs):
+        # IE/Quake have noise-sourced feedback; it must not contaminate
+        # the tolerated-slowdown distribution.
+        for run in study_runs:
+            if run.discomforted and run.feedback.source == "noise":
+                break
+        else:
+            pytest.skip("no noise events in this seed")
+        summary = slowdown_at_discomfort(study_runs)
+        total_discomforts = sum(r.discomforted for r in study_runs)
+        assert summary.n < total_discomforts
+
+    def test_missing_data_raises(self):
+        with pytest.raises(InsufficientDataError):
+            slowdown_at_discomfort([])
+
+    def test_unknown_task_raises(self, study_runs):
+        with pytest.raises(InsufficientDataError):
+            slowdown_at_discomfort(study_runs, "emacs")
+
+
+class TestTraceStatistics:
+    def test_slowdown_stats(self, study_runs):
+        stats = trace_statistics(study_runs, "slowdown")
+        assert stats.n_runs == len(study_runs)
+        assert stats.peak >= stats.mean >= 1.0
+
+    def test_load_stats_present_from_monitor(self, study_runs):
+        stats = trace_statistics(study_runs, "load_cpu")
+        assert 0.0 <= stats.mean <= 1.0
+        assert stats.peak <= 1.0
+
+    def test_unknown_metric(self, study_runs):
+        with pytest.raises(InsufficientDataError):
+            trace_statistics(study_runs, "nonexistent")

@@ -1,0 +1,201 @@
+"""Tests for testcase manipulation tools."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Resource,
+    Testcase,
+    clip_levels,
+    constant,
+    crop,
+    merge,
+    ramp,
+    retime,
+    scale_levels,
+    with_id,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture()
+def cpu_ramp():
+    return Testcase.single(
+        "base", ramp(Resource.CPU, 4.0, 100.0, 2.0), {"task": "ie"}
+    )
+
+
+class TestScale:
+    def test_scales_levels(self, cpu_ramp):
+        scaled = scale_levels(cpu_ramp, 0.5)
+        assert scaled.functions[Resource.CPU].max_level() == pytest.approx(2.0)
+        assert scaled.testcase_id == "base-x0.5"
+        assert scaled.metadata == {"task": "ie"}
+
+    def test_overflow_rejected(self, cpu_ramp):
+        with pytest.raises(ValidationError):
+            scale_levels(cpu_ramp, 100.0)
+        with pytest.raises(ValidationError):
+            scale_levels(cpu_ramp, -1.0)
+
+    def test_original_untouched(self, cpu_ramp):
+        scale_levels(cpu_ramp, 0.5)
+        assert cpu_ramp.functions[Resource.CPU].max_level() == 4.0
+
+
+class TestClip:
+    def test_clips_to_ceiling(self, cpu_ramp):
+        clipped = clip_levels(cpu_ramp, 1.5)
+        assert clipped.functions[Resource.CPU].max_level() == 1.5
+        # Below the ceiling the trajectory is unchanged.
+        assert clipped.functions[Resource.CPU].level_at(10.0) == pytest.approx(
+            cpu_ramp.functions[Resource.CPU].level_at(10.0)
+        )
+
+    def test_negative_ceiling(self, cpu_ramp):
+        with pytest.raises(ValidationError):
+            clip_levels(cpu_ramp, -0.1)
+
+
+class TestCrop:
+    def test_crop_window(self, cpu_ramp):
+        cropped = crop(cpu_ramp, 25.0, 75.0)
+        fn = cropped.functions[Resource.CPU]
+        assert fn.duration == pytest.approx(50.0)
+        assert fn.level_at(0.0) == pytest.approx(1.0, abs=0.05)
+
+    def test_crop_beyond_short_function(self):
+        tc = Testcase(
+            "multi",
+            {
+                Resource.CPU: constant(Resource.CPU, 1.0, 10.0, 1.0),
+                Resource.DISK: constant(Resource.DISK, 1.0, 100.0, 1.0),
+            },
+        )
+        cropped = crop(tc, 50.0, 60.0)
+        # The CPU function ended before the window: a single zero remains.
+        assert cropped.functions[Resource.CPU].is_blank()
+        assert cropped.functions[Resource.DISK].level_at(5.0) == 1.0
+
+
+class TestRetime:
+    def test_faster_same_peak(self, cpu_ramp):
+        fast = retime(cpu_ramp, 2.0)
+        fn = fast.functions[Resource.CPU]
+        assert fn.duration == pytest.approx(50.0)
+        assert fn.max_level() == pytest.approx(4.0, abs=0.1)
+        assert fn.sample_rate == cpu_ramp.sample_rate
+
+    def test_frog_in_pot_knob(self, cpu_ramp):
+        # Same trajectory slowed 2x: the ramp reaches each level later.
+        slow = retime(cpu_ramp, 0.5)
+        assert slow.functions[Resource.CPU].duration == pytest.approx(200.0)
+        mid_fast = cpu_ramp.functions[Resource.CPU].level_at(50.0)
+        mid_slow = slow.functions[Resource.CPU].level_at(100.0)
+        assert mid_slow == pytest.approx(mid_fast, abs=0.1)
+
+    def test_bad_speed(self, cpu_ramp):
+        with pytest.raises(ValidationError):
+            retime(cpu_ramp, 0.0)
+
+
+class TestMerge:
+    def test_disjoint_resources(self, cpu_ramp):
+        disk = Testcase.single(
+            "disk", ramp(Resource.DISK, 5.0, 100.0, 2.0), {"extra": "1"}
+        )
+        merged = merge(cpu_ramp, disk)
+        assert set(merged.functions) == {Resource.CPU, Resource.DISK}
+        assert merged.testcase_id == "base+disk"
+        assert merged.metadata["task"] == "ie"
+
+    def test_overlap_rejected(self, cpu_ramp):
+        other = Testcase.single("o", ramp(Resource.CPU, 1.0, 100.0, 2.0))
+        with pytest.raises(ValidationError):
+            merge(cpu_ramp, other)
+
+    def test_rate_mismatch_rejected(self, cpu_ramp):
+        other = Testcase.single("o", ramp(Resource.DISK, 1.0, 100.0, 4.0))
+        with pytest.raises(ValidationError):
+            merge(cpu_ramp, other)
+
+
+class TestWithId:
+    def test_rename(self, cpu_ramp):
+        renamed = with_id(cpu_ramp, "renamed")
+        assert renamed.testcase_id == "renamed"
+        assert np.array_equal(
+            renamed.functions[Resource.CPU].values,
+            cpu_ramp.functions[Resource.CPU].values,
+        )
+
+
+class TestRoundtripAfterTransforms:
+    def test_transformed_testcases_serialize(self, cpu_ramp):
+        for transformed in (
+            scale_levels(cpu_ramp, 0.5),
+            clip_levels(cpu_ramp, 1.0),
+            crop(cpu_ramp, 10.0, 90.0),
+            retime(cpu_ramp, 4.0),
+        ):
+            restored = Testcase.from_text(transformed.to_text())
+            assert restored.testcase_id == transformed.testcase_id
+            assert np.array_equal(
+                restored.functions[Resource.CPU].values,
+                transformed.functions[Resource.CPU].values,
+            )
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=40)
+@given(
+    a=st.floats(min_value=0.1, max_value=2.0),
+    b=st.floats(min_value=0.1, max_value=2.0),
+)
+def test_property_scaling_composes(a, b):
+    base = Testcase.single("p", ramp(Resource.CPU, 2.0, 50.0, 2.0))
+    if 2.0 * a * b > 16.0 or 2.0 * a > 16.0:
+        return  # outside the CPU cap; covered by validation tests
+    twice = scale_levels(scale_levels(base, a), b, new_id="x")
+    once = scale_levels(base, a * b, new_id="x")
+    assert np.allclose(
+        twice.functions[Resource.CPU].values,
+        once.functions[Resource.CPU].values,
+    )
+
+
+@settings(max_examples=40)
+@given(
+    start_frac=st.floats(min_value=0.0, max_value=0.8),
+    width_frac=st.floats(min_value=0.1, max_value=0.2),
+)
+def test_property_crop_duration(start_frac, width_frac):
+    base = Testcase.single("p", ramp(Resource.CPU, 2.0, 100.0, 2.0))
+    start = start_frac * 100.0
+    end = min(100.0, start + width_frac * 100.0)
+    cropped = crop(base, start, end)
+    expected = end - start
+    # slice_time floors the start sample and ceils the end sample, so the
+    # realized window can be up to one sample longer on each side.
+    assert cropped.duration == pytest.approx(expected, abs=2.0 / 2.0 + 1e-9)
+    # The cropped values are a contiguous slice of the original.
+    values = cropped.functions[Resource.CPU].values
+    original = base.functions[Resource.CPU].values
+    offset = int(np.flatnonzero(np.isclose(original, values[0]))[0])
+    assert np.allclose(values, original[offset : offset + len(values)])
+
+
+@settings(max_examples=30)
+@given(ceiling=st.floats(min_value=0.1, max_value=5.0))
+def test_property_clip_idempotent(ceiling):
+    base = Testcase.single("p", ramp(Resource.CPU, 4.0, 50.0, 2.0))
+    once = clip_levels(base, ceiling, new_id="x")
+    twice = clip_levels(once, ceiling, new_id="x")
+    assert np.array_equal(
+        once.functions[Resource.CPU].values,
+        twice.functions[Resource.CPU].values,
+    )
+    assert once.functions[Resource.CPU].max_level() <= ceiling + 1e-12

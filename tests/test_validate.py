@@ -1,0 +1,108 @@
+"""Tests for the result-dataset validator."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.validate import validate_runs
+from repro.core.feedback import DiscomfortEvent, RunOutcome
+from repro.core.resources import Resource
+from repro.core.run import RunContext, TestcaseRun
+
+
+def good_run(run_id="r1"):
+    return TestcaseRun(
+        run_id=run_id,
+        testcase_id="tc",
+        context=RunContext(user_id="u", task="word"),
+        outcome=RunOutcome.DISCOMFORT,
+        end_offset=50.0,
+        testcase_duration=120.0,
+        shapes={Resource.CPU: "ramp"},
+        levels_at_end={Resource.CPU: 1.0},
+        last_values={Resource.CPU: (0.8, 0.9, 1.0)},
+        feedback=DiscomfortEvent(offset=50.0, levels={Resource.CPU: 1.0}),
+    )
+
+
+def corrupted(run, **overrides):
+    """Bypass constructor validation, as a hand-edited store would."""
+    return dataclasses.replace(run) if not overrides else _force(run, overrides)
+
+
+def _force(run, overrides):
+    new = object.__new__(TestcaseRun)
+    for field in dataclasses.fields(TestcaseRun):
+        object.__setattr__(
+            new, field.name, overrides.get(field.name, getattr(run, field.name))
+        )
+    return new
+
+
+class TestCleanData:
+    def test_clean_study_validates(self, small_study):
+        report = validate_runs(small_study.runs)
+        assert report.ok
+        assert report.n_runs == len(small_study.runs)
+        assert not report.findings
+
+    def test_empty_dataset_warns(self):
+        report = validate_runs([])
+        assert report.ok  # warnings only
+        assert report.warnings
+
+
+class TestCorruption:
+    def test_duplicate_ids(self):
+        report = validate_runs([good_run("same"), good_run("same")])
+        assert not report.ok
+        assert any("duplicate" in str(f) for f in report.errors)
+
+    def test_offset_out_of_bounds(self):
+        bad = _force(good_run(), {"end_offset": 500.0})
+        report = validate_runs([bad])
+        assert not report.ok
+
+    def test_outcome_feedback_mismatch(self):
+        bad = _force(good_run(), {"feedback": None})
+        report = validate_runs([bad])
+        assert any("inconsistent" in str(f) for f in report.errors)
+
+    def test_early_exhaustion(self):
+        bad = _force(
+            good_run(),
+            {"outcome": RunOutcome.EXHAUSTED, "feedback": None,
+             "end_offset": 30.0},
+        )
+        report = validate_runs([bad])
+        assert any("ended early" in str(f) for f in report.errors)
+
+    def test_feedback_offset_mismatch_warns(self):
+        bad = _force(
+            good_run(),
+            {"feedback": DiscomfortEvent(offset=10.0,
+                                         levels={Resource.CPU: 1.0})},
+        )
+        report = validate_runs([bad])
+        assert report.ok  # a warning, not an error
+        assert report.warnings
+
+    def test_anonymous_user_warns(self):
+        bad = _force(good_run(), {"context": RunContext(user_id="")})
+        report = validate_runs([bad])
+        assert report.warnings
+
+    def test_render_mentions_counts(self):
+        report = validate_runs([good_run()])
+        assert "1 runs" in report.render() or "validated 1" in report.render()
+
+
+class TestCliIntegration:
+    def test_uucs_validate(self, tmp_path, capsys, small_study):
+        from repro.cli import main
+        from repro.stores import ResultStore
+
+        store = ResultStore(tmp_path)
+        store.extend(small_study.runs)
+        assert main(["validate", "--results", str(tmp_path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
