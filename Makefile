@@ -2,11 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce examples validate clean help
+.PHONY: install test lint bench reproduce examples validate clean help
 
 help:
 	@echo "install     editable install (falls back to setup.py develop offline)"
 	@echo "test        run the test suite"
+	@echo "lint        static checks (ruff, else pyflakes, else compileall)"
 	@echo "bench       run all benchmarks (regenerates benchmarks/artifacts/)"
 	@echo "reproduce   study -> analyze -> validate, via the uucs CLI"
 	@echo "examples    run every example script"
@@ -17,6 +18,17 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Use the best linter available; offline containers may only have compileall.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	elif $(PYTHON) -m pyflakes --help >/dev/null 2>&1; then \
+		$(PYTHON) -m pyflakes src tests benchmarks examples; \
+	else \
+		echo "ruff/pyflakes unavailable; falling back to compileall"; \
+		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -11,9 +11,15 @@ Subcommands::
     uucs serve          run a UUCS server over TCP
     uucs client         run a client against a TCP server
     uucs import-db      import a result store into a sqlite database
+    uucs metrics-summary  summarize a telemetry event log
 
 Every command works on the plain-text stores, so the pipeline can be
 driven entirely from a shell.
+
+Failures surface as one-line ``error:`` messages with a distinct exit
+code per :class:`~repro.errors.ReproError` subclass (see
+``_EXIT_CODES``), so scripts can branch on *what* failed without
+parsing stderr.
 """
 
 from __future__ import annotations
@@ -35,13 +41,53 @@ from repro.core.transform import (
     scale_levels,
     with_id,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    AnalysisError,
+    ExerciserError,
+    MonitorError,
+    ProtocolError,
+    ReproError,
+    SerializationError,
+    StoreError,
+    StudyError,
+    ThrottleError,
+    ValidationError,
+)
 from repro.server.server import TCPServerTransport, UUCSServer
 from repro.stores import ResultStore, TestcaseStore
 from repro.study.controlled import ControlledStudyConfig, run_controlled_study
 from repro.study.internet import generate_library
+from repro.telemetry import Telemetry, use_telemetry
 
 __all__ = ["main"]
+
+#: Exit code per error family; the most-derived match in the exception's
+#: MRO wins (e.g. RegistrationError exits as ProtocolError's 6).  2 is
+#: the generic ReproError fallback; 0/1 keep their usual meanings.
+_EXIT_CODES: dict[type[ReproError], int] = {
+    ReproError: 2,
+    ValidationError: 3,
+    SerializationError: 4,
+    StoreError: 5,
+    ProtocolError: 6,
+    ExerciserError: 7,
+    MonitorError: 8,
+    StudyError: 9,
+    AnalysisError: 10,
+    ThrottleError: 11,
+}
+
+
+def _exit_code(exc: ReproError) -> int:
+    for klass in type(exc).__mro__:
+        if klass in _EXIT_CODES:
+            return _EXIT_CODES[klass]  # type: ignore[index]
+    return 2
+
+
+def _print(*parts: object, err: bool = False) -> None:
+    """The single user-facing output emitter for every subcommand."""
+    print(*parts, file=sys.stderr if err else sys.stdout)
 
 
 def _cmd_testcase_gen(args: argparse.Namespace) -> int:
@@ -49,7 +95,7 @@ def _cmd_testcase_gen(args: argparse.Namespace) -> int:
     if args.library:
         testcases = generate_library(args.library, seed=args.seed)
         store.add_all(testcases)
-        print(f"generated {len(testcases)} library testcases into {store.root}")
+        _print(f"generated {len(testcases)} library testcases into {store.root}")
         return 0
     resource = Resource.parse(args.resource)
     if args.shape == "step":
@@ -66,7 +112,7 @@ def _cmd_testcase_gen(args: argparse.Namespace) -> int:
         fn = blank(resource, args.duration)
     testcase_id = args.id or f"{args.shape}-{resource.value}-{args.level:g}"
     store.add(Testcase.single(testcase_id, fn))
-    print(f"wrote testcase {testcase_id!r} to {store.root}")
+    _print(f"wrote testcase {testcase_id!r} to {store.root}")
     return 0
 
 
@@ -76,30 +122,36 @@ from repro.analysis.plots import sparkline as _sparkline
 def _cmd_testcase_view(args: argparse.Namespace) -> int:
     store = TestcaseStore(args.store)
     testcase = store.get(args.id)
-    print(f"testcase {testcase.testcase_id}")
-    print(f"  sample rate: {testcase.sample_rate:g} Hz")
-    print(f"  duration:    {testcase.duration:g} s")
+    _print(f"testcase {testcase.testcase_id}")
+    _print(f"  sample rate: {testcase.sample_rate:g} Hz")
+    _print(f"  duration:    {testcase.duration:g} s")
     for resource in testcase.resources:
         fn = testcase.functions[resource]
-        print(
+        _print(
             f"  {resource.value:7s} shape={fn.shape:9s} "
             f"max={fn.max_level():.3g} mean={fn.series.mean():.3g}"
         )
-        print(f"    [{_sparkline(list(fn.values))}]")
+        _print(f"    [{_sparkline(list(fn.values))}]")
     for key in sorted(testcase.metadata):
-        print(f"  meta {key}={testcase.metadata[key]}")
+        _print(f"  meta {key}={testcase.metadata[key]}")
     return 0
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
     config = ControlledStudyConfig(n_users=args.users, seed=args.seed)
-    result = run_controlled_study(config)
+    if args.telemetry:
+        with use_telemetry(Telemetry.to_path(args.telemetry)):
+            result = run_controlled_study(config)
+    else:
+        result = run_controlled_study(config)
     store = ResultStore(args.results)
     store.extend(result.runs)
-    print(
+    _print(
         f"controlled study: {len(result.runs)} runs from "
         f"{len(result.profiles)} users -> {store.path}"
     )
+    if args.telemetry:
+        _print(f"telemetry event log -> {args.telemetry}")
     return 0
 
 
@@ -108,9 +160,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     runs = list(ResultStore(args.results))
     if not runs:
-        print("no runs found", file=sys.stderr)
+        _print("no runs found", err=True)
         return 1
-    print(full_report(runs, include_cdf_plots=not args.no_plots))
+    _print(full_report(runs, include_cdf_plots=not args.no_plots))
     return 0
 
 
@@ -132,7 +184,7 @@ def _cmd_testcase_edit(args: argparse.Namespace) -> int:
     if args.new_id:
         testcase = with_id(testcase, args.new_id)
     store.add(testcase)
-    print(f"wrote testcase {testcase.testcase_id!r} "
+    _print(f"wrote testcase {testcase.testcase_id!r} "
           f"({testcase.duration:g}s, {len(testcase.functions)} resource(s))")
     return 0
 
@@ -169,7 +221,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
         )
         client.register(spec.snapshot())
         downloaded, _ = client.hot_sync()
-        print(f"registered {client.client_id[:8]}..., "
+        _print(f"registered {client.client_id[:8]}..., "
               f"downloaded {downloaded} testcases")
         task = ALL_TASKS[int(rng.integers(0, len(ALL_TASKS)))]
         user = MechanisticUser(profile, task.jitter_sensitivity, seed=rng)
@@ -179,7 +231,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
         )
         _, uploaded = client.hot_sync()
         discomforts = sum(r.discomforted for r in runs)
-        print(f"executed {len(runs)} runs as '{task.name}' "
+        _print(f"executed {len(runs)} runs as '{task.name}' "
               f"({discomforts} discomforts), uploaded {uploaded}")
     finally:
         transport.close()
@@ -190,7 +242,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.analysis.validate import validate_runs
 
     report = validate_runs(ResultStore(args.results))
-    print(report.render())
+    _print(report.render())
     return 0 if report.ok else 1
 
 
@@ -198,17 +250,33 @@ def _cmd_import_db(args: argparse.Namespace) -> int:
     runs = list(ResultStore(args.results))
     with ResultDatabase(args.database) as db:
         count = db.import_runs(runs)
-    print(f"imported {count} runs into {args.database}")
+    _print(f"imported {count} runs into {args.database}")
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    server = UUCSServer(args.root, seed=args.seed)
+    from repro.telemetry.exporter import MetricsExporter
+
+    telemetry: Telemetry | None = None
+    if args.metrics_port is not None or args.telemetry:
+        telemetry = (
+            Telemetry.to_path(args.telemetry) if args.telemetry else Telemetry()
+        )
+    server = UUCSServer(args.root, seed=args.seed, telemetry=telemetry)
     if args.library:
         server.add_testcases(generate_library(args.library, seed=args.seed))
     transport = TCPServerTransport(server, args.host, args.port)
     host, port = transport.address
-    print(f"UUCS server on {host}:{port} ({len(server.testcases)} testcases)")
+    _print(f"UUCS server on {host}:{port} ({len(server.testcases)} testcases)")
+    exporter = None
+    if args.metrics_port is not None:
+        exporter = MetricsExporter(
+            server.telemetry.metrics, args.host, args.metrics_port
+        )
+        mhost, mport = exporter.address
+        _print(f"metrics endpoint on {mhost}:{mport}")
+    if args.telemetry:
+        _print(f"telemetry event log -> {args.telemetry}")
     try:
         import threading
 
@@ -217,6 +285,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         transport.close()
+        if exporter is not None:
+            exporter.close()
+        if telemetry is not None:
+            telemetry.close()
+    return 0
+
+
+def _cmd_metrics_summary(args: argparse.Namespace) -> int:
+    from repro.telemetry.summary import render_summary
+
+    _print(render_summary(args.path))
     return 0
 
 
@@ -281,6 +360,8 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--users", type=int, default=33)
     study.add_argument("--seed", type=int, default=2004)
     study.add_argument("--results", default="results")
+    study.add_argument("--telemetry", default="", metavar="PATH",
+                       help="write a JSON-lines telemetry event log to PATH")
     study.set_defaults(func=_cmd_study)
 
     analyze = sub.add_parser("analyze", help="regenerate the paper's tables")
@@ -306,7 +387,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--timeout", type=float, default=0.0,
                        help="stop after N seconds (0 = run until interrupted)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="expose a plaintext /metrics endpoint on this "
+                            "port (0 = ephemeral)")
+    serve.add_argument("--telemetry", default="", metavar="PATH",
+                       help="write a JSON-lines telemetry event log to PATH")
     serve.set_defaults(func=_cmd_serve)
+
+    summary = sub.add_parser(
+        "metrics-summary",
+        help="summarize a JSON-lines telemetry event log",
+    )
+    summary.add_argument("path", help="event log written by --telemetry")
+    summary.set_defaults(func=_cmd_metrics_summary)
 
     return parser
 
@@ -318,8 +411,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return int(args.func(args))
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        _print(f"error: {exc}", err=True)
+        return _exit_code(exc)
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from repro.core.testcase import Testcase
 from repro.errors import ProtocolError, StoreError, ValidationError
 from repro.server.protocol import Message
 from repro.stores import ResultStore, TestcaseStore
+from repro.telemetry import Telemetry, get_telemetry
 from repro.util.rng import SeedLike, ensure_rng
 
 __all__ = ["ClientConfig", "Transport", "UUCSClient"]
@@ -83,6 +84,7 @@ class UUCSClient:
         config: ClientConfig,
         transport: Transport | None = None,
         seed: SeedLike = None,
+        telemetry: Telemetry | None = None,
     ):
         self._config = config
         self._transport = transport
@@ -93,6 +95,12 @@ class UUCSClient:
         self._identity_path = root / "identity"
         self._identity = _Identity(self._load_identity())
         self._clock = 0.0
+        self._telemetry = telemetry
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The hub this client reports to (instance or process-wide)."""
+        return self._telemetry if self._telemetry is not None else get_telemetry()
 
     # -- identity / registration ----------------------------------------------
 
@@ -150,40 +158,56 @@ class UUCSClient:
             raise ProtocolError("client has no transport (offline)")
         if not self.registered:
             raise ProtocolError("register before syncing")
-        pending = list(self.results)
-        uploads = []
-        for run in pending:
-            record = run.to_dict()
-            if not self._config.share_load_traces:
-                record["load_trace"] = {}
-            uploads.append(record)
-        response = self._transport.request(
-            Message(
-                "sync",
-                {
-                    "client_id": self.client_id,
-                    "have": self.testcases.ids(),
-                    "results": uploads,
-                    "want": self._config.sync_want,
-                },
-            )
-        ).expect("sync_ok")
-        accepted = int(response.payload.get("accepted", 0))
-        if accepted != len(uploads):
-            raise ProtocolError(
-                f"server accepted {accepted} of {len(uploads)} results"
-            )
-        self.results.drain()
-        shipped = response.payload.get("testcases", [])
-        if not isinstance(shipped, list):
-            raise ProtocolError("'testcases' must be a list")
-        downloaded = 0
-        for text in shipped:
-            testcase = Testcase.from_text(str(text))
-            if testcase.testcase_id not in self.testcases:
-                self.testcases.add(testcase)
-                downloaded += 1
-        return downloaded, len(uploads)
+        telemetry = self.telemetry
+        with telemetry.span("hot_sync", client=self.client_id) as span:
+            pending = list(self.results)
+            uploads = []
+            for run in pending:
+                record = run.to_dict()
+                if not self._config.share_load_traces:
+                    record["load_trace"] = {}
+                uploads.append(record)
+            response = self._transport.request(
+                Message(
+                    "sync",
+                    {
+                        "client_id": self.client_id,
+                        "have": self.testcases.ids(),
+                        "results": uploads,
+                        "want": self._config.sync_want,
+                    },
+                )
+            ).expect("sync_ok")
+            accepted = int(response.payload.get("accepted", 0))
+            if accepted != len(uploads):
+                raise ProtocolError(
+                    f"server accepted {accepted} of {len(uploads)} results"
+                )
+            self.results.drain()
+            shipped = response.payload.get("testcases", [])
+            if not isinstance(shipped, list):
+                raise ProtocolError("'testcases' must be a list")
+            downloaded = 0
+            for text in shipped:
+                testcase = Testcase.from_text(str(text))
+                if testcase.testcase_id not in self.testcases:
+                    self.testcases.add(testcase)
+                    downloaded += 1
+            span.annotate(downloaded=downloaded, uploaded=len(uploads))
+            if telemetry.enabled:
+                metrics = telemetry.metrics
+                metrics.counter(
+                    "uucs_client_syncs_total", "Hot syncs completed."
+                ).inc()
+                metrics.counter(
+                    "uucs_client_downloaded_total",
+                    "Testcases downloaded over all hot syncs.",
+                ).inc(downloaded)
+                metrics.counter(
+                    "uucs_client_uploaded_total",
+                    "Run results uploaded over all hot syncs.",
+                ).inc(len(uploads))
+            return downloaded, len(uploads)
 
     # -- execution ----------------------------------------------------------------
 
@@ -212,6 +236,20 @@ class UUCSClient:
         )
         self.results.append(result.run)
         self._clock += result.run.end_offset
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "uucs_client_runs_total",
+                "Testcase runs executed and recorded locally, by outcome.",
+                labelnames=("outcome",),
+            ).inc(outcome=result.run.outcome.value)
+            telemetry.emit(
+                "client.run",
+                testcase=testcase.testcase_id,
+                outcome=result.run.outcome.value,
+                end_offset=result.run.end_offset,
+                task=task,
+            )
         return result.run
 
     def run_script(
@@ -244,6 +282,20 @@ class UUCSClient:
             raise ValidationError(f"duration must be >= 0, got {duration}")
         if not len(self.testcases):
             raise StoreError("no local testcases; hot sync first")
+        with self.telemetry.span(
+            "client.run_random", task=task, duration=duration
+        ) as span:
+            runs = self._run_random(duration, feedback, interactivity, task)
+            span.annotate(runs=len(runs))
+        return runs
+
+    def _run_random(
+        self,
+        duration: float,
+        feedback: FeedbackSource,
+        interactivity: InteractivityModel | None,
+        task: str,
+    ) -> list[TestcaseRun]:
         runs: list[TestcaseRun] = []
         elapsed = 0.0
         while True:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import ValidationError
+from repro.telemetry import get_telemetry
 from repro.util.rng import SeedLike, ensure_rng
 
 __all__ = ["PoissonArrivals"]
@@ -49,4 +50,10 @@ class PoissonArrivals:
         while t < horizon:
             times.append(t)
             t += self.next_delay()
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "uucs_scheduler_arrivals_total",
+                "Testcase-execution arrivals realized by the Poisson scheduler.",
+            ).inc(len(times))
         return times

@@ -19,6 +19,7 @@ Core deliberately knows nothing about either concrete side.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Mapping, Protocol, runtime_checkable
 
@@ -29,15 +30,63 @@ from repro.core.resources import Resource
 from repro.core.run import RunContext, TestcaseRun
 from repro.core.testcase import Testcase
 from repro.errors import ValidationError
+from repro.telemetry import Telemetry, get_telemetry
 
 __all__ = [
     "FeedbackSource",
     "InteractivityModel",
     "LoadMonitor",
     "InteractivitySample",
+    "SESSION_DURATION_BUCKETS",
     "SessionResult",
+    "record_session_metrics",
     "run_simulated_session",
 ]
+
+#: Histogram buckets for per-testcase session durations (simulated
+#: seconds; study testcases are two minutes long).
+SESSION_DURATION_BUCKETS: tuple[float, ...] = (
+    5.0, 15.0, 30.0, 45.0, 60.0, 90.0, 120.0, 180.0, 300.0, 600.0,
+)
+
+
+def record_session_metrics(
+    telemetry: Telemetry, run: TestcaseRun, engine: str, elapsed_s: float
+) -> None:
+    """Record the standard per-run metrics and event for one session.
+
+    Shared by the loop engine here and the analytic engine
+    (:mod:`repro.study.engine`) so both report identically: an outcome
+    counter, a simulated-duration histogram, a wall-time histogram, and
+    a ``session.run`` event.  Caller guarantees ``telemetry.enabled``.
+    """
+    metrics = telemetry.metrics
+    metrics.counter(
+        "uucs_session_runs_total",
+        "Testcase sessions executed, by engine and outcome.",
+        labelnames=("engine", "outcome"),
+    ).inc(engine=engine, outcome=run.outcome.value)
+    metrics.histogram(
+        "uucs_session_duration_seconds",
+        "Per-testcase session duration in simulated time.",
+        unit="seconds",
+        labelnames=("engine",),
+        buckets=SESSION_DURATION_BUCKETS,
+    ).observe(run.end_offset, engine=engine)
+    metrics.histogram(
+        "uucs_session_wall_seconds",
+        "Wall-time spent computing one session, by engine.",
+        unit="seconds",
+        labelnames=("engine",),
+    ).observe(elapsed_s, engine=engine)
+    telemetry.emit(
+        "session.run",
+        engine=engine,
+        testcase=run.testcase_id,
+        outcome=run.outcome.value,
+        end_offset=run.end_offset,
+        duration_s=elapsed_s,
+    )
 
 
 @dataclass(frozen=True)
@@ -144,6 +193,8 @@ def run_simulated_session(
     that offset — "resource borrowing stops immediately" — and the recorded
     contention is whatever the exercisers were applying at that moment.
     """
+    telemetry = get_telemetry()
+    started = time.perf_counter() if telemetry.enabled else 0.0
     model = interactivity if interactivity is not None else _UnimpededModel()
     feedback.begin_run(testcase, context)
 
@@ -222,6 +273,10 @@ def run_simulated_session(
         },
         load_trace_rate=testcase.sample_rate,
     )
+    if telemetry.enabled:
+        record_session_metrics(
+            telemetry, run, "loop", time.perf_counter() - started
+        )
     return SessionResult(
         run=run,
         slowdown_trace=slowdowns[:steps_done],

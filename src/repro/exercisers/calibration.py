@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import CalibrationError
+from repro.telemetry import get_telemetry
 
 __all__ = ["CalibrationResult", "calibrate_spin", "spin_for"]
 
@@ -66,11 +67,25 @@ def calibrate_spin(
         rates.append(trial_iterations / (elapsed * 1000.0))
     best = max(rates)
     worst = min(rates)
-    return CalibrationResult(
+    result = CalibrationResult(
         iterations_per_ms=best,
         trials=trials,
         spread=best / worst - 1.0,
     )
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.metrics.gauge(
+            "uucs_calibration_iterations_per_ms",
+            "Spin-kernel speed from the latest calibration.",
+            unit="iterations",
+        ).set(result.iterations_per_ms)
+        telemetry.emit(
+            "calibration.result",
+            iterations_per_ms=result.iterations_per_ms,
+            trials=result.trials,
+            spread=result.spread,
+        )
+    return result
 
 
 def spin_for(seconds: float, calibration: CalibrationResult) -> None:

@@ -17,6 +17,7 @@ from typing import Callable
 from repro.core.exercise import ExerciseFunction
 from repro.errors import ExerciserError
 from repro.exercisers.base import Exerciser
+from repro.telemetry import get_telemetry
 
 __all__ = ["play"]
 
@@ -57,12 +58,14 @@ def play(
         raise ExerciserError(f"speed must be positive, got {speed}")
     dt = 1.0 / function.sample_rate
     start = time.perf_counter()
+    ticks = 0
     try:
         for index, value in enumerate(function.values):
             offset = index * dt
             if should_stop is not None and should_stop(offset):
                 return offset
             exerciser.set_level(float(value))
+            ticks += 1
             target = (offset + dt) / speed
             remaining = target - (time.perf_counter() - start)
             if remaining > 0:
@@ -70,3 +73,11 @@ def play(
         return function.duration
     finally:
         exerciser.set_level(0.0)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            # One post-hoc increment; nothing runs inside the timed loop.
+            telemetry.metrics.counter(
+                "uucs_playback_ticks_total",
+                "Exercise-function samples played live, by resource.",
+                labelnames=("resource",),
+            ).inc(ticks, resource=function.resource.value)

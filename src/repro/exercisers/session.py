@@ -30,6 +30,7 @@ from repro.exercisers.disk import DiskExerciser
 from repro.exercisers.memory import MemoryExerciser
 from repro.monitor.base import Monitor
 from repro.monitor.recorder import LoadRecorder
+from repro.telemetry import get_telemetry
 
 __all__ = ["ExerciserFactory", "LiveSessionConfig", "run_live_session"]
 
@@ -90,6 +91,31 @@ def run_live_session(
         config = LiveSessionConfig()
     if config.speed <= 0:
         raise ExerciserError(f"speed must be positive, got {config.speed}")
+    telemetry = get_telemetry()
+    with telemetry.span(
+        "live.session", testcase=testcase.testcase_id, speed=config.speed
+    ) as span:
+        run = _run_live(
+            testcase, context, feedback_poll, monitor, config, run_id
+        )
+        span.annotate(outcome=run.outcome.value, end_offset=run.end_offset)
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "uucs_live_sessions_total",
+                "Live (real-exerciser) sessions executed, by outcome.",
+                labelnames=("outcome",),
+            ).inc(outcome=run.outcome.value)
+        return run
+
+
+def _run_live(
+    testcase: Testcase,
+    context: RunContext,
+    feedback_poll: Callable[[], bool],
+    monitor: Monitor | None,
+    config: LiveSessionConfig,
+    run_id: str | None,
+) -> TestcaseRun:
 
     exercisers: dict[Resource, Exerciser] = {
         resource: config.factory(resource)

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import MonitorError
 from repro.monitor.base import Monitor
+from repro.telemetry import get_telemetry
 from repro.util.timeseries import SampledSeries
 
 __all__ = ["LoadRecorder", "LoadTrace"]
@@ -56,6 +57,7 @@ class LoadRecorder:
         self._disk: list[float] = []
         self._thread: threading.Thread | None = None
         self._stop_event = threading.Event()
+        self._count_at_start = 0
 
     # -- synchronous use (simulated time) ---------------------------------
 
@@ -73,6 +75,7 @@ class LoadRecorder:
         if self._thread is not None:
             raise MonitorError("recorder already started")
         self._stop_event.clear()
+        self._count_at_start = len(self._cpu)
 
         def _loop() -> None:
             period = 1.0 / self._rate
@@ -91,6 +94,12 @@ class LoadRecorder:
         self._stop_event.set()
         self._thread.join(timeout=5.0)
         self._thread = None
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "uucs_monitor_samples_total",
+                "Host-load samples recorded by live monitors.",
+            ).inc(len(self._cpu) - self._count_at_start)
 
     # -- results --------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
 from pathlib import Path
 from typing import Iterable
 
@@ -29,6 +30,7 @@ from repro.server.protocol import Message, decode_message, encode_message
 from repro.server.registry import ClientRegistry
 from repro.server.sampling import GrowingSampler
 from repro.stores import ResultStore, TestcaseStore
+from repro.telemetry import Telemetry, get_telemetry
 from repro.util.rng import SeedLike
 
 __all__ = ["InProcessTransport", "TCPServerTransport", "UUCSServer"]
@@ -42,6 +44,7 @@ class UUCSServer:
         root: str | Path,
         seed: SeedLike = None,
         sync_batch: int = 8,
+        telemetry: Telemetry | None = None,
     ):
         root = Path(root)
         self.testcases = TestcaseStore(root / "testcases")
@@ -50,6 +53,12 @@ class UUCSServer:
         self._sampler = GrowingSampler(seed, sync_batch)
         self._lock = threading.Lock()
         self._clock = 0.0
+        self._telemetry = telemetry
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The hub this server reports to (instance or process-wide)."""
+        return self._telemetry if self._telemetry is not None else get_telemetry()
 
     # -- administration ------------------------------------------------------
 
@@ -66,6 +75,39 @@ class UUCSServer:
 
     def handle(self, request: Message) -> Message:
         """Serve one request message; never raises for client mistakes."""
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._dispatch(request)
+        started = time.perf_counter()
+        response = self._dispatch(request)
+        elapsed = time.perf_counter() - started
+        metrics = telemetry.metrics
+        metrics.counter(
+            "uucs_server_requests_total",
+            "Requests served, by request message type.",
+            labelnames=("type",),
+        ).inc(type=request.type)
+        metrics.histogram(
+            "uucs_server_request_seconds",
+            "Wall-time to serve one request, by request message type.",
+            unit="seconds",
+            labelnames=("type",),
+        ).observe(elapsed, type=request.type)
+        if response.type == "error":
+            metrics.counter(
+                "uucs_server_errors_total",
+                "Error responses returned, by request message type.",
+                labelnames=("type",),
+            ).inc(type=request.type)
+        telemetry.emit(
+            "server.request",
+            type=request.type,
+            response=response.type,
+            duration_s=elapsed,
+        )
+        return response
+
+    def _dispatch(self, request: Message) -> Message:
         try:
             if request.type == "ping":
                 return Message("pong", {})
@@ -83,6 +125,16 @@ class UUCSServer:
             raise ProtocolError("register requires a 'snapshot' object")
         with self._lock:
             record = self.registry.register(snapshot, now=self._clock)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "uucs_server_registrations_total",
+                "Clients registered (GUIDs issued).",
+            ).inc()
+            telemetry.metrics.gauge(
+                "uucs_server_clients",
+                "Clients currently known to the registry.",
+            ).set(len(self.registry))
         return Message("registered", {"client_id": record.client_id})
 
     def _handle_sync(self, request: Message) -> Message:
@@ -113,6 +165,20 @@ class UUCSServer:
                 self.testcases.ids(), [str(h) for h in held], want
             )
             shipped = [self.testcases.get(tid).to_text() for tid in fresh_ids]
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.counter(
+                "uucs_server_syncs_total", "Hot syncs served."
+            ).inc()
+            metrics.counter(
+                "uucs_server_results_accepted_total",
+                "Run results accepted from clients during hot sync.",
+            ).inc(accepted)
+            metrics.counter(
+                "uucs_server_testcases_shipped_total",
+                "Testcases shipped to clients during hot sync.",
+            ).inc(len(shipped))
         return Message(
             "sync_ok",
             {"testcases": shipped, "accepted": accepted},
@@ -138,6 +204,11 @@ class InProcessTransport:
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
         server: UUCSServer = self.server.uucs_server  # type: ignore[attr-defined]
+        telemetry = server.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "uucs_server_connections_total", "TCP connections accepted."
+            ).inc()
         for line in self.rfile:
             if not line.strip():
                 continue
@@ -146,8 +217,21 @@ class _Handler(socketserver.StreamRequestHandler):
                 response = server.handle(request)
             except ProtocolError as exc:
                 response = Message.error(str(exc))
-            self.wfile.write(encode_message(response))
+            payload = encode_message(response)
+            self.wfile.write(payload)
             self.wfile.flush()
+            if telemetry.enabled:
+                metrics = telemetry.metrics
+                metrics.counter(
+                    "uucs_server_bytes_read_total",
+                    "Request bytes read off TCP connections.",
+                    unit="bytes",
+                ).inc(len(line))
+                metrics.counter(
+                    "uucs_server_bytes_written_total",
+                    "Response bytes written to TCP connections.",
+                    unit="bytes",
+                ).inc(len(payload))
 
 
 class TCPServerTransport:

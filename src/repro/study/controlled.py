@@ -28,6 +28,7 @@ from repro.monitor.base import SimulatedMonitor
 from repro.machine.specs import MachineSpec
 from repro.study.engine import run_analytic_session
 from repro.study.testcases import STUDY_SAMPLE_RATE, task_testcases
+from repro.telemetry import get_telemetry
 from repro.users.behavior import BehaviorParams, SimulatedUser
 from repro.users.population import sample_population
 from repro.users.profile import UserProfile
@@ -127,6 +128,7 @@ def _run_user_session(
     user_index: int,
 ) -> list[TestcaseRun]:
     """One participant's 84-minute session."""
+    telemetry = get_telemetry()
     rng = derive_rng(config.seed, "user-session", user_index)
     user = SimulatedUser(
         profile, config.table, config.behavior, seed=derive_rng(config.seed, "user-behavior", user_index)
@@ -168,6 +170,16 @@ def _run_user_session(
             )
             runs.append(result.run)
             clock += testcase.duration + _INTER_TESTCASE_GAP
+    if telemetry.enabled:
+        telemetry.metrics.counter(
+            "uucs_study_sessions_total", "Participant sessions completed."
+        ).inc()
+        telemetry.emit(
+            "study.user_session",
+            user=profile.user_id,
+            runs=len(runs),
+            discomforts=sum(1 for r in runs if r.discomforted),
+        )
     return runs
 
 
@@ -181,16 +193,31 @@ def run_controlled_study(
     """
     if config is None:
         config = ControlledStudyConfig()
-    machine = SimulatedMachine(config.machine)
-    testcases_by_task = {
-        task: task_testcases(task, config.sample_rate) for task in config.tasks
-    }
-    profiles = sample_population(
-        config.n_users, derive_rng(config.seed, "population")
-    )
-    runs: list[TestcaseRun] = []
-    for index, profile in enumerate(profiles):
-        runs.extend(
-            _run_user_session(profile, config, machine, testcases_by_task, index)
+    telemetry = get_telemetry()
+    with telemetry.span(
+        "study.controlled",
+        users=config.n_users,
+        seed=config.seed,
+        engine=config.engine,
+    ) as span:
+        machine = SimulatedMachine(config.machine)
+        testcases_by_task = {
+            task: task_testcases(task, config.sample_rate) for task in config.tasks
+        }
+        profiles = sample_population(
+            config.n_users, derive_rng(config.seed, "population")
         )
-    return StudyResult(tuple(runs), tuple(profiles), config)
+        runs: list[TestcaseRun] = []
+        for index, profile in enumerate(profiles):
+            runs.extend(
+                _run_user_session(profile, config, machine, testcases_by_task, index)
+            )
+        span.annotate(runs=len(runs))
+        if telemetry.enabled:
+            telemetry.emit(
+                "study.complete",
+                users=len(profiles),
+                runs=len(runs),
+                discomforts=sum(1 for r in runs if r.discomforted),
+            )
+        return StudyResult(tuple(runs), tuple(profiles), config)

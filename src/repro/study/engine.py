@@ -23,14 +23,16 @@ the loop.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
 from repro.core.feedback import DiscomfortEvent, RunOutcome
 from repro.core.resources import Resource
 from repro.core.run import RunContext, TestcaseRun
-from repro.core.session import SessionResult
+from repro.core.session import SessionResult, record_session_metrics
 from repro.core.testcase import Testcase
+from repro.telemetry import get_telemetry
 from repro.machine.machine import TaskInteractivityModel
 from repro.monitor.base import SimulatedMonitor
 from repro.users.behavior import SimulatedUser
@@ -86,6 +88,8 @@ def run_analytic_session(
     """Closed-form equivalent of ``run_simulated_session`` for the fast
     path: a :class:`SimulatedUser` and (optionally) a
     :class:`TaskInteractivityModel` / :class:`SimulatedMonitor`."""
+    telemetry = get_telemetry()
+    started = time.perf_counter() if telemetry.enabled else 0.0
     user.begin_run(testcase, context)
 
     dt = 1.0 / testcase.sample_rate
@@ -184,6 +188,10 @@ def run_analytic_session(
         },
         load_trace_rate=testcase.sample_rate,
     )
+    if telemetry.enabled:
+        record_session_metrics(
+            telemetry, run, "analytic", time.perf_counter() - started
+        )
     return SessionResult(
         run=run,
         slowdown_trace=np.asarray(slowdowns[:steps_done]),

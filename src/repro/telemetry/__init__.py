@@ -1,0 +1,194 @@
+"""Telemetry for the UUCS reproduction: events, metrics, and tracing.
+
+Three pillars, each usable alone, bundled by the :class:`Telemetry`
+facade that instrumented code talks to:
+
+* structured events — :mod:`repro.telemetry.events` (JSON lines);
+* a metrics registry — :mod:`repro.telemetry.metrics`
+  (counters/gauges/histograms with Prometheus-style exposition);
+* span tracing — :mod:`repro.telemetry.tracing` (nested timed regions).
+
+The module-level default is *disabled*: every hot path guards its
+instrumentation with ``if telemetry.enabled``, so library use costs one
+attribute check per run/request and produces no files.  Nothing in this
+package draws randomness — enabling telemetry cannot perturb a seeded
+study (asserted by ``tests/test_telemetry_equivalence.py``).
+
+Enable it either by installing a process-wide hub::
+
+    from repro.telemetry import Telemetry, use_telemetry
+
+    with use_telemetry(Telemetry.to_path("run.events.jsonl")) as tel:
+        run_controlled_study(...)
+    print(tel.metrics.render())
+
+or by handing a :class:`Telemetry` instance directly to the components
+that accept one (:class:`~repro.server.server.UUCSServer`,
+:class:`~repro.client.client.UUCSClient`,
+:class:`~repro.throttle.controller.FeedbackController`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, ContextManager, Iterator
+
+from repro.telemetry.events import (
+    Event,
+    EventLog,
+    EventSink,
+    JsonLinesSink,
+    MemorySink,
+    NullSink,
+    read_events,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Event",
+    "EventLog",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "get_telemetry",
+    "read_events",
+    "set_telemetry",
+    "use_telemetry",
+]
+
+
+class _NullSpan:
+    """Stands in for a :class:`Span` when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def annotate(self, **fields: object) -> None:
+        """Drop the fields."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Bundle of an event log, a metrics registry, and a tracer.
+
+    ``enabled`` is the single switch instrumented code checks; a
+    disabled hub still exposes working (but unused) components so test
+    code never needs None-guards.
+    """
+
+    def __init__(
+        self,
+        events: EventLog | None = None,
+        metrics: MetricsRegistry | None = None,
+        enabled: bool = True,
+        span_clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.events = events if events is not None else EventLog()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = Tracer(self.events, clock=span_clock)
+        self._enabled = bool(enabled)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether instrumentation should record anything at all."""
+        return self._enabled
+
+    # -- construction shortcuts -------------------------------------------
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A silent hub (the process-wide default)."""
+        return cls(enabled=False)
+
+    @classmethod
+    def to_path(
+        cls,
+        path: str | Path,
+        clock: Callable[[], float] = time.time,
+    ) -> "Telemetry":
+        """An enabled hub writing its event log to ``path`` (JSON lines)."""
+        return cls(events=EventLog(JsonLinesSink(path), clock=clock))
+
+    @classmethod
+    def in_memory(cls, clock: Callable[[], float] = time.time) -> "Telemetry":
+        """An enabled hub buffering events in a :class:`MemorySink`."""
+        return cls(events=EventLog(MemorySink(), clock=clock))
+
+    # -- convenience passthroughs ------------------------------------------
+
+    def emit(self, name: str, **fields: object) -> None:
+        """Emit a structured event (no-op when disabled)."""
+        if self._enabled:
+            self.events.emit(name, **fields)
+
+    def span(self, name: str, **fields: object) -> ContextManager[object]:
+        """A timed span context manager (shared no-op when disabled)."""
+        if not self._enabled:
+            return _NULL_SPAN
+        return self.tracer.span(name, **fields)
+
+    def close(self) -> None:
+        """Flush and release the event sink."""
+        self.events.close()
+
+
+_DISABLED = Telemetry.disabled()
+_active = _DISABLED
+_active_lock = threading.Lock()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide telemetry hub (disabled unless installed)."""
+    return _active
+
+
+def set_telemetry(telemetry: Telemetry | None) -> Telemetry:
+    """Install ``telemetry`` process-wide; returns the previous hub.
+
+    ``None`` restores the silent default.
+    """
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = telemetry if telemetry is not None else _DISABLED
+    return previous
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Install ``telemetry`` for the duration of a ``with`` block.
+
+    Restores the previous hub and closes ``telemetry``'s sink on exit.
+    """
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)
+        telemetry.close()

@@ -1,0 +1,224 @@
+"""Structured event logging (JSON lines).
+
+The paper's UUCS ran unattended for months against ~100 Internet hosts;
+operating such a deployment requires a durable, machine-parseable record
+of what the system did.  This module provides that record as a stream of
+:class:`Event` values — one JSON object per line — behind a tiny sink
+abstraction:
+
+* :class:`NullSink` — the default; library use stays completely silent
+  and no file is ever created;
+* :class:`JsonLinesSink` — a ``logging``-backed emitter appending one
+  JSON line per event to a file;
+* :class:`MemorySink` — an in-process buffer for tests and summaries.
+
+Events are *seeded-run-safe*: nothing here draws randomness, and
+timestamps come from an injectable clock, so enabling the event log can
+never perturb a seeded simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping, Protocol, runtime_checkable
+
+from repro.errors import SerializationError, StoreError
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "EventSink",
+    "JsonLinesSink",
+    "MemorySink",
+    "NullSink",
+    "read_events",
+]
+
+#: JSON-serializable field value.
+FieldValue = object
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event: a name, a timestamp, and flat fields."""
+
+    #: Dotted event name, e.g. ``"client.hot_sync"`` or ``"span"``.
+    name: str
+    #: Seconds since the epoch (or since an arbitrary origin under an
+    #: injected clock).
+    ts: float
+    #: Flat mapping of event-specific fields.
+    fields: Mapping[str, FieldValue] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Render the event as one compact JSON line (no trailing newline)."""
+        try:
+            return json.dumps(
+                {"event": self.name, "ts": self.ts, "fields": dict(self.fields)},
+                sort_keys=True,
+                default=str,
+            )
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(f"unserializable event {self.name!r}: {exc}")
+
+    @classmethod
+    def from_json(cls, line: str) -> "Event":
+        """Parse one JSON line back into an :class:`Event`."""
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"bad event line: {exc}")
+        if not isinstance(record, dict) or "event" not in record:
+            raise SerializationError(f"event line lacks an 'event' key: {line!r}")
+        fields = record.get("fields", {})
+        if not isinstance(fields, dict):
+            raise SerializationError("event 'fields' must be an object")
+        return cls(
+            name=str(record["event"]),
+            ts=float(record.get("ts", 0.0)),
+            fields=fields,
+        )
+
+
+@runtime_checkable
+class EventSink(Protocol):
+    """Anything that can receive emitted events."""
+
+    def emit(self, event: Event) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class NullSink:
+    """Discards everything; the default so library use stays silent."""
+
+    def emit(self, event: Event) -> None:
+        """Drop the event."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class MemorySink:
+    """Buffers events in memory (tests, ad-hoc summaries)."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+        self._lock = threading.Lock()
+
+    def emit(self, event: Event) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def close(self) -> None:
+        """Nothing to release; the buffer stays readable."""
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(list(self.events))
+
+
+class JsonLinesSink:
+    """Appends one JSON line per event to ``path`` via :mod:`logging`.
+
+    A dedicated, non-propagating logger plus a ``FileHandler`` give the
+    emitter the stdlib's locking and crash-safety for free while keeping
+    the root logger untouched.
+    """
+
+    _instances = 0
+    _instances_lock = threading.Lock()
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        with JsonLinesSink._instances_lock:
+            JsonLinesSink._instances += 1
+            n = JsonLinesSink._instances
+        self._logger = logging.getLogger(f"repro.telemetry.jsonl.{n}")
+        self._logger.setLevel(logging.INFO)
+        self._logger.propagate = False
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handler = logging.FileHandler(self.path, encoding="utf-8")
+        except OSError as exc:
+            raise StoreError(
+                f"cannot open event log {self.path}: {exc}"
+            ) from exc
+        self._handler.setFormatter(logging.Formatter("%(message)s"))
+        self._logger.addHandler(self._handler)
+
+    def emit(self, event: Event) -> None:
+        self._logger.info(event.to_json())
+
+    def close(self) -> None:
+        """Flush and detach the file handler (idempotent)."""
+        if self._handler is not None:
+            self._logger.removeHandler(self._handler)
+            self._handler.close()
+            self._handler = None  # type: ignore[assignment]
+
+
+class EventLog:
+    """The emitter instrumented code talks to.
+
+    ``emit`` is a no-op with a :class:`NullSink` attached; with a real
+    sink it stamps the event with the configured clock and forwards it.
+    """
+
+    def __init__(
+        self,
+        sink: EventSink | None = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self._sink = sink if sink is not None else NullSink()
+        self._clock = clock
+
+    @property
+    def sink(self) -> EventSink:
+        return self._sink
+
+    @property
+    def enabled(self) -> bool:
+        """Whether emitted events go anywhere."""
+        return not isinstance(self._sink, NullSink)
+
+    def emit(self, name: str, **fields: FieldValue) -> None:
+        """Record one event (silently dropped when disabled)."""
+        if not self.enabled:
+            return
+        self._sink.emit(Event(name=name, ts=self._clock(), fields=fields))
+
+    def close(self) -> None:
+        self._sink.close()
+
+
+def read_events(source: str | Path | Iterable[str]) -> list[Event]:
+    """Load a JSON-lines event log (path or iterable of lines).
+
+    Blank lines are skipped; malformed lines raise
+    :class:`~repro.errors.SerializationError` naming the line number.
+    """
+    if isinstance(source, (str, Path)):
+        try:
+            text = Path(source).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise StoreError(f"cannot read event log {source}: {exc}")
+        lines: Iterable[str] = text.splitlines()
+    else:
+        lines = source
+    events: list[Event] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(Event.from_json(line))
+        except SerializationError as exc:
+            raise SerializationError(f"line {lineno}: {exc}")
+    return events

@@ -1,0 +1,78 @@
+"""Plaintext metrics endpoint over TCP (``uucs serve --metrics-port``).
+
+Built on the same :mod:`socketserver` machinery as the UUCS TCP
+transport.  Each connection receives one Prometheus-style exposition of
+the registry and is closed.  Both raw TCP peers (``nc host port``) and
+HTTP scrapers (``curl http://host:port/metrics``) work: if the client
+sends an HTTP request line we consume the headers and frame the response
+as ``HTTP/1.0 200``; if it sends nothing, the body is written bare.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["MetricsExporter"]
+
+
+class _MetricsHandler(socketserver.StreamRequestHandler):
+    timeout = 0.5  # the scrape request, if any, arrives immediately
+
+    def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        registry: MetricsRegistry = self.server.registry  # type: ignore[attr-defined]
+        http = False
+        try:
+            first = self.rfile.readline()
+            if first.split()[:1] in ([b"GET"], [b"HEAD"], [b"POST"]):
+                http = True
+                while self.rfile.readline().strip():
+                    pass  # drain request headers
+        except (TimeoutError, OSError):
+            pass  # silent peer: plain-TCP scrape
+        body = registry.render().encode("utf-8")
+        if http:
+            self.wfile.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+            )
+        self.wfile.write(body)
+
+
+class MetricsExporter:
+    """Serves a metrics registry's exposition on ``host:port``."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._tcp = socketserver.ThreadingTCPServer(
+            (host, port), _MetricsHandler, bind_and_activate=True
+        )
+        self._tcp.daemon_threads = True
+        self._tcp.registry = registry  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="uucs-metrics", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    def close(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsExporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

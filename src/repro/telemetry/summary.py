@@ -1,0 +1,79 @@
+"""Human-readable summaries of a JSON-lines event log.
+
+``uucs metrics-summary PATH`` renders an event log into the same
+plain-text tables the analysis pipeline uses
+(:mod:`repro.util.tables`): one table of event counts, and one table of
+span statistics (count, error count, total/mean/max duration) grouped by
+span name.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.telemetry.events import Event, read_events
+from repro.util.tables import TextTable, format_float
+
+__all__ = ["render_summary", "span_stats", "summarize_events"]
+
+
+def span_stats(events: Iterable[Event]) -> dict[str, dict[str, float]]:
+    """Aggregate ``"span"`` events by span name.
+
+    Returns ``name -> {count, errors, total_s, mean_s, max_s}``.
+    """
+    stats: dict[str, dict[str, float]] = {}
+    for event in events:
+        if event.name != "span":
+            continue
+        name = str(event.fields.get("span", "?"))
+        duration = float(event.fields.get("duration_s", 0.0))
+        outcome = str(event.fields.get("outcome", "ok"))
+        entry = stats.setdefault(
+            name, {"count": 0, "errors": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        if outcome != "ok":
+            entry["errors"] += 1
+        entry["total_s"] += duration
+        entry["max_s"] = max(entry["max_s"], duration)
+    for entry in stats.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"] if entry["count"] else 0.0
+    return stats
+
+
+def summarize_events(events: Sequence[Event]) -> str:
+    """Render count and span tables for an in-memory event sequence."""
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.name] = counts.get(event.name, 0) + 1
+
+    count_table = TextTable("Event counts", ["event", "count"])
+    for name in sorted(counts):
+        count_table.add_row(name, counts[name])
+
+    parts = [count_table.render()]
+    spans = span_stats(events)
+    if spans:
+        span_table = TextTable(
+            "Spans",
+            ["span", "count", "errors", "total s", "mean s", "max s"],
+        )
+        for name in sorted(spans):
+            entry = spans[name]
+            span_table.add_row(
+                name,
+                int(entry["count"]),
+                int(entry["errors"]),
+                format_float(entry["total_s"], 3),
+                format_float(entry["mean_s"], 4),
+                format_float(entry["max_s"], 4),
+            )
+        parts.append(span_table.render())
+    return "\n\n".join(parts)
+
+
+def render_summary(path: str | Path) -> str:
+    """Load a JSON-lines event log from ``path`` and summarize it."""
+    return summarize_events(read_events(path))

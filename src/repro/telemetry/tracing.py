@@ -1,0 +1,117 @@
+"""Span tracing: nested timed regions recorded to the event log.
+
+A :class:`Tracer` hands out ``span(...)`` context managers.  Each span
+measures wall time (injectable clock), tracks nesting through a
+thread-local stack, and on exit emits one ``"span"`` event carrying the
+span name, duration, outcome (``ok`` or the exception type), and the
+parent/child structure (ids and depth).  Span ids are sequential
+integers — deterministic and RNG-free — so traces from seeded runs are
+stable and greppable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterator
+
+from contextlib import contextmanager
+
+from repro.telemetry.events import EventLog
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One open timed region (created via :meth:`Tracer.span`)."""
+
+    __slots__ = ("name", "span_id", "parent_id", "depth", "fields", "started")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        depth: int,
+        fields: dict[str, object],
+        started: float,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.fields = fields
+        self.started = started
+
+    def annotate(self, **fields: object) -> None:
+        """Attach extra fields to the span's closing event."""
+        self.fields.update(fields)
+
+
+class Tracer:
+    """Creates nested spans and records them to an event log."""
+
+    def __init__(
+        self,
+        events: EventLog,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self._events = events
+        self._clock = clock
+        self._local = threading.local()
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def active(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **fields: object) -> Iterator[Span]:
+        """Open a timed region; emits a ``"span"`` event when it closes.
+
+        The event records ``span`` (name), ``id``, ``parent`` (enclosing
+        span id or None), ``depth``, ``duration_s``, ``outcome`` (``"ok"``
+        or ``"error:<ExcType>"``), plus any fields passed here or added
+        via :meth:`Span.annotate`.  Exceptions propagate unchanged.
+        """
+        with self._id_lock:
+            self._next_id += 1
+            span_id = self._next_id
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(stack),
+            fields=dict(fields),
+            started=self._clock(),
+        )
+        stack.append(span)
+        outcome = "ok"
+        try:
+            yield span
+        except BaseException as exc:
+            outcome = f"error:{type(exc).__name__}"
+            raise
+        finally:
+            stack.pop()
+            self._events.emit(
+                "span",
+                span=span.name,
+                id=span.span_id,
+                parent=span.parent_id,
+                depth=span.depth,
+                duration_s=self._clock() - span.started,
+                outcome=outcome,
+                **span.fields,
+            )

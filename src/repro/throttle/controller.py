@@ -10,6 +10,7 @@ UUCS client collects for measurement thus becomes a control input.
 from __future__ import annotations
 
 from repro.errors import ThrottleError
+from repro.telemetry import Telemetry, get_telemetry
 from repro.throttle.throttle import Throttle
 
 __all__ = ["FeedbackController"]
@@ -25,6 +26,7 @@ class FeedbackController:
         backoff: float = 0.5,
         recovery_per_minute: float = 0.05,
         floor: float = 0.0,
+        telemetry: Telemetry | None = None,
     ):
         if not 0.0 < backoff < 1.0:
             raise ThrottleError(f"backoff must be in (0,1), got {backoff}")
@@ -40,7 +42,23 @@ class FeedbackController:
         self._recovery = float(recovery_per_minute)
         self._floor = float(floor)
         self._discomfort_events = 0
+        self._telemetry = telemetry
         throttle.set_ceiling(max_level)
+        self._record_ceiling(max_level)
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The hub this controller reports to (instance or process-wide)."""
+        return self._telemetry if self._telemetry is not None else get_telemetry()
+
+    def _record_ceiling(self, ceiling: float) -> None:
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.gauge(
+                "uucs_throttle_ceiling",
+                "Current borrowing-contention setpoint (throttle ceiling).",
+                unit="level",
+            ).set(ceiling)
 
     @property
     def throttle(self) -> Throttle:
@@ -57,8 +75,24 @@ class FeedbackController:
     def on_discomfort(self) -> float:
         """Multiplicative decrease; returns the new ceiling."""
         self._discomfort_events += 1
-        new = max(self._floor, self._throttle.ceiling * self._backoff)
+        old = self._throttle.ceiling
+        new = max(self._floor, old * self._backoff)
         self._throttle.set_ceiling(new)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.counter(
+                "uucs_throttle_discomfort_total",
+                "User-discomfort events fed to the AIMD controller.",
+            ).inc()
+            metrics.counter(
+                "uucs_throttle_budget_spent_total",
+                "Cumulative ceiling given back to users on discomfort "
+                "(the discomfort-budget spend).",
+                unit="level",
+            ).inc(old - new)
+            telemetry.emit("throttle.backoff", old=old, new=new)
+        self._record_ceiling(new)
         return new
 
     def on_comfortable(self, elapsed_seconds: float) -> float:
@@ -70,4 +104,5 @@ class FeedbackController:
         gain = self._recovery * elapsed_seconds / 60.0
         new = min(self._max_level, self._throttle.ceiling + gain)
         self._throttle.set_ceiling(new)
+        self._record_ceiling(new)
         return new

@@ -34,14 +34,16 @@ class TestTestcaseTools:
         assert "12" in capsys.readouterr().out
 
     def test_view_missing_errors(self, tmp_path, capsys):
+        # StoreError family exits 5 (see cli._EXIT_CODES).
         assert run_cli("testcase-view", "nope",
-                       "--store", str(tmp_path)) == 2
+                       "--store", str(tmp_path)) == 5
         assert "error" in capsys.readouterr().err
 
     def test_bad_level_reports_error(self, tmp_path, capsys):
+        # ValidationError family exits 3.
         assert run_cli("testcase-gen", "--store", str(tmp_path),
                        "--shape", "constant", "--resource", "memory",
-                       "--level", "5.0") == 2
+                       "--level", "5.0") == 3
 
 
 class TestStudyPipeline:
@@ -104,7 +106,7 @@ class TestTestcaseEdit:
         run_cli("testcase-gen", "--store", store, "--shape", "ramp",
                 "--resource", "cpu", "--level", "4.0", "--id", "base")
         assert run_cli("testcase-edit", "base", "--store", store,
-                       "--scale", "100.0") == 2
+                       "--scale", "100.0") == 3
 
 
 class TestServeAndClient:
@@ -134,5 +136,50 @@ class TestServeAndClient:
         assert len(server.registry) == 1
 
     def test_client_refused_connection(self, tmp_path, capsys):
+        # ProtocolError family exits 6.
         assert run_cli("client", "--port", "1",
-                       "--root", str(tmp_path / "c")) == 2
+                       "--root", str(tmp_path / "c")) == 6
+
+
+class TestExitCodes:
+    def test_distinct_codes_per_error_family(self):
+        from repro import errors
+        from repro.cli import _EXIT_CODES, _exit_code
+
+        codes = list(_EXIT_CODES.values())
+        assert len(codes) == len(set(codes)), "exit codes must be distinct"
+        assert all(c >= 2 for c in codes)
+        # Subclasses not in the map fall back to their nearest ancestor.
+        assert _exit_code(errors.RegistrationError("x")) == \
+            _EXIT_CODES[errors.ProtocolError]
+        assert _exit_code(errors.CalibrationError("x")) == \
+            _EXIT_CODES[errors.ExerciserError]
+        assert _exit_code(errors.InsufficientDataError("x")) == \
+            _EXIT_CODES[errors.AnalysisError]
+        assert _exit_code(errors.ReproError("x")) == 2
+
+
+class TestTelemetryCommands:
+    def test_study_writes_event_log_and_summary_renders(self, tmp_path, capsys):
+        results = str(tmp_path / "results")
+        log = str(tmp_path / "events.jsonl")
+        assert run_cli("study", "--users", "2", "--seed", "7",
+                       "--results", results, "--telemetry", log) == 0
+        out = capsys.readouterr().out
+        assert "telemetry event log" in out
+        assert run_cli("metrics-summary", log) == 0
+        out = capsys.readouterr().out
+        assert "Event counts" in out
+        assert "session.run" in out
+        assert "study.controlled" in out
+
+    def test_metrics_summary_missing_file(self, tmp_path, capsys):
+        assert run_cli("metrics-summary", str(tmp_path / "nope.jsonl")) == 5
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_with_metrics_port(self, tmp_path, capsys):
+        assert run_cli("serve", "--root", str(tmp_path / "srv"),
+                       "--library", "2", "--timeout", "0.2",
+                       "--metrics-port", "0") == 0
+        out = capsys.readouterr().out
+        assert "metrics endpoint on 127.0.0.1" in out

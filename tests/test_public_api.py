@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.server",
     "repro.stores",
     "repro.study",
+    "repro.telemetry",
     "repro.throttle",
     "repro.users",
     "repro.util",
