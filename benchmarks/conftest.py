@@ -7,6 +7,7 @@ of regenerated figures can be inspected (EXPERIMENTS.md links them).
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -18,6 +19,32 @@ from repro.study import ControlledStudyConfig, run_controlled_study
 STUDY_SEED = 2004
 
 ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry():
+    """Instrument the whole benchmark session when UUCS_BENCH_TELEMETRY=1.
+
+    Installs a process-wide telemetry hub writing ``bench.events.jsonl``
+    and, at teardown, dumps the metrics exposition to
+    ``bench.metrics.prom`` — both under ``benchmarks/artifacts/`` so CI
+    can upload them (see .github/workflows/telemetry-bench.yml).
+    Telemetry never perturbs seeded runs, so timings and results are
+    comparable with the uninstrumented baseline.
+    """
+    if not os.environ.get("UUCS_BENCH_TELEMETRY"):
+        yield None
+        return
+    from repro.telemetry import Telemetry, use_telemetry
+
+    ARTIFACTS.mkdir(exist_ok=True)
+    telemetry = Telemetry.to_path(ARTIFACTS / "bench.events.jsonl")
+    with use_telemetry(telemetry):
+        yield telemetry
+        write_artifact(
+            ARTIFACTS, "bench.metrics.prom", telemetry.metrics.render()
+        )
+    telemetry.close()
 
 
 @pytest.fixture(scope="session")

@@ -12,6 +12,8 @@ Subcommands::
     uucs client         run a client against a TCP server
     uucs import-db      import a result store into a sqlite database
     uucs metrics-summary  summarize a telemetry event log
+    uucs clients        per-client rollups from a metrics endpoint
+    uucs top            live fleet dashboard over a metrics endpoint
 
 Every command works on the plain-text stores, so the pipeline can be
 driven entirely from a shell.
@@ -25,6 +27,7 @@ parsing stderr.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -86,8 +89,13 @@ def _exit_code(exc: ReproError) -> int:
 
 
 def _print(*parts: object, err: bool = False) -> None:
-    """The single user-facing output emitter for every subcommand."""
-    print(*parts, file=sys.stderr if err else sys.stdout)
+    """The single user-facing output emitter for every subcommand.
+
+    Always flushes: long-running commands (``uucs serve``) print their
+    bound addresses and then block, and scripts reading a pipe must see
+    those lines immediately, not when the block buffer drains at exit.
+    """
+    print(*parts, file=sys.stderr if err else sys.stdout, flush=True)
 
 
 def _cmd_testcase_gen(args: argparse.Namespace) -> int:
@@ -208,6 +216,17 @@ def _cmd_client(args: argparse.Namespace) -> int:
     )
     machine = SimulatedMachine(spec)
     profile = sample_profile(args.user, rng)
+    telemetry = Telemetry.to_path(args.telemetry) if args.telemetry else None
+    push_to: tuple[str, int] | None = None
+    if args.push_gateway:
+        host, _, port = args.push_gateway.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValidationError(
+                f"--push-gateway needs HOST:PORT, got {args.push_gateway!r}"
+            )
+        push_to = (host, int(port))
+        if telemetry is None:
+            telemetry = Telemetry()  # pushing implies collecting metrics
     transport = TCPClientTransport(args.host, args.port)
     try:
         client = UUCSClient(
@@ -218,6 +237,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
             ),
             transport,
             seed=rng,
+            telemetry=telemetry,
         )
         client.register(spec.snapshot())
         downloaded, _ = client.hot_sync()
@@ -233,8 +253,15 @@ def _cmd_client(args: argparse.Namespace) -> int:
         discomforts = sum(r.discomforted for r in runs)
         _print(f"executed {len(runs)} runs as '{task.name}' "
               f"({discomforts} discomforts), uploaded {uploaded}")
+        if push_to is not None:
+            pushed = client.push_metrics(*push_to)
+            _print(f"pushed {pushed} metrics to {push_to[0]}:{push_to[1]}")
+        if args.telemetry:
+            _print(f"telemetry event log -> {args.telemetry}")
     finally:
         transport.close()
+        if telemetry is not None:
+            telemetry.close()
     return 0
 
 
@@ -271,7 +298,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     exporter = None
     if args.metrics_port is not None:
         exporter = MetricsExporter(
-            server.telemetry.metrics, args.host, args.metrics_port
+            server.telemetry.metrics, args.host, args.metrics_port,
+            rollups=server.rollups,
         )
         mhost, mport = exporter.address
         _print(f"metrics endpoint on {mhost}:{mport}")
@@ -293,9 +321,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics_summary(args: argparse.Namespace) -> int:
-    from repro.telemetry.summary import render_summary
+    # Lenient by design: crashed writers truncate JSONL tails, and an
+    # operator asking for a summary wants whatever survives, not a stack
+    # trace.  Bad lines are skipped with a stderr warning; exit stays 0.
+    from repro.telemetry.events import read_events_lenient
+    from repro.telemetry.summary import summarize_events
 
-    _print(render_summary(args.path))
+    events, problems = read_events_lenient(args.path)
+    for problem in problems:
+        _print(f"warning: {problem}", err=True)
+    _print(summarize_events(events))
+    return 0
+
+
+def _cmd_clients(args: argparse.Namespace) -> int:
+    from repro.telemetry.aggregate import fetch_clients
+    from repro.util.tables import TextTable, format_float
+
+    rows = fetch_clients(args.host, args.port)
+    table = TextTable(
+        f"Clients of {args.host}:{args.port}",
+        ["client", "registered", "syncs", "results", "discomforts",
+         "bytes in", "bytes out", "pushes", "last seen"],
+    )
+    for row in rows:
+        table.add_row(
+            row.client_id,
+            format_float(row.registered_at, 1),
+            row.syncs,
+            row.results,
+            row.discomforts,
+            row.bytes_read,
+            row.bytes_written,
+            row.pushes,
+            format_float(row.last_seen, 1),
+        )
+    _print(table.render())
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.telemetry.dashboard import TopDashboard
+
+    dashboard = TopDashboard(args.host, args.port, interval=args.interval)
+    dashboard.run(iterations=args.iterations, clear=not args.no_clear)
     return 0
 
 
@@ -354,6 +423,11 @@ def build_parser() -> argparse.ArgumentParser:
     cli_client.add_argument("--interval", type=float, default=600.0,
                             help="mean seconds between executions")
     cli_client.add_argument("--seed", type=int, default=0)
+    cli_client.add_argument("--telemetry", default="", metavar="PATH",
+                            help="write a JSON-lines telemetry event log to PATH")
+    cli_client.add_argument("--push-gateway", default="", metavar="HOST:PORT",
+                            help="POST the client's metrics snapshot to this "
+                                 "metrics endpoint after the run")
     cli_client.set_defaults(func=_cmd_client)
 
     study = sub.add_parser("study", help="run the controlled study")
@@ -401,6 +475,30 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument("path", help="event log written by --telemetry")
     summary.set_defaults(func=_cmd_metrics_summary)
 
+    clients = sub.add_parser(
+        "clients",
+        help="per-client rollups from a server's metrics endpoint",
+    )
+    clients.add_argument("--host", default="127.0.0.1")
+    clients.add_argument("--port", type=int, required=True,
+                         help="the server's --metrics-port")
+    clients.set_defaults(func=_cmd_clients)
+
+    top = sub.add_parser(
+        "top",
+        help="live fleet dashboard over a server's metrics endpoint",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True,
+                     help="the server's --metrics-port")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N frames (0 = until Ctrl-C)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
+    top.set_defaults(func=_cmd_top)
+
     return parser
 
 
@@ -413,6 +511,12 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         _print(f"error: {exc}", err=True)
         return _exit_code(exc)
+    except BrokenPipeError:
+        # Downstream consumer (head, less, ...) closed the pipe; the
+        # convention is to die quietly with SIGPIPE's exit code.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + 13
 
 
 if __name__ == "__main__":

@@ -209,6 +209,31 @@ class UUCSClient:
                 ).inc(len(uploads))
             return downloaded, len(uploads)
 
+    # -- push gateway -----------------------------------------------------------
+
+    def push_metrics(self, host: str, port: int) -> int:
+        """POST this client's metrics snapshot to a push gateway.
+
+        The gateway is a :class:`~repro.telemetry.exporter.MetricsExporter`
+        (``uucs serve --metrics-port``); the snapshot is keyed by this
+        client's GUID (or its user id before registration) and federated
+        into the server's fleet view.  Returns the number of metrics
+        pushed.
+        """
+        from repro.telemetry.aggregate import push_snapshot
+
+        telemetry = self.telemetry
+        snapshot = telemetry.metrics.snapshot()
+        identity = self.client_id or self._config.user_id
+        response = push_snapshot(host, int(port), identity, snapshot)
+        if telemetry.enabled:
+            telemetry.emit(
+                "client.push",
+                gateway=f"{host}:{port}",
+                metrics=len(snapshot),
+            )
+        return int(response.get("metrics", len(snapshot)))  # type: ignore[arg-type]
+
     # -- execution ----------------------------------------------------------------
 
     def execute(

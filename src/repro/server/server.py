@@ -30,7 +30,7 @@ from repro.server.protocol import Message, decode_message, encode_message
 from repro.server.registry import ClientRegistry
 from repro.server.sampling import GrowingSampler
 from repro.stores import ResultStore, TestcaseStore
-from repro.telemetry import Telemetry, get_telemetry
+from repro.telemetry import ClientRollups, Telemetry, get_telemetry
 from repro.util.rng import SeedLike
 
 __all__ = ["InProcessTransport", "TCPServerTransport", "UUCSServer"]
@@ -54,6 +54,9 @@ class UUCSServer:
         self._lock = threading.Lock()
         self._clock = 0.0
         self._telemetry = telemetry
+        #: Per-client fleet rollups (populated only while telemetry is
+        #: enabled; rendered by ``uucs clients`` / ``GET /clients``).
+        self.rollups = ClientRollups()
 
     @property
     def telemetry(self) -> Telemetry:
@@ -135,7 +138,17 @@ class UUCSServer:
                 "uucs_server_clients",
                 "Clients currently known to the registry.",
             ).set(len(self.registry))
+            self.rollups.record_register(record.client_id, now=self._clock)
+            self._touch_client(telemetry, record.client_id)
         return Message("registered", {"client_id": record.client_id})
+
+    def _touch_client(self, telemetry: Telemetry, client_id: str) -> None:
+        telemetry.metrics.gauge(
+            "uucs_server_client_last_seen_seconds",
+            "Server clock at each client's most recent request.",
+            unit="seconds",
+            labelnames=("client",),
+        ).set(self._clock, client=client_id)
 
     def _handle_sync(self, request: Message) -> Message:
         client_id = request.payload.get("client_id")
@@ -179,10 +192,53 @@ class UUCSServer:
                 "uucs_server_testcases_shipped_total",
                 "Testcases shipped to clients during hot sync.",
             ).inc(len(shipped))
+            discomforts = sum(1 for run in runs if run.discomforted)
+            self.rollups.record_sync(
+                client_id,
+                results=accepted,
+                discomforts=discomforts,
+                now=self._clock,
+            )
+            metrics.counter(
+                "uucs_server_client_syncs_total",
+                "Hot syncs served, by client GUID.",
+                labelnames=("client",),
+            ).inc(client=client_id)
+            metrics.counter(
+                "uucs_server_client_results_total",
+                "Run results accepted, by client GUID.",
+                labelnames=("client",),
+            ).inc(accepted, client=client_id)
+            metrics.counter(
+                "uucs_server_client_discomforts_total",
+                "Discomfort-terminated runs reported, by client GUID.",
+                labelnames=("client",),
+            ).inc(discomforts, client=client_id)
+            self._touch_client(telemetry, client_id)
         return Message(
             "sync_ok",
             {"testcases": shipped, "accepted": accepted},
         )
+
+    def record_client_bytes(self, client_id: str, read: int, written: int) -> None:
+        """Attribute wire bytes to a client (transport-level accounting)."""
+        telemetry = self.telemetry
+        if not telemetry.enabled or not client_id:
+            return
+        self.rollups.record_bytes(client_id, read=read, written=written)
+        metrics = telemetry.metrics
+        metrics.counter(
+            "uucs_server_client_bytes_read_total",
+            "Request bytes read, by client GUID.",
+            unit="bytes",
+            labelnames=("client",),
+        ).inc(read, client=client_id)
+        metrics.counter(
+            "uucs_server_client_bytes_written_total",
+            "Response bytes written, by client GUID.",
+            unit="bytes",
+            labelnames=("client",),
+        ).inc(written, client=client_id)
 
 
 class InProcessTransport:
@@ -212,8 +268,12 @@ class _Handler(socketserver.StreamRequestHandler):
         for line in self.rfile:
             if not line.strip():
                 continue
+            client_id = ""
             try:
                 request = decode_message(line)
+                payload_client = request.payload.get("client_id")
+                if isinstance(payload_client, str):
+                    client_id = payload_client
                 response = server.handle(request)
             except ProtocolError as exc:
                 response = Message.error(str(exc))
@@ -232,6 +292,7 @@ class _Handler(socketserver.StreamRequestHandler):
                     "Response bytes written to TCP connections.",
                     unit="bytes",
                 ).inc(len(payload))
+                server.record_client_bytes(client_id, len(line), len(payload))
 
 
 class TCPServerTransport:

@@ -36,6 +36,14 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, ContextManager, Iterator
 
+from repro.telemetry.aggregate import (
+    ClientRollup,
+    ClientRollups,
+    RegistrySnapshot,
+    fetch_clients,
+    fetch_snapshot,
+    push_snapshot,
+)
 from repro.telemetry.events import (
     Event,
     EventLog,
@@ -44,6 +52,7 @@ from repro.telemetry.events import (
     MemorySink,
     NullSink,
     read_events,
+    read_events_lenient,
 )
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
@@ -51,10 +60,13 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_buckets,
 )
 from repro.telemetry.tracing import Span, Tracer
 
 __all__ = [
+    "ClientRollup",
+    "ClientRollups",
     "Counter",
     "DEFAULT_BUCKETS",
     "Event",
@@ -66,11 +78,17 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "NullSink",
+    "RegistrySnapshot",
     "Span",
     "Telemetry",
     "Tracer",
+    "fetch_clients",
+    "fetch_snapshot",
     "get_telemetry",
+    "push_snapshot",
+    "quantile_from_buckets",
     "read_events",
+    "read_events_lenient",
     "set_telemetry",
     "use_telemetry",
 ]

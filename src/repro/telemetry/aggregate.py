@@ -1,0 +1,378 @@
+"""Fleet-scale aggregation over metrics snapshots.
+
+The paper's UUCS deployment watched ~100 Internet clients from one
+server; this module supplies the pieces that make that shape observable
+at scale:
+
+* :class:`RegistrySnapshot` — an immutable, JSON-safe view of a
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`, with
+  histogram quantile estimation (:meth:`RegistrySnapshot.quantiles`)
+  and wire (de)serialization for the push gateway;
+* :class:`ClientRollups` — thread-safe per-client server rollups keyed
+  by GUID (syncs, results, discomfort reports, bytes, pushes,
+  last-seen), the data behind ``uucs clients`` and the
+  ``uucs_server_client_*`` metric families;
+* the push-gateway HTTP helpers (:func:`push_snapshot`,
+  :func:`fetch_snapshot`, :func:`fetch_clients`) that clients and the
+  ``uucs top`` dashboard use to talk to a
+  :class:`~repro.telemetry.exporter.MetricsExporter`.
+
+Nothing here draws randomness, so fleet aggregation is as
+seeded-run-safe as the rest of the telemetry subsystem.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import ProtocolError, SerializationError, ValidationError
+from repro.telemetry.metrics import quantile_from_buckets
+
+__all__ = [
+    "ClientRollup",
+    "ClientRollups",
+    "RegistrySnapshot",
+    "fetch_clients",
+    "fetch_snapshot",
+    "push_snapshot",
+]
+
+#: Quantiles the summary/dashboard surfaces by default.
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+class RegistrySnapshot:
+    """A read-only view over one registry snapshot dict.
+
+    Wraps the plain dict produced by
+    :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot` with
+    typed accessors, quantile estimation, and JSON round-tripping (the
+    push-gateway wire format is exactly :meth:`to_json`).
+    """
+
+    def __init__(self, data: Mapping[str, Mapping[str, object]]):
+        self._data = {str(name): dict(entry) for name, entry in data.items()}
+
+    @classmethod
+    def of(cls, registry: "MetricsRegistry") -> "RegistrySnapshot":  # noqa: F821
+        """Snapshot a live registry."""
+        return cls(registry.snapshot())
+
+    @property
+    def data(self) -> dict[str, dict[str, object]]:
+        """The underlying snapshot dict (shallow copy per entry)."""
+        return {name: dict(entry) for name, entry in self._data.items()}
+
+    def names(self) -> list[str]:
+        return sorted(self._data)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._data))
+
+    def get(self, name: str) -> dict[str, object] | None:
+        entry = self._data.get(name)
+        return dict(entry) if entry is not None else None
+
+    def kind(self, name: str) -> str:
+        return str(self._data.get(name, {}).get("kind", ""))
+
+    def series(self, name: str) -> dict[str, object]:
+        """``series-key -> value`` for ``name`` ("" for unlabelled)."""
+        entry = self._data.get(name)
+        if entry is None:
+            return {}
+        labels = entry.get("labels") or []
+        value = entry.get("value")
+        if not labels:
+            return {"": value}
+        return dict(value) if isinstance(value, Mapping) else {}
+
+    def quantiles(
+        self,
+        name: str,
+        qs: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> dict[str, dict[float, float | None]]:
+        """Quantile estimates for histogram ``name``.
+
+        Returns ``series-key -> {q: estimate}`` (``""`` keys the
+        unlabelled series); estimates are ``None`` for empty series.
+        Raises :class:`~repro.errors.ValidationError` if ``name`` is not
+        a histogram in this snapshot.
+        """
+        entry = self._data.get(name)
+        if entry is None or entry.get("kind") != "histogram":
+            raise ValidationError(f"{name!r} is not a histogram in this snapshot")
+        out: dict[str, dict[float, float | None]] = {}
+        for key, data in self.series(name).items():
+            if not isinstance(data, Mapping):
+                continue
+            buckets = data.get("buckets", {})
+            bounds = sorted(float(b) for b in buckets)
+            cumulative = [int(buckets[b]) for b in sorted(buckets, key=float)]
+            count = int(data.get("count", 0))
+            out[key] = {
+                q: (
+                    quantile_from_buckets(bounds, cumulative, count, q)
+                    if bounds
+                    else None
+                )
+                for q in qs
+            }
+        return out
+
+    def to_json(self) -> str:
+        """One compact JSON document (the push-gateway payload body)."""
+        try:
+            return json.dumps(self._data, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(f"unserializable snapshot: {exc}")
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "RegistrySnapshot":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"bad snapshot JSON: {exc}")
+        if not isinstance(data, dict):
+            raise SerializationError("snapshot must be a JSON object")
+        return cls(data)
+
+
+@dataclass(frozen=True)
+class ClientRollup:
+    """Per-client server-side rollup (one row of ``uucs clients``)."""
+
+    client_id: str
+    registered_at: float = 0.0
+    syncs: int = 0
+    results: int = 0
+    discomforts: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    pushes: int = 0
+    last_seen: float = 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "client_id": self.client_id,
+            "registered_at": self.registered_at,
+            "syncs": self.syncs,
+            "results": self.results,
+            "discomforts": self.discomforts,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "pushes": self.pushes,
+            "last_seen": self.last_seen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ClientRollup":
+        try:
+            return cls(
+                client_id=str(data["client_id"]),
+                registered_at=float(data.get("registered_at", 0.0)),  # type: ignore[arg-type]
+                syncs=int(data.get("syncs", 0)),  # type: ignore[arg-type]
+                results=int(data.get("results", 0)),  # type: ignore[arg-type]
+                discomforts=int(data.get("discomforts", 0)),  # type: ignore[arg-type]
+                bytes_read=int(data.get("bytes_read", 0)),  # type: ignore[arg-type]
+                bytes_written=int(data.get("bytes_written", 0)),  # type: ignore[arg-type]
+                pushes=int(data.get("pushes", 0)),  # type: ignore[arg-type]
+                last_seen=float(data.get("last_seen", 0.0)),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"bad client rollup: {exc}")
+
+
+@dataclass
+class _MutableRollup:
+    client_id: str
+    registered_at: float = 0.0
+    syncs: int = 0
+    results: int = 0
+    discomforts: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    pushes: int = 0
+    last_seen: float = 0.0
+
+    def freeze(self) -> ClientRollup:
+        return ClientRollup(
+            client_id=self.client_id,
+            registered_at=self.registered_at,
+            syncs=self.syncs,
+            results=self.results,
+            discomforts=self.discomforts,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            pushes=self.pushes,
+            last_seen=self.last_seen,
+        )
+
+
+class ClientRollups:
+    """Thread-safe per-client rollups keyed by GUID.
+
+    The server records into this from its request handlers (gated on
+    telemetry being enabled); the exporter serves it as JSON on
+    ``GET /clients``; ``uucs clients`` and ``uucs top`` render it.
+    """
+
+    def __init__(self) -> None:
+        self._rollups: dict[str, _MutableRollup] = {}
+        self._lock = threading.Lock()
+
+    def _entry(self, client_id: str) -> _MutableRollup:
+        entry = self._rollups.get(client_id)
+        if entry is None:
+            entry = self._rollups[client_id] = _MutableRollup(client_id)
+        return entry
+
+    def record_register(self, client_id: str, now: float = 0.0) -> None:
+        with self._lock:
+            entry = self._entry(client_id)
+            entry.registered_at = float(now)
+            entry.last_seen = max(entry.last_seen, float(now))
+
+    def record_sync(
+        self,
+        client_id: str,
+        results: int = 0,
+        discomforts: int = 0,
+        now: float = 0.0,
+    ) -> None:
+        with self._lock:
+            entry = self._entry(client_id)
+            entry.syncs += 1
+            entry.results += int(results)
+            entry.discomforts += int(discomforts)
+            entry.last_seen = max(entry.last_seen, float(now))
+
+    def record_bytes(self, client_id: str, read: int = 0, written: int = 0) -> None:
+        with self._lock:
+            entry = self._entry(client_id)
+            entry.bytes_read += int(read)
+            entry.bytes_written += int(written)
+
+    def record_push(self, client_id: str, now: float = 0.0) -> None:
+        with self._lock:
+            entry = self._entry(client_id)
+            entry.pushes += 1
+            entry.last_seen = max(entry.last_seen, float(now))
+
+    def get(self, client_id: str) -> ClientRollup | None:
+        with self._lock:
+            entry = self._rollups.get(client_id)
+            return entry.freeze() if entry is not None else None
+
+    def rows(self) -> list[ClientRollup]:
+        """All rollups, sorted by client GUID."""
+        with self._lock:
+            return [self._rollups[cid].freeze() for cid in sorted(self._rollups)]
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        return [row.to_dict() for row in self.rows()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rollups)
+
+    def __contains__(self, client_id: str) -> bool:
+        with self._lock:
+            return client_id in self._rollups
+
+
+# -- push-gateway / dashboard HTTP client ---------------------------------
+
+
+def _http_request(
+    host: str,
+    port: int,
+    path: str,
+    method: str = "GET",
+    body: bytes | None = None,
+    timeout: float = 5.0,
+) -> tuple[int, bytes]:
+    """One HTTP request against a metrics exporter; (status, body)."""
+    connection = http.client.HTTPConnection(host, int(port), timeout=timeout)
+    try:
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, response.read()
+    except (OSError, http.client.HTTPException) as exc:
+        raise ProtocolError(
+            f"cannot reach metrics endpoint {host}:{port}{path}: {exc}"
+        ) from exc
+    finally:
+        connection.close()
+
+
+def _expect_json(status: int, body: bytes, what: str) -> object:
+    if status != 200:
+        raise ProtocolError(f"{what} failed: HTTP {status}: {body[:200].decode(errors='replace')}")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"{what} returned invalid JSON: {exc}") from exc
+
+
+def fetch_snapshot(host: str, port: int, timeout: float = 5.0) -> RegistrySnapshot:
+    """``GET /snapshot`` from an exporter -> :class:`RegistrySnapshot`."""
+    status, body = _http_request(host, port, "/snapshot", timeout=timeout)
+    data = _expect_json(status, body, "snapshot fetch")
+    if not isinstance(data, dict):
+        raise ProtocolError("snapshot endpoint must return a JSON object")
+    return RegistrySnapshot(data)
+
+
+def fetch_clients(host: str, port: int, timeout: float = 5.0) -> list[ClientRollup]:
+    """``GET /clients`` from an exporter -> per-client rollups."""
+    status, body = _http_request(host, port, "/clients", timeout=timeout)
+    data = _expect_json(status, body, "clients fetch")
+    if not isinstance(data, list):
+        raise ProtocolError("clients endpoint must return a JSON list")
+    try:
+        return [ClientRollup.from_dict(row) for row in data]
+    except SerializationError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def push_snapshot(
+    host: str,
+    port: int,
+    client_id: str,
+    snapshot: Mapping[str, Mapping[str, object]] | RegistrySnapshot,
+    timeout: float = 5.0,
+) -> dict[str, object]:
+    """``POST /push`` a registry snapshot to an exporter.
+
+    The body is ``{"client_id": ..., "snapshot": {...}}``; the exporter
+    replaces any previous snapshot for the same ``client_id`` (pushes
+    carry cumulative state, so replacement — not accumulation — keeps
+    repeated pushes idempotent) and federates the latest snapshot of
+    every pusher into its fleet view.
+    """
+    if not client_id:
+        raise ValidationError("push requires a non-empty client_id")
+    if isinstance(snapshot, RegistrySnapshot):
+        snapshot = snapshot.data
+    body = json.dumps(
+        {"client_id": str(client_id), "snapshot": dict(snapshot)}, sort_keys=True
+    ).encode("utf-8")
+    status, reply = _http_request(
+        host, port, "/push", method="POST", body=body, timeout=timeout
+    )
+    data = _expect_json(status, reply, "push")
+    if not isinstance(data, dict):
+        raise ProtocolError("push endpoint must return a JSON object")
+    return data

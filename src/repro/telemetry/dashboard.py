@@ -1,0 +1,230 @@
+"""Live text dashboard over a metrics exporter (``uucs top``).
+
+Polls an exporter's ``/snapshot`` and ``/clients`` endpoints and
+renders refreshing plain-text tables: counters with deltas and rates,
+gauges, histogram quantiles (p50/p90/p99), and per-client rollups.
+The fetchers, clock, sleeper, and output stream are all injectable so
+the dashboard is fully testable without a terminal or a network.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Mapping, Sequence, TextIO
+
+from repro.telemetry.aggregate import (
+    ClientRollup,
+    RegistrySnapshot,
+    fetch_clients,
+    fetch_snapshot,
+)
+from repro.util.tables import TextTable, format_float
+
+__all__ = ["TopDashboard"]
+
+#: ANSI "clear screen, cursor home" prefix used between refreshes.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _format_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.1f}GiB"
+
+
+class TopDashboard:
+    """Refreshing per-metric and per-client tables with deltas/rates."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        interval: float = 2.0,
+        fetch_snapshot: Callable[..., RegistrySnapshot] = fetch_snapshot,
+        fetch_clients: Callable[..., list[ClientRollup]] = fetch_clients,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.interval = float(interval)
+        self._fetch_snapshot = fetch_snapshot
+        self._fetch_clients = fetch_clients
+        self._clock = clock
+        self._prev_counters: dict[tuple[str, str], float] = {}
+        self._prev_clients: dict[str, ClientRollup] = {}
+        self._prev_at: float | None = None
+        self._tick = 0
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self) -> tuple[RegistrySnapshot, list[ClientRollup], float]:
+        """Fetch one (snapshot, clients, dt) sample from the exporter."""
+        now = self._clock()
+        dt = now - self._prev_at if self._prev_at is not None else 0.0
+        snapshot = self._fetch_snapshot(self.host, self.port)
+        clients = self._fetch_clients(self.host, self.port)
+        self._prev_at = now
+        return snapshot, clients, dt
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_once(self) -> str:
+        """Fetch and render one frame, updating delta/rate state."""
+        snapshot, clients, dt = self.sample()
+        self._tick += 1
+        frame = self.render(snapshot, clients, dt)
+        self._prev_counters = self._counter_values(snapshot)
+        self._prev_clients = {row.client_id: row for row in clients}
+        return frame
+
+    @staticmethod
+    def _counter_values(
+        snapshot: RegistrySnapshot,
+    ) -> dict[tuple[str, str], float]:
+        values: dict[tuple[str, str], float] = {}
+        for name in snapshot:
+            if snapshot.kind(name) != "counter":
+                continue
+            for key, value in snapshot.series(name).items():
+                if isinstance(value, (int, float)):
+                    values[(name, key)] = float(value)
+        return values
+
+    def render(
+        self,
+        snapshot: RegistrySnapshot,
+        clients: Sequence[ClientRollup],
+        dt: float,
+    ) -> str:
+        parts = [
+            f"uucs top — {self.host}:{self.port} — tick {self._tick} — "
+            f"{len(snapshot)} metrics, {len(clients)} clients"
+        ]
+        counters = self._render_counters(snapshot, dt)
+        if counters:
+            parts.append(counters)
+        gauges = self._render_gauges(snapshot)
+        if gauges:
+            parts.append(gauges)
+        histograms = self._render_histograms(snapshot)
+        if histograms:
+            parts.append(histograms)
+        if clients:
+            parts.append(self._render_clients(clients, dt))
+        return "\n\n".join(parts)
+
+    def _render_counters(self, snapshot: RegistrySnapshot, dt: float) -> str:
+        table = TextTable("Counters", ["metric", "series", "value", "Δ", "rate/s"])
+        rows = 0
+        for name in snapshot:
+            if snapshot.kind(name) != "counter":
+                continue
+            for key, value in sorted(snapshot.series(name).items()):
+                if not isinstance(value, (int, float)):
+                    continue
+                prev = self._prev_counters.get((name, key))
+                delta = float(value) - prev if prev is not None else None
+                rate = delta / dt if delta is not None and dt > 0 else None
+                table.add_row(
+                    name,
+                    key,
+                    format_float(float(value), 0),
+                    format_float(delta, 0),
+                    format_float(rate, 2),
+                )
+                rows += 1
+        return table.render() if rows else ""
+
+    def _render_gauges(self, snapshot: RegistrySnapshot) -> str:
+        table = TextTable("Gauges", ["metric", "series", "value"])
+        rows = 0
+        for name in snapshot:
+            if snapshot.kind(name) != "gauge":
+                continue
+            for key, value in sorted(snapshot.series(name).items()):
+                if isinstance(value, (int, float)):
+                    table.add_row(name, key, format_float(float(value), 3))
+                    rows += 1
+        return table.render() if rows else ""
+
+    def _render_histograms(self, snapshot: RegistrySnapshot) -> str:
+        table = TextTable(
+            "Histograms",
+            ["metric", "series", "count", "mean", "p50", "p90", "p99"],
+        )
+        rows = 0
+        for name in snapshot:
+            if snapshot.kind(name) != "histogram":
+                continue
+            quantiles = snapshot.quantiles(name)
+            for key, data in sorted(snapshot.series(name).items()):
+                if not isinstance(data, Mapping):
+                    continue
+                count = int(data.get("count", 0))
+                total = float(data.get("sum", 0.0))
+                series_q = quantiles.get(key, {})
+                table.add_row(
+                    name,
+                    key,
+                    count,
+                    format_float(total / count if count else None, 4),
+                    format_float(series_q.get(0.5), 4),
+                    format_float(series_q.get(0.9), 4),
+                    format_float(series_q.get(0.99), 4),
+                )
+                rows += 1
+        return table.render() if rows else ""
+
+    def _render_clients(self, clients: Sequence[ClientRollup], dt: float) -> str:
+        table = TextTable(
+            "Clients",
+            ["client", "syncs", "Δsyncs", "results", "discomforts",
+             "bytes in", "bytes out", "pushes", "last seen"],
+        )
+        for row in clients:
+            prev = self._prev_clients.get(row.client_id)
+            delta = row.syncs - prev.syncs if prev is not None else None
+            table.add_row(
+                row.client_id[:12],
+                row.syncs,
+                format_float(float(delta) if delta is not None else None, 0),
+                row.results,
+                row.discomforts,
+                _format_bytes(row.bytes_read),
+                _format_bytes(row.bytes_written),
+                row.pushes,
+                format_float(row.last_seen, 1),
+            )
+        return table.render()
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(
+        self,
+        iterations: int = 0,
+        out: TextIO | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clear: bool = True,
+    ) -> int:
+        """Poll and redraw until interrupted (or ``iterations`` frames).
+
+        ``iterations == 0`` runs until Ctrl-C; returns frames drawn.
+        """
+        if out is None:
+            out = sys.stdout  # resolved per call so stream swaps are seen
+        drawn = 0
+        try:
+            while iterations <= 0 or drawn < iterations:
+                frame = self.render_once()
+                out.write((_CLEAR if clear else "") + frame + "\n")
+                out.flush()
+                drawn += 1
+                if iterations > 0 and drawn >= iterations:
+                    break
+                sleep(self.interval)
+        except KeyboardInterrupt:
+            pass
+        return drawn

@@ -37,6 +37,7 @@ __all__ = [
     "MemorySink",
     "NullSink",
     "read_events",
+    "read_events_lenient",
 ]
 
 #: JSON-serializable field value.
@@ -222,3 +223,34 @@ def read_events(source: str | Path | Iterable[str]) -> list[Event]:
         except SerializationError as exc:
             raise SerializationError(f"line {lineno}: {exc}")
     return events
+
+
+def read_events_lenient(
+    source: str | Path | Iterable[str],
+) -> tuple[list[Event], list[str]]:
+    """Best-effort load of a possibly damaged JSON-lines event log.
+
+    Where :func:`read_events` raises, this skips: a missing or
+    unreadable file yields no events, and malformed lines (e.g. a tail
+    truncated by a crashed writer) are dropped individually.  Returns
+    ``(events, problems)`` where ``problems`` holds one human-readable
+    string per skipped item, for the caller to surface as warnings.
+    """
+    if isinstance(source, (str, Path)):
+        try:
+            text = Path(source).read_text(encoding="utf-8")
+        except OSError as exc:
+            return [], [f"cannot read event log {source}: {exc}"]
+        lines: Iterable[str] = text.splitlines()
+    else:
+        lines = source
+    events: list[Event] = []
+    problems: list[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(Event.from_json(line))
+        except SerializationError as exc:
+            problems.append(f"line {lineno}: skipped ({exc})")
+    return events, problems

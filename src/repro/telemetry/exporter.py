@@ -1,65 +1,227 @@
-"""Plaintext metrics endpoint over TCP (``uucs serve --metrics-port``).
+"""Metrics endpoint and push gateway over TCP (``uucs serve --metrics-port``).
 
 Built on the same :mod:`socketserver` machinery as the UUCS TCP
-transport.  Each connection receives one Prometheus-style exposition of
-the registry and is closed.  Both raw TCP peers (``nc host port``) and
-HTTP scrapers (``curl http://host:port/metrics``) work: if the client
-sends an HTTP request line we consume the headers and frame the response
-as ``HTTP/1.0 200``; if it sends nothing, the body is written bare.
+transport.  Both raw TCP peers (``nc host port``) and HTTP clients
+work: a bare connection (or any non-HTTP first line) receives one
+plain exposition and is closed; HTTP requests are routed by path:
+
+* ``GET /metrics`` (or ``/``) — Prometheus-style exposition of the
+  **fleet view**: the local registry federated with the latest pushed
+  snapshot of every client (counter-sum / gauge-last /
+  histogram-bucket-add, see
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.merge`);
+* ``GET /snapshot`` — the same fleet view as a JSON snapshot dict
+  (what ``uucs top`` polls);
+* ``GET /clients`` — per-client server rollups as a JSON list (what
+  ``uucs clients`` renders);
+* ``POST /push`` — the push gateway: body
+  ``{"client_id": ..., "snapshot": {...}}`` replaces that client's
+  contribution to the fleet view;
+* anything else — ``404``.
 """
 
 from __future__ import annotations
 
+import json
 import socketserver
 import threading
+from typing import Mapping
 
+from repro.telemetry.aggregate import ClientRollups
 from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["MetricsExporter"]
+
+_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+_JSON = "application/json; charset=utf-8"
+
+#: Largest accepted ``POST /push`` body (a fleet client's snapshot).
+_MAX_PUSH_BYTES = 8 * 1024 * 1024
 
 
 class _MetricsHandler(socketserver.StreamRequestHandler):
     timeout = 0.5  # the scrape request, if any, arrives immediately
 
-    def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
-        registry: MetricsRegistry = self.server.registry  # type: ignore[attr-defined]
-        http = False
+    def handle(self) -> None:
+        exporter: "MetricsExporter" = self.server.exporter  # type: ignore[attr-defined]
         try:
-            first = self.rfile.readline()
-            if first.split()[:1] in ([b"GET"], [b"HEAD"], [b"POST"]):
-                http = True
-                while self.rfile.readline().strip():
-                    pass  # drain request headers
+            method, path, content_length = self._read_request()
+            if method is None:
+                # Silent or non-HTTP peer: bare plain-TCP exposition.
+                self.wfile.write(exporter.render_fleet().encode("utf-8"))
+                return
+            self._route(exporter, method, path, content_length)
         except (TimeoutError, OSError):
-            pass  # silent peer: plain-TCP scrape
-        body = registry.render().encode("utf-8")
-        if http:
-            self.wfile.write(
-                b"HTTP/1.0 200 OK\r\n"
-                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-                + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
-            )
-        self.wfile.write(body)
+            # Peer reset/closed mid-scrape; nothing sane left to write.
+            return
+
+    # -- request parsing ---------------------------------------------------
+
+    def _read_request(self) -> tuple[str | None, str, int]:
+        """Parse an HTTP request line + headers; (None, "", 0) if raw TCP."""
+        try:
+            first = self.rfile.readline(65536)
+        except (TimeoutError, OSError):
+            return None, "", 0
+        parts = first.split()
+        if parts[:1] not in ([b"GET"], [b"HEAD"], [b"POST"]):
+            return None, "", 0
+        method = parts[0].decode("ascii")
+        target = parts[1].decode("utf-8", errors="replace") if len(parts) > 1 else "/"
+        path = target.split("?", 1)[0]
+        content_length = 0
+        while True:
+            line = self.rfile.readline(65536)
+            if not line.strip():
+                break
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        return method, path, content_length
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(
+        self,
+        exporter: "MetricsExporter",
+        method: str,
+        path: str,
+        content_length: int,
+    ) -> None:
+        if method in ("GET", "HEAD") and path in ("/", "/metrics"):
+            self._respond(200, _TEXT, exporter.render_fleet(), body_suppressed=method == "HEAD")
+        elif method in ("GET", "HEAD") and path == "/snapshot":
+            body = json.dumps(exporter.fleet_snapshot(), sort_keys=True)
+            self._respond(200, _JSON, body, body_suppressed=method == "HEAD")
+        elif method in ("GET", "HEAD") and path == "/clients":
+            body = json.dumps(exporter.client_rows(), sort_keys=True)
+            self._respond(200, _JSON, body, body_suppressed=method == "HEAD")
+        elif method == "POST" and path == "/push":
+            self._handle_push(exporter, content_length)
+        else:
+            self._respond(404, _TEXT, f"unknown path {path!r}\n")
+
+    def _handle_push(self, exporter: "MetricsExporter", content_length: int) -> None:
+        if content_length <= 0 or content_length > _MAX_PUSH_BYTES:
+            self._respond(400, _JSON, '{"error": "push requires a sane Content-Length"}')
+            return
+        body = self.rfile.read(content_length)
+        try:
+            payload = json.loads(body)
+            client_id = payload["client_id"]
+            snapshot = payload["snapshot"]
+            if not isinstance(client_id, str) or not client_id:
+                raise ValueError("client_id must be a non-empty string")
+            if not isinstance(snapshot, dict):
+                raise ValueError("snapshot must be an object")
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            self._respond(400, _JSON, json.dumps({"error": f"bad push payload: {exc}"}))
+            return
+        merged = exporter.record_push(client_id, snapshot)
+        self._respond(200, _JSON, json.dumps({"ok": True, "metrics": merged}))
+
+    def _respond(
+        self,
+        status: int,
+        content_type: str,
+        body: str,
+        body_suppressed: bool = False,
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found"}
+        raw = body.encode("utf-8")
+        self.wfile.write(
+            f"HTTP/1.0 {status} {reasons.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(raw)}\r\n\r\n".encode("ascii")
+        )
+        if not body_suppressed:
+            self.wfile.write(raw)
 
 
 class MetricsExporter:
-    """Serves a metrics registry's exposition on ``host:port``."""
+    """Serves a metrics registry's fleet view on ``host:port``.
+
+    ``rollups`` (optional) backs ``GET /clients``; pushed client
+    snapshots are retained per GUID (latest wins) and federated into
+    every ``/metrics`` and ``/snapshot`` response.
+    """
 
     def __init__(
         self,
         registry: MetricsRegistry,
         host: str = "127.0.0.1",
         port: int = 0,
+        rollups: ClientRollups | None = None,
     ):
+        self._registry = registry
+        self._rollups = rollups
+        self._pushed: dict[str, dict[str, object]] = {}
+        self._pushed_lock = threading.Lock()
         self._tcp = socketserver.ThreadingTCPServer(
             (host, port), _MetricsHandler, bind_and_activate=True
         )
         self._tcp.daemon_threads = True
-        self._tcp.registry = registry  # type: ignore[attr-defined]
+        self._tcp.exporter = self  # type: ignore[attr-defined]
         self._thread = threading.Thread(
             target=self._tcp.serve_forever, name="uucs-metrics", daemon=True
         )
         self._thread.start()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    @property
+    def rollups(self) -> ClientRollups | None:
+        return self._rollups
+
+    # -- fleet federation --------------------------------------------------
+
+    def record_push(self, client_id: str, snapshot: Mapping[str, object]) -> int:
+        """Store ``client_id``'s latest snapshot; returns its metric count."""
+        with self._pushed_lock:
+            self._pushed[client_id] = dict(snapshot)  # replace, don't accumulate
+        if self._rollups is not None:
+            self._rollups.record_push(client_id)
+        return len(snapshot)
+
+    def pushed_clients(self) -> list[str]:
+        with self._pushed_lock:
+            return sorted(self._pushed)
+
+    def fleet_registry(self) -> MetricsRegistry:
+        """The local registry federated with every pushed snapshot.
+
+        With no pushes this is the local registry itself (zero-copy);
+        otherwise a fresh registry built by merging the local snapshot
+        and each client's latest snapshot, in sorted-GUID order.
+        """
+        with self._pushed_lock:
+            pushed = {cid: dict(snap) for cid, snap in self._pushed.items()}
+        if not pushed:
+            return self._registry
+        fleet = MetricsRegistry()
+        fleet.merge(self._registry.snapshot())
+        for client_id in sorted(pushed):
+            fleet.merge(pushed[client_id])
+        fleet.gauge(
+            "uucs_pushed_clients", "Clients with a pushed metrics snapshot."
+        ).set(len(pushed))
+        return fleet
+
+    def render_fleet(self) -> str:
+        return self.fleet_registry().render()
+
+    def fleet_snapshot(self) -> dict[str, dict[str, object]]:
+        return self.fleet_registry().snapshot()
+
+    def client_rows(self) -> list[dict[str, object]]:
+        return self._rollups.as_dicts() if self._rollups is not None else []
+
+    # -- lifecycle ---------------------------------------------------------
 
     @property
     def address(self) -> tuple[str, int]:

@@ -29,6 +29,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "quantile_from_buckets",
 ]
 
 #: Default histogram buckets (seconds), biased toward request latencies.
@@ -52,6 +53,40 @@ def _format_value(value: float) -> str:
     if float(value).is_integer() and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float],
+    cumulative: Sequence[int],
+    total: int,
+    q: float,
+) -> float | None:
+    """Estimate the ``q``-quantile from cumulative histogram buckets.
+
+    ``bounds`` are the finite upper bucket bounds (ascending) and
+    ``cumulative[i]`` is the number of observations ``<= bounds[i]``.
+    The estimate linearly interpolates within the bucket holding the
+    target rank, assuming observations are uniform inside it, so the
+    error is at most one bucket width.  Observations above the highest
+    finite bound cannot be located and clamp to ``bounds[-1]`` (the
+    Prometheus convention).  Returns ``None`` when there are no
+    observations.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValidationError(f"quantile must be in [0, 1], got {q}")
+    if total <= 0:
+        return None
+    rank = q * total
+    prev_cum = 0
+    for i, (bound, cum) in enumerate(zip(bounds, cumulative)):
+        if cum >= rank and cum > prev_cum:
+            # Lower edge: previous bound, or 0 for a positive first bucket
+            # (negative observations in the first bucket clamp to its bound).
+            lower = bounds[i - 1] if i else (0.0 if bound > 0 else bound)
+            fraction = max(0.0, (rank - prev_cum) / (cum - prev_cum))
+            return lower + (bound - lower) * min(1.0, fraction)
+        prev_cum = cum
+    return float(bounds[-1])
 
 
 def _format_labels(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
@@ -268,6 +303,48 @@ class Histogram(_Metric):
             series = self._series.get(self._key(labels))
             return series.total if series is not None else 0.0
 
+    def quantile(self, q: float, **labels: object) -> float | None:
+        """Estimate the ``q``-quantile of the labelled series.
+
+        Linear interpolation within cumulative buckets (see
+        :func:`quantile_from_buckets`); ``None`` with no observations.
+        """
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            if series is None:
+                return None
+            cumulative = list(series.bucket_counts)
+            count = series.count
+        return quantile_from_buckets(self.buckets, cumulative, count, q)
+
+    def add_raw(
+        self,
+        count: int,
+        total: float,
+        bucket_counts: Sequence[int],
+        **labels: object,
+    ) -> None:
+        """Fold pre-aggregated series data in (cumulative bucket counts).
+
+        This is the histogram half of :meth:`MetricsRegistry.merge`:
+        ``bucket_counts`` must align with :attr:`buckets` and already be
+        cumulative, exactly as produced by :meth:`snapshot_value`.
+        """
+        if len(bucket_counts) != len(self.buckets):
+            raise ValidationError(
+                f"histogram {self.name!r} has {len(self.buckets)} buckets, "
+                f"cannot merge {len(bucket_counts)}"
+            )
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            for i, cum in enumerate(bucket_counts):
+                series.bucket_counts[i] += int(cum)
+            series.count += int(count)
+            series.total += float(total)
+
     def render(self) -> str:
         lines = self._header_lines()
         with self._lock:
@@ -384,7 +461,13 @@ class MetricsRegistry:
         return "\n".join(metric.render() for metric in metrics) + ("\n" if metrics else "")
 
     def snapshot(self) -> dict[str, dict[str, object]]:
-        """A plain-dict view: name -> {kind, description, unit, value}."""
+        """A plain-dict view: name -> {kind, description, unit, labels, value}.
+
+        Labelled series appear under ``value`` keyed by the
+        comma-joined label values (in ``labels`` order).  The snapshot
+        is JSON-safe, so it doubles as the push-gateway wire payload
+        and the input to :meth:`merge`.
+        """
         with self._lock:
             metrics = sorted(self._metrics.values(), key=lambda m: m.name)
         return {
@@ -392,7 +475,113 @@ class MetricsRegistry:
                 "kind": metric.kind,
                 "description": metric.description,
                 "unit": metric.unit,
+                "labels": list(metric.labelnames),
                 "value": metric.snapshot_value(),
             }
             for metric in metrics
         }
+
+    def merge(self, snapshot: Mapping[str, Mapping[str, object]]) -> int:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Federation semantics: **counter-sum** (counts add), **gauge-last**
+        (the merged snapshot's value wins), **histogram-bucket-add**
+        (cumulative bucket counts, counts, and sums add; bucket bounds
+        must match).  Merging the snapshots of N registries that each
+        observed a disjoint share of a sample stream yields the same
+        counters and histograms as one registry that observed them all.
+
+        Returns the number of metrics merged.  Raises
+        :class:`~repro.errors.ValidationError` on kind, label, or
+        bucket-bound mismatches.  Caveat: label values containing commas
+        are ambiguous in snapshot form and are rejected here.
+        """
+        merged = 0
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            kind = str(entry.get("kind", ""))
+            labelnames = tuple(str(label) for label in entry.get("labels", ()))
+            description = str(entry.get("description", ""))
+            unit = str(entry.get("unit", ""))
+            value = entry.get("value")
+            if kind == "counter":
+                counter = self.counter(name, description, unit, labelnames)
+                for labelvalues, amount in _scalar_series(name, labelnames, value):
+                    counter.inc(float(amount), **dict(zip(labelnames, labelvalues)))
+            elif kind == "gauge":
+                gauge = self.gauge(name, description, unit, labelnames)
+                for labelvalues, amount in _scalar_series(name, labelnames, value):
+                    gauge.set(float(amount), **dict(zip(labelnames, labelvalues)))
+            elif kind == "histogram":
+                series = _histogram_series(name, labelnames, value)
+                if not series:
+                    continue  # no observations -> no bounds to recover
+                bounds = sorted(float(b) for b in series[0][1].get("buckets", {}))
+                existing = self.get(name)
+                if existing is not None and (
+                    type(existing) is not Histogram
+                    or tuple(bounds) != existing.buckets
+                ):
+                    raise ValidationError(
+                        f"cannot merge histogram {name!r}: bucket bounds or "
+                        f"kind differ from the registered metric"
+                    )
+                histogram = self.histogram(
+                    name, description, unit, labelnames, buckets=bounds
+                )
+                for labelvalues, data in series:
+                    buckets = data.get("buckets", {})
+                    histogram.add_raw(
+                        int(data.get("count", 0)),
+                        float(data.get("sum", 0.0)),
+                        [int(buckets.get(_format_value(b), 0)) for b in bounds],
+                        **dict(zip(labelnames, labelvalues)),
+                    )
+            else:
+                raise ValidationError(
+                    f"cannot merge metric {name!r} of unknown kind {kind!r}"
+                )
+            merged += 1
+        return merged
+
+
+def _split_series_key(
+    name: str, labelnames: Sequence[str], key: str
+) -> tuple[str, ...]:
+    labelvalues = tuple(key.split(","))
+    if len(labelvalues) != len(labelnames):
+        raise ValidationError(
+            f"snapshot series {key!r} of metric {name!r} does not match "
+            f"labels {tuple(labelnames)} (comma in a label value?)"
+        )
+    return labelvalues
+
+
+def _scalar_series(
+    name: str, labelnames: Sequence[str], value: object
+) -> list[tuple[tuple[str, ...], float]]:
+    """Counter/gauge snapshot value -> [(labelvalues, value)]."""
+    if not labelnames:
+        return [((), float(value))]  # type: ignore[arg-type]
+    if not isinstance(value, Mapping):
+        raise ValidationError(f"labelled metric {name!r} needs a series mapping")
+    return [
+        (_split_series_key(name, labelnames, str(key)), float(amount))  # type: ignore[arg-type]
+        for key, amount in sorted(value.items())
+    ]
+
+
+def _histogram_series(
+    name: str, labelnames: Sequence[str], value: object
+) -> list[tuple[tuple[str, ...], Mapping[str, object]]]:
+    """Histogram snapshot value -> [(labelvalues, {count, sum, buckets})]."""
+    if not isinstance(value, Mapping):
+        raise ValidationError(f"histogram {name!r} needs a mapping value")
+    if not labelnames:
+        return [((), value)] if value.get("count", 0) else []
+    out = []
+    for key, data in sorted(value.items()):
+        if not isinstance(data, Mapping):
+            raise ValidationError(f"histogram {name!r} series {key!r} malformed")
+        out.append((_split_series_key(name, labelnames, str(key)), data))
+    return out

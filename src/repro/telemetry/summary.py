@@ -3,8 +3,15 @@
 ``uucs metrics-summary PATH`` renders an event log into the same
 plain-text tables the analysis pipeline uses
 (:mod:`repro.util.tables`): one table of event counts, and one table of
-span statistics (count, error count, total/mean/max duration) grouped by
-span name.
+span statistics (count, error count, total/mean/max duration and
+p50/p90/p99 estimates) grouped by span name.
+
+The quantile columns come from feeding each span's durations into a
+cumulative-bucket :class:`~repro.telemetry.metrics.Histogram` and
+interpolating (:meth:`~repro.telemetry.metrics.Histogram.quantile`), so
+they carry that estimator's bucket-resolution caveat: the estimate is
+exact to within one bucket width, and durations beyond the largest
+bucket bound clamp to it.
 """
 
 from __future__ import annotations
@@ -13,17 +20,27 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.telemetry.events import Event, read_events
+from repro.telemetry.metrics import DEFAULT_BUCKETS, Histogram
 from repro.util.tables import TextTable, format_float
 
-__all__ = ["render_summary", "span_stats", "summarize_events"]
+__all__ = ["SUMMARY_BUCKETS", "render_summary", "span_stats", "summarize_events"]
+
+#: Span-duration buckets: the request-latency defaults plus a long tail
+#: for study/session spans that run minutes to hours.
+SUMMARY_BUCKETS: tuple[float, ...] = DEFAULT_BUCKETS + (
+    30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+)
 
 
 def span_stats(events: Iterable[Event]) -> dict[str, dict[str, float]]:
     """Aggregate ``"span"`` events by span name.
 
-    Returns ``name -> {count, errors, total_s, mean_s, max_s}``.
+    Returns ``name -> {count, errors, total_s, mean_s, max_s, p50_s,
+    p90_s, p99_s}``; the quantile entries are bucket-interpolated
+    estimates (``None`` when a span never closed).
     """
     stats: dict[str, dict[str, float]] = {}
+    histograms: dict[str, Histogram] = {}
     for event in events:
         if event.name != "span":
             continue
@@ -33,13 +50,22 @@ def span_stats(events: Iterable[Event]) -> dict[str, dict[str, float]]:
         entry = stats.setdefault(
             name, {"count": 0, "errors": 0, "total_s": 0.0, "max_s": 0.0}
         )
+        histogram = histograms.get(name)
+        if histogram is None:
+            histogram = histograms[name] = Histogram(
+                "span_seconds", buckets=SUMMARY_BUCKETS
+            )
         entry["count"] += 1
         if outcome != "ok":
             entry["errors"] += 1
         entry["total_s"] += duration
         entry["max_s"] = max(entry["max_s"], duration)
-    for entry in stats.values():
+        histogram.observe(duration)
+    for name, entry in stats.items():
         entry["mean_s"] = entry["total_s"] / entry["count"] if entry["count"] else 0.0
+        histogram = histograms[name]
+        for label, q in (("p50_s", 0.5), ("p90_s", 0.9), ("p99_s", 0.99)):
+            entry[label] = histogram.quantile(q)
     return stats
 
 
@@ -58,7 +84,8 @@ def summarize_events(events: Sequence[Event]) -> str:
     if spans:
         span_table = TextTable(
             "Spans",
-            ["span", "count", "errors", "total s", "mean s", "max s"],
+            ["span", "count", "errors", "total s", "mean s",
+             "p50 s", "p90 s", "p99 s", "max s"],
         )
         for name in sorted(spans):
             entry = spans[name]
@@ -68,6 +95,9 @@ def summarize_events(events: Sequence[Event]) -> str:
                 int(entry["errors"]),
                 format_float(entry["total_s"], 3),
                 format_float(entry["mean_s"], 4),
+                format_float(entry["p50_s"], 4),
+                format_float(entry["p90_s"], 4),
+                format_float(entry["p99_s"], 4),
                 format_float(entry["max_s"], 4),
             )
         parts.append(span_table.render())

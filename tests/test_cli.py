@@ -173,9 +173,37 @@ class TestTelemetryCommands:
         assert "session.run" in out
         assert "study.controlled" in out
 
-    def test_metrics_summary_missing_file(self, tmp_path, capsys):
-        assert run_cli("metrics-summary", str(tmp_path / "nope.jsonl")) == 5
-        assert "error" in capsys.readouterr().err
+    def test_metrics_summary_missing_file_warns_and_exits_zero(
+        self, tmp_path, capsys
+    ):
+        assert run_cli("metrics-summary", str(tmp_path / "nope.jsonl")) == 0
+        captured = capsys.readouterr()
+        assert "warning: cannot read event log" in captured.err
+        assert "Event counts" in captured.out
+
+    def test_metrics_summary_empty_log(self, tmp_path, capsys):
+        log = tmp_path / "empty.jsonl"
+        log.write_text("")
+        assert run_cli("metrics-summary", str(log)) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "Event counts" in captured.out
+
+    def test_metrics_summary_truncated_log_skips_bad_lines(
+        self, tmp_path, capsys
+    ):
+        log = tmp_path / "truncated.jsonl"
+        log.write_text(
+            '{"event": "client.run", "ts": 1.0, "fields": {}}\n'
+            '{"event": "span", "ts": 2.0, "fields": {"span": "hot_sync", '
+            '"duration_s": 0.5}}\n'
+            '{"event": "client.ru'  # crashed writer: truncated tail
+        )
+        assert run_cli("metrics-summary", str(log)) == 0
+        captured = capsys.readouterr()
+        assert "warning: line 3: skipped" in captured.err
+        assert "client.run" in captured.out
+        assert "hot_sync" in captured.out
 
     def test_serve_with_metrics_port(self, tmp_path, capsys):
         assert run_cli("serve", "--root", str(tmp_path / "srv"),
@@ -183,3 +211,46 @@ class TestTelemetryCommands:
                        "--metrics-port", "0") == 0
         out = capsys.readouterr().out
         assert "metrics endpoint on 127.0.0.1" in out
+
+    def test_serve_address_is_scrapable_through_a_pipe(self, tmp_path):
+        """A script piping `uucs serve` must see the bound address while
+        the server is still running (stdout is flushed, not block-buffered)
+        and be able to scrape the ephemeral metrics port it names."""
+        import os
+        import subprocess
+        import sys
+
+        from repro.telemetry.aggregate import fetch_snapshot
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--root", str(tmp_path / "srv"), "--library", "1",
+             "--timeout", "10", "--metrics-port", "0"],
+            stdout=subprocess.PIPE, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            serve_addr = metrics_addr = None
+            for line in proc.stdout:
+                if line.startswith("UUCS server on "):
+                    serve_addr = line.split()[3]
+                elif line.startswith("metrics endpoint on "):
+                    metrics_addr = line.split()[-1]
+                    break
+            assert serve_addr and metrics_addr, \
+                "server never printed its endpoints"
+            mhost, _, mport = metrics_addr.partition(":")
+            assert int(mport) != 0  # the actual bound port, not the request
+            # Drive a client at the served port, then scrape the fleet view.
+            _, _, sport = serve_addr.partition(":")
+            assert run_cli("client", "--port", sport,
+                           "--root", str(tmp_path / "c"),
+                           "--duration", "900", "--interval", "400") == 0
+            snapshot = fetch_snapshot(mhost, int(mport))
+            assert "uucs_server_clients" in snapshot.names()
+            assert snapshot.series("uucs_server_clients") == {"": 1.0}
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -194,3 +194,82 @@ class TestInProcessTransport:
         response = transport.request(Message("ping", {}))
         assert response.type == "pong"
         transport.close()
+
+
+class TestPerClientRollups:
+    def make_run(self, run_id, discomforted=True):
+        from repro.core.feedback import DiscomfortEvent, RunOutcome
+        from repro.core.run import RunContext, TestcaseRun
+
+        outcome = RunOutcome.DISCOMFORT if discomforted else RunOutcome.EXHAUSTED
+        return TestcaseRun(
+            run_id=run_id,
+            testcase_id="a",
+            context=RunContext(user_id="u1", task="word", started_at=1.0),
+            outcome=outcome,
+            end_offset=5.0 if discomforted else 10.0,
+            testcase_duration=10.0,
+            levels_at_end={Resource.CPU: 1.5},
+            feedback=DiscomfortEvent(offset=5.0, levels={Resource.CPU: 1.5})
+            if discomforted else None,
+        ).to_dict()
+
+    def test_sync_accumulates_per_client(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        server = UUCSServer(tmp_path, seed=1, telemetry=Telemetry())
+        server.add_testcases([tc("a")])
+        reg = server.handle(Message("register", {"snapshot": {}}))
+        client_id = reg.payload["client_id"]
+        server.handle(Message("sync", {
+            "client_id": client_id, "have": [],
+            "results": [self.make_run("r1"), self.make_run("r2", False)],
+        })).expect("sync_ok")
+        server.handle(Message("sync", {
+            "client_id": client_id, "have": ["a"], "results": [],
+        })).expect("sync_ok")
+        server.record_client_bytes(client_id, read=64, written=256)
+
+        row = server.rollups.get(client_id)
+        assert row.syncs == 2
+        assert row.results == 2
+        assert row.discomforts == 1
+        assert row.bytes_read == 64
+        assert row.bytes_written == 256
+        metrics = server.telemetry.metrics
+        counter = metrics.counter(
+            "uucs_server_client_discomforts_total", labelnames=("client",)
+        )
+        assert counter.value(client=client_id) == 1
+
+    def test_rollups_idle_when_telemetry_disabled(self, tmp_path):
+        server = UUCSServer(tmp_path, seed=1)
+        server.add_testcases([tc("a")])
+        reg = server.handle(Message("register", {"snapshot": {}}))
+        client_id = reg.payload["client_id"]
+        server.handle(Message("sync", {
+            "client_id": client_id, "have": [], "results": [],
+        })).expect("sync_ok")
+        server.record_client_bytes(client_id, read=10, written=10)
+        assert len(server.rollups) == 0
+
+    def test_tcp_transport_attributes_bytes(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        server = UUCSServer(tmp_path, seed=1, telemetry=Telemetry())
+        server.add_testcases([tc("a")])
+        with TCPServerTransport(server) as listener:
+            with listener.connect() as transport:
+                reg = transport.request(
+                    Message("register", {"snapshot": {}})
+                ).expect("registered")
+                client_id = reg.payload["client_id"]
+                transport.request(
+                    Message("sync", {"client_id": client_id,
+                                     "have": [], "results": [], "want": 1})
+                ).expect("sync_ok")
+        row = server.rollups.get(client_id)
+        assert row is not None
+        assert row.syncs == 1
+        assert row.bytes_read > 0
+        assert row.bytes_written > 0

@@ -138,6 +138,7 @@ class TestExposition:
             "kind": "counter",
             "description": "Xs seen.",
             "unit": "items",
+            "labels": [],
             "value": 3.0,
         }
 
@@ -324,6 +325,139 @@ class TestExporter:
                 t.join()
         assert len(results) == 4
         assert all("c_total 1" in r for r in results)
+
+    def test_concurrent_mixed_http_and_tcp_scrapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(3)
+        with MetricsExporter(reg) as exporter:
+            results = []
+            lock = threading.Lock()
+
+            def scrape(request):
+                body = self._scrape(exporter.address, request)
+                with lock:
+                    results.append(body)
+
+            requests = [b"", b"GET /metrics HTTP/1.0\r\n\r\n"] * 4
+            threads = [
+                threading.Thread(target=scrape, args=(req,)) for req in requests
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(results) == 8
+        assert all("c_total 3" in r for r in results)
+
+    def test_unknown_path_is_404(self):
+        reg = MetricsRegistry()
+        with MetricsExporter(reg) as exporter:
+            body = self._scrape(
+                exporter.address, b"GET /definitely/not/here HTTP/1.0\r\n\r\n"
+            )
+        assert body.startswith("HTTP/1.0 404")
+        assert "unknown path" in body
+
+    def test_head_request_suppresses_body(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc()
+        with MetricsExporter(reg) as exporter:
+            reply = self._scrape(
+                exporter.address, b"HEAD /metrics HTTP/1.0\r\n\r\n"
+            )
+        assert reply.startswith("HTTP/1.0 200 OK")
+        assert "c_total" not in reply.split("\r\n\r\n", 1)[1]
+
+    def test_connection_reset_mid_scrape_does_not_kill_exporter(self):
+        import struct
+
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc()
+        with MetricsExporter(reg) as exporter:
+            # Open, send half a request line, then slam the door with an
+            # RST (SO_LINGER 0) so the handler's read/write hits an OSError.
+            for _ in range(3):
+                sock = socket.create_connection(exporter.address, timeout=5.0)
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                sock.sendall(b"GET /metr")
+                sock.close()
+            # The exporter must still serve clean scrapes afterwards.
+            body = self._scrape(
+                exporter.address, b"GET /metrics HTTP/1.0\r\n\r\n"
+            )
+        assert "c_total 1" in body
+
+    def test_snapshot_endpoint_serves_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "C.").inc(2)
+        with MetricsExporter(reg) as exporter:
+            reply = self._scrape(
+                exporter.address, b"GET /snapshot HTTP/1.0\r\n\r\n"
+            )
+        body = reply.split("\r\n\r\n", 1)[1]
+        snapshot = json.loads(body)
+        assert snapshot["c_total"]["value"] == 2
+
+    def test_clients_endpoint_without_rollups_is_empty_list(self):
+        with MetricsExporter(MetricsRegistry()) as exporter:
+            reply = self._scrape(
+                exporter.address, b"GET /clients HTTP/1.0\r\n\r\n"
+            )
+        assert json.loads(reply.split("\r\n\r\n", 1)[1]) == []
+
+    def test_push_bad_payloads_are_400(self):
+        with MetricsExporter(MetricsRegistry()) as exporter:
+            host, port = exporter.address
+            for body in (b"{nope", b'{"snapshot": {}}', b'{"client_id": ""}'):
+                request = (
+                    b"POST /push HTTP/1.0\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                reply = self._scrape(exporter.address, request)
+                assert reply.startswith("HTTP/1.0 400"), reply
+            # no Content-Length at all
+            reply = self._scrape(exporter.address, b"POST /push HTTP/1.0\r\n\r\n")
+            assert reply.startswith("HTTP/1.0 400")
+
+    def test_push_federates_into_fleet_view(self):
+        from repro.telemetry import ClientRollups, push_snapshot
+
+        server_reg = MetricsRegistry()
+        server_reg.counter("uucs_server_syncs_total", "S.").inc(5)
+        rollups = ClientRollups()
+        with MetricsExporter(server_reg, rollups=rollups) as exporter:
+            host, port = exporter.address
+            for n, client in enumerate(("guid-a", "guid-b"), start=1):
+                client_reg = MetricsRegistry()
+                client_reg.counter("uucs_client_runs_total", "R.").inc(10 * n)
+                client_reg.gauge("uucs_client_clock").set(float(n))
+                reply = push_snapshot(host, port, client, client_reg.snapshot())
+                assert reply["ok"] is True
+            body = self._scrape(
+                exporter.address, b"GET /metrics HTTP/1.0\r\n\r\n"
+            )
+            # counters sum across clients; the local registry is untouched
+            assert "uucs_client_runs_total 30" in body
+            assert "uucs_server_syncs_total 5" in body
+            assert "uucs_pushed_clients 2" in body
+            assert exporter.pushed_clients() == ["guid-a", "guid-b"]
+            assert server_reg.get("uucs_client_runs_total") is None
+            # re-pushing replaces (cumulative snapshots are idempotent)
+            client_reg = MetricsRegistry()
+            client_reg.counter("uucs_client_runs_total", "R.").inc(15)
+            push_snapshot(host, port, "guid-a", client_reg.snapshot())
+            body = self._scrape(
+                exporter.address, b"GET /metrics HTTP/1.0\r\n\r\n"
+            )
+            assert "uucs_client_runs_total 35" in body
+            # rollups saw the pushes
+            assert rollups.get("guid-a").pushes == 2
+            assert rollups.get("guid-b").pushes == 1
 
 
 class TestSummary:
