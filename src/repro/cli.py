@@ -201,9 +201,15 @@ def _cmd_client(args: argparse.Namespace) -> int:
     """Run a UUCS client against a TCP server for a simulated span."""
     from repro.apps import ALL_TASKS
     from repro.client.client import ClientConfig, UUCSClient
+    from repro.faults import (
+        FaultInjectingTransport,
+        FaultPlan,
+        ReconnectingTCPTransport,
+        RetryingTransport,
+        RetryPolicy,
+    )
     from repro.machine.machine import SimulatedMachine
     from repro.machine.specs import MachineSpec
-    from repro.server.server import TCPClientTransport
     from repro.users.mechanistic import MechanisticUser
     from repro.users.population import sample_profile
     from repro.util.rng import derive_rng
@@ -227,7 +233,24 @@ def _cmd_client(args: argparse.Namespace) -> int:
         push_to = (host, int(port))
         if telemetry is None:
             telemetry = Telemetry()  # pushing implies collecting metrics
-    transport = TCPClientTransport(args.host, args.port)
+    # Resilient transport stack, innermost first: redial dropped
+    # connections, optionally inject chaos, then retry around the lot.
+    transport = ReconnectingTCPTransport(
+        args.host, args.port, telemetry=telemetry
+    )
+    if args.chaos:
+        transport = FaultInjectingTransport(
+            transport,
+            FaultPlan.parse(args.chaos),
+            seed=derive_rng(args.chaos_seed, "cli-client-chaos"),
+            telemetry=telemetry,
+        )
+    transport = RetryingTransport(
+        transport,
+        RetryPolicy(max_attempts=max(1, args.retries)),
+        seed=derive_rng(args.seed, "cli-client-retry"),
+        telemetry=telemetry,
+    )
     try:
         client = UUCSClient(
             ClientConfig(
@@ -240,24 +263,41 @@ def _cmd_client(args: argparse.Namespace) -> int:
             telemetry=telemetry,
         )
         client.register(spec.snapshot())
-        downloaded, _ = client.hot_sync()
+        first = client.try_sync()
+        if not first.ok:
+            _print(f"warning: initial sync failed: {first.error}", err=True)
+        if not len(client.testcases):
+            raise ProtocolError(
+                "no testcases available (sync failed and the local store "
+                "is empty)"
+            )
         _print(f"registered {client.client_id[:8]}..., "
-              f"downloaded {downloaded} testcases")
+              f"downloaded {first.downloaded} testcases")
         task = ALL_TASKS[int(rng.integers(0, len(ALL_TASKS)))]
         user = MechanisticUser(profile, task.jitter_sensitivity, seed=rng)
         runs = client.run_random(
             args.duration, user, machine.interactivity_model(task),
             task=task.name,
         )
-        _, uploaded = client.hot_sync()
+        final = client.try_sync()
         discomforts = sum(r.discomforted for r in runs)
         _print(f"executed {len(runs)} runs as '{task.name}' "
-              f"({discomforts} discomforts), uploaded {uploaded}")
+              f"({discomforts} discomforts), uploaded {final.uploaded}")
+        if not final.ok:
+            _print(
+                f"warning: final sync failed ({final.pending} results "
+                f"queued locally for the next run): {final.error}",
+                err=True,
+            )
         if push_to is not None:
             pushed = client.push_metrics(*push_to)
-            _print(f"pushed {pushed} metrics to {push_to[0]}:{push_to[1]}")
-        if args.telemetry:
-            _print(f"telemetry event log -> {args.telemetry}")
+            if pushed < 0:
+                _print(
+                    f"warning: metrics push to "
+                    f"{push_to[0]}:{push_to[1]} failed", err=True,
+                )
+            else:
+                _print(f"pushed {pushed} metrics to {push_to[0]}:{push_to[1]}")
     finally:
         transport.close()
         if telemetry is not None:
@@ -295,6 +335,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     transport = TCPServerTransport(server, args.host, args.port)
     host, port = transport.address
     _print(f"UUCS server on {host}:{port} ({len(server.testcases)} testcases)")
+    chaos = None
+    if args.chaos:
+        from repro.faults import ChaosTCPProxy, FaultPlan
+        from repro.util.rng import derive_rng
+
+        chaos = ChaosTCPProxy(
+            (host, port),
+            FaultPlan.parse(args.chaos),
+            seed=derive_rng(args.chaos_seed, "serve-chaos"),
+            host=args.host,
+            telemetry=telemetry,
+        )
+        chost, cport = chaos.address
+        _print(f"chaos proxy on {chost}:{cport} (faults: {args.chaos})")
     exporter = None
     if args.metrics_port is not None:
         exporter = MetricsExporter(
@@ -312,6 +366,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if chaos is not None:
+            chaos.close()
         transport.close()
         if exporter is not None:
             exporter.close()
@@ -428,6 +484,16 @@ def build_parser() -> argparse.ArgumentParser:
     cli_client.add_argument("--push-gateway", default="", metavar="HOST:PORT",
                             help="POST the client's metrics snapshot to this "
                                  "metrics endpoint after the run")
+    cli_client.add_argument("--retries", type=int, default=4,
+                            help="attempts per request before giving up "
+                                 "(1 = no retries)")
+    cli_client.add_argument("--chaos", default="", metavar="SPEC",
+                            help="inject transport faults, e.g. "
+                                 "'drop=0.2,dup=0.1,disconnect=0.05' "
+                                 "(knobs: drop, drop-ack, dup, corrupt, "
+                                 "truncate, disconnect, delay, delay_s, all)")
+    cli_client.add_argument("--chaos-seed", type=int, default=0,
+                            help="seed for the fault-injection schedule")
     cli_client.set_defaults(func=_cmd_client)
 
     study = sub.add_parser("study", help="run the controlled study")
@@ -466,6 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "port (0 = ephemeral)")
     serve.add_argument("--telemetry", default="", metavar="PATH",
                        help="write a JSON-lines telemetry event log to PATH")
+    serve.add_argument("--chaos", default="", metavar="SPEC",
+                       help="also run a fault-injecting proxy in front of "
+                            "the server (same SPEC as client --chaos); its "
+                            "address is printed as 'chaos proxy on ...'")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for the proxy's fault schedule")
     serve.set_defaults(func=_cmd_serve)
 
     summary = sub.add_parser(

@@ -8,7 +8,7 @@ arrivals (Internet-wide mode) or from a predefined script (controlled-study
 mode).
 """
 
-from repro.client.client import ClientConfig, UUCSClient
+from repro.client.client import ClientConfig, SyncOutcome, UUCSClient
 from repro.client.scheduler import PoissonArrivals
 
-__all__ = ["ClientConfig", "PoissonArrivals", "UUCSClient"]
+__all__ = ["ClientConfig", "PoissonArrivals", "SyncOutcome", "UUCSClient"]

@@ -16,6 +16,7 @@ Two execution modes (§2):
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping, Protocol, Sequence
@@ -27,13 +28,13 @@ from repro.core.session import (
     run_simulated_session,
 )
 from repro.core.testcase import Testcase
-from repro.errors import ProtocolError, StoreError, ValidationError
-from repro.server.protocol import Message
+from repro.errors import ProtocolError, ReproError, StoreError, ValidationError
+from repro.server.protocol import PROTOCOL_VERSION, Message
 from repro.stores import ResultStore, TestcaseStore
 from repro.telemetry import Telemetry, get_telemetry
 from repro.util.rng import SeedLike, ensure_rng
 
-__all__ = ["ClientConfig", "Transport", "UUCSClient"]
+__all__ = ["ClientConfig", "SyncOutcome", "Transport", "UUCSClient"]
 
 
 class Transport(Protocol):
@@ -76,6 +77,23 @@ class _Identity:
         return bool(self.client_id)
 
 
+@dataclass(frozen=True)
+class SyncOutcome:
+    """What one fault-tolerant sync attempt achieved (see
+    :meth:`UUCSClient.try_sync`)."""
+
+    #: The server acknowledged the upload batch.
+    ok: bool
+    #: Fresh testcases added to the local store.
+    downloaded: int = 0
+    #: Results drained from the local queue (0 when unacked).
+    uploaded: int = 0
+    #: Results still queued locally after the attempt.
+    pending: int = 0
+    #: The failure, when ``ok`` is False ("" on success).
+    error: str = ""
+
+
 class UUCSClient:
     """A UUCS client instance bound to a directory and a transport."""
 
@@ -94,6 +112,9 @@ class UUCSClient:
         self.results = ResultStore(root / "results")
         self._identity_path = root / "identity"
         self._identity = _Identity(self._load_identity())
+        self._sync_state_path = root / "sync_state.json"
+        self._acked_seq = self._load_sync_state()
+        self._server_protocol = 0  # unknown until the first exchange
         self._clock = 0.0
         self._telemetry = telemetry
 
@@ -108,6 +129,32 @@ class UUCSClient:
         if self._identity_path.exists():
             return self._identity_path.read_text().strip()
         return ""
+
+    def _load_sync_state(self) -> int:
+        if not self._sync_state_path.exists():
+            return 0
+        try:
+            data = json.loads(self._sync_state_path.read_text())
+            return max(0, int(data.get("acked_seq", 0)))
+        except (json.JSONDecodeError, TypeError, ValueError):
+            # A torn write costs at most one seq reuse, which the server's
+            # run-id dedupe absorbs.
+            return 0
+
+    def _save_sync_state(self) -> None:
+        self._sync_state_path.write_text(
+            json.dumps({"acked_seq": self._acked_seq}) + "\n"
+        )
+
+    @property
+    def acked_seq(self) -> int:
+        """The highest sync sequence number the server has acknowledged."""
+        return self._acked_seq
+
+    @property
+    def server_protocol(self) -> int:
+        """Protocol revision the server last announced (0 = unknown/v1)."""
+        return self._server_protocol
 
     @property
     def client_id(self) -> str:
@@ -142,6 +189,9 @@ class UUCSClient:
         client_id = response.payload.get("client_id")
         if not isinstance(client_id, str) or not client_id:
             raise ProtocolError("server returned no client_id")
+        announced = response.payload.get("protocol")
+        if isinstance(announced, int) and not isinstance(announced, bool):
+            self._server_protocol = announced
         self._identity = _Identity(client_id)
         self._identity_path.write_text(client_id + "\n")
         return client_id
@@ -151,8 +201,15 @@ class UUCSClient:
     def hot_sync(self) -> tuple[int, int]:
         """One hot sync: upload pending results, download new testcases.
 
-        Returns ``(downloaded, uploaded)`` counts.  The local result store
-        is only drained once the server acknowledges the upload.
+        Returns ``(downloaded, uploaded)`` counts.  Every sync request is
+        stamped with a monotonically increasing ``sync_seq`` (persisted
+        across restarts); retries of an unacknowledged batch reuse the
+        same seq, so a v2 server recognizes replays and its run-id dedupe
+        commits nothing twice.  The local result store is only drained
+        once the server acknowledges the batch — by echoing the seq (v2)
+        or by accepting the full count (v1).  A short acceptance count
+        from a v2 server means duplicates were reconciled away, not that
+        data was lost, so it no longer raises.
         """
         if self._transport is None:
             raise ProtocolError("client has no transport (offline)")
@@ -167,6 +224,7 @@ class UUCSClient:
                 if not self._config.share_load_traces:
                     record["load_trace"] = {}
                 uploads.append(record)
+            sync_seq = self._acked_seq + 1
             response = self._transport.request(
                 Message(
                     "sync",
@@ -175,15 +233,62 @@ class UUCSClient:
                         "have": self.testcases.ids(),
                         "results": uploads,
                         "want": self._config.sync_want,
+                        "protocol": PROTOCOL_VERSION,
+                        "sync_seq": sync_seq,
                     },
                 )
             ).expect("sync_ok")
+            announced = response.payload.get("protocol")
+            if isinstance(announced, int) and not isinstance(announced, bool):
+                self._server_protocol = announced
             accepted = int(response.payload.get("accepted", 0))
-            if accepted != len(uploads):
-                raise ProtocolError(
-                    f"server accepted {accepted} of {len(uploads)} results"
+            echoed = response.payload.get("sync_seq")
+            acked = (
+                echoed == sync_seq
+                if echoed is not None
+                # v1 server: no seq echo; the only ack signal is a full
+                # acceptance count.
+                else accepted == len(uploads)
+            )
+            uploaded = 0
+            if acked:
+                duplicates = int(response.payload.get("duplicates", 0) or 0)
+                self.results.drain()
+                uploaded = len(uploads)
+                self._acked_seq = sync_seq
+                self._save_sync_state()
+                if duplicates:
+                    # Reconciled, not lost: the server already held these
+                    # run_ids from an earlier (ack-lost) attempt.
+                    telemetry.emit(
+                        "client.sync_reconcile",
+                        client=self.client_id,
+                        sync_seq=sync_seq,
+                        duplicates=duplicates,
+                        accepted=accepted,
+                    )
+                    if telemetry.enabled:
+                        telemetry.metrics.counter(
+                            "uucs_client_reconciled_results_total",
+                            "Uploads the server reconciled as duplicates "
+                            "of an earlier ack-lost sync.",
+                        ).inc(duplicates)
+            else:
+                # The batch stays queued for the next sync; a v2 server
+                # will dedupe whatever did land.
+                telemetry.emit(
+                    "client.sync_unacked",
+                    client=self.client_id,
+                    sync_seq=sync_seq,
+                    accepted=accepted,
+                    pending=len(uploads),
                 )
-            self.results.drain()
+                if telemetry.enabled:
+                    telemetry.metrics.counter(
+                        "uucs_client_unacked_syncs_total",
+                        "Syncs whose upload batch was not acknowledged "
+                        "(results kept queued).",
+                    ).inc()
             shipped = response.payload.get("testcases", [])
             if not isinstance(shipped, list):
                 raise ProtocolError("'testcases' must be a list")
@@ -193,7 +298,7 @@ class UUCSClient:
                 if testcase.testcase_id not in self.testcases:
                     self.testcases.add(testcase)
                     downloaded += 1
-            span.annotate(downloaded=downloaded, uploaded=len(uploads))
+            span.annotate(downloaded=downloaded, uploaded=uploaded)
             if telemetry.enabled:
                 metrics = telemetry.metrics
                 metrics.counter(
@@ -206,12 +311,45 @@ class UUCSClient:
                 metrics.counter(
                     "uucs_client_uploaded_total",
                     "Run results uploaded over all hot syncs.",
-                ).inc(len(uploads))
-            return downloaded, len(uploads)
+                ).inc(uploaded)
+            return downloaded, uploaded
+
+    def try_sync(self) -> SyncOutcome:
+        """A hot sync that degrades gracefully instead of raising.
+
+        Run loops call this so one flaky link cannot wedge a borrowing
+        client: on any library failure the pending results stay queued
+        locally, a ``client.sync_failed`` event and the
+        ``uucs_client_sync_failures_total`` counter record the fault, and
+        the caller gets a :class:`SyncOutcome` to act on (or ignore).
+        """
+        telemetry = self.telemetry
+        try:
+            downloaded, uploaded = self.hot_sync()
+        except ReproError as exc:
+            pending = len(self.results)
+            telemetry.emit(
+                "client.sync_failed",
+                client=self.client_id,
+                error=str(exc),
+                pending=pending,
+            )
+            if telemetry.enabled:
+                telemetry.metrics.counter(
+                    "uucs_client_sync_failures_total",
+                    "Hot syncs that failed outright (results kept queued).",
+                ).inc()
+            return SyncOutcome(ok=False, pending=pending, error=str(exc))
+        return SyncOutcome(
+            ok=True,
+            downloaded=downloaded,
+            uploaded=uploaded,
+            pending=len(self.results),
+        )
 
     # -- push gateway -----------------------------------------------------------
 
-    def push_metrics(self, host: str, port: int) -> int:
+    def push_metrics(self, host: str, port: int, strict: bool = False) -> int:
         """POST this client's metrics snapshot to a push gateway.
 
         The gateway is a :class:`~repro.telemetry.exporter.MetricsExporter`
@@ -219,13 +357,36 @@ class UUCSClient:
         client's GUID (or its user id before registration) and federated
         into the server's fleet view.  Returns the number of metrics
         pushed.
+
+        Pushes are best-effort by default: metrics are an observability
+        side channel, so a dead gateway must never take down a borrowing
+        client.  Failures return ``-1`` after emitting a
+        ``client.push_failed`` event and bumping
+        ``uucs_client_push_failures_total``; pass ``strict=True`` to
+        raise instead.
         """
         from repro.telemetry.aggregate import push_snapshot
 
         telemetry = self.telemetry
         snapshot = telemetry.metrics.snapshot()
         identity = self.client_id or self._config.user_id
-        response = push_snapshot(host, int(port), identity, snapshot)
+        try:
+            response = push_snapshot(host, int(port), identity, snapshot)
+        except (ReproError, OSError) as exc:
+            if strict:
+                raise
+            telemetry.emit(
+                "client.push_failed",
+                gateway=f"{host}:{port}",
+                error=str(exc),
+            )
+            if telemetry.enabled:
+                telemetry.metrics.counter(
+                    "uucs_client_push_failures_total",
+                    "Metrics pushes that failed (gateway unreachable or "
+                    "erroring); the client carries on.",
+                ).inc()
+            return -1
         if telemetry.enabled:
             telemetry.emit(
                 "client.push",

@@ -28,6 +28,17 @@ class ProtocolError(ReproError):
     """A client/server protocol exchange was malformed or out of order."""
 
 
+class TransportError(ProtocolError):
+    """A request could not be carried to the server (or its response back).
+
+    Transport failures are *transient by presumption* — the request may or
+    may not have reached the server — so they are the retryable subset of
+    :class:`ProtocolError`.  Idempotent hot sync (``sync_seq`` plus
+    server-side run-id dedupe) makes blind resends after a
+    :class:`TransportError` safe.
+    """
+
+
 class RegistrationError(ProtocolError):
     """A client registration was rejected or inconsistent."""
 

@@ -1,0 +1,39 @@
+"""Fault tolerance and fault injection for the client/server path.
+
+The paper's Internet-wide deployment ran on volunteer machines whose
+links drop, stall, and duplicate traffic; this package makes the
+reproduction survive that environment and *prove* it:
+
+* :class:`RetryingTransport` — per-request deadlines, capped exponential
+  backoff with seeded jitter, and a lifetime retry budget;
+* :class:`ReconnectingTCPTransport` — re-dials dropped TCP connections
+  on the next request;
+* :class:`FaultPlan` / :class:`FaultInjectingTransport` — seeded
+  probabilistic fault injection at the transport seam (drop, delay,
+  duplicate, truncate, corrupt, disconnect);
+* :class:`ChaosTCPProxy` — the same knobs applied to real sockets, for
+  soak tests and ``uucs serve --chaos`` demos.
+
+Layering convention, innermost first::
+
+    ReconnectingTCPTransport (dial/redial)
+      -> FaultInjectingTransport (chaos, tests/demos only)
+        -> RetryingTransport (resend policy)
+
+Retries are safe because hot sync is idempotent: clients stamp batches
+with ``sync_seq`` and the server dedupes uploads by ``run_id``.
+"""
+
+from repro.faults.injection import FaultInjectingTransport, FaultPlan
+from repro.faults.proxy import ChaosTCPProxy
+from repro.faults.reconnect import ReconnectingTCPTransport
+from repro.faults.retry import RetryingTransport, RetryPolicy
+
+__all__ = [
+    "ChaosTCPProxy",
+    "FaultInjectingTransport",
+    "FaultPlan",
+    "ReconnectingTCPTransport",
+    "RetryPolicy",
+    "RetryingTransport",
+]

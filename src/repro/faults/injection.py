@@ -1,0 +1,223 @@
+"""Seeded fault injection at the transport seam.
+
+:class:`FaultPlan` is a bundle of probability knobs, one per fault kind;
+:class:`FaultInjectingTransport` wraps any client transport and rolls the
+plan's dice — in a fixed order, from one seeded RNG — around every
+request.  The same seed therefore produces the same fault schedule, which
+is what lets the chaos soak tests assert exact outcomes ("the merged
+store equals the fault-free store") instead of statistical ones.
+
+Fault kinds and what they model:
+
+========================  ====================================================
+``drop_request``          the request never reaches the server
+``disconnect``            the connection dies before the request is sent
+``duplicate``             the request is delivered twice (server must dedupe)
+``drop_response``         the server handled the request but the ack was lost
+``truncate``              the response line was cut mid-byte
+``corrupt``               the response line was damaged in flight
+``delay``                 the exchange stalls for ``delay_s`` seconds first
+========================  ====================================================
+
+``drop_response`` after a ``sync`` is the poison scenario this PR exists
+for: the server has already committed the uploads, the client never sees
+the ack, and a naive retry would double-count every result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields
+from typing import Callable, Protocol
+
+from repro.errors import TransportError, ValidationError
+from repro.server.protocol import Message
+from repro.telemetry import Telemetry, get_telemetry
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = ["FaultPlan", "FaultInjectingTransport"]
+
+
+class _Transport(Protocol):
+    def request(self, message: Message) -> Message: ...
+
+
+#: Spec aliases accepted by :meth:`FaultPlan.parse`.
+_SPEC_KEYS = {
+    "drop": "drop_request",
+    "drop_request": "drop_request",
+    "drop_response": "drop_response",
+    "drop-ack": "drop_response",
+    "dup": "duplicate",
+    "duplicate": "duplicate",
+    "corrupt": "corrupt",
+    "truncate": "truncate",
+    "disconnect": "disconnect",
+    "delay": "delay",
+    "delay_s": "delay_s",
+    "all": "all",
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-request fault probabilities (all default to 0 = no faults)."""
+
+    drop_request: float = 0.0
+    drop_response: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    truncate: float = 0.0
+    disconnect: float = 0.0
+    delay: float = 0.0
+    #: Seconds a ``delay`` fault stalls the exchange.
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "delay_s":
+                if value < 0:
+                    raise ValidationError(f"delay_s must be >= 0, got {value}")
+            elif not 0.0 <= value <= 1.0:
+                raise ValidationError(
+                    f"fault probability {f.name} must be in [0, 1], got {value}"
+                )
+
+    @property
+    def active(self) -> bool:
+        """Whether any knob is turned up at all."""
+        return any(
+            getattr(self, f.name) > 0.0 for f in fields(self) if f.name != "delay_s"
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a CLI spec like ``"drop=0.2,dup=0.1"``.
+
+        Keys: ``drop`` (request loss), ``drop-ack``/``drop_response``
+        (response loss), ``dup``, ``corrupt``, ``truncate``,
+        ``disconnect``, ``delay`` (+ ``delay_s`` seconds), or ``all=P``
+        to set every probability knob at once.
+        """
+        values: dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip().lower()
+            if not sep:
+                raise ValidationError(
+                    f"chaos spec entries need KEY=VALUE, got {part!r}"
+                )
+            if key not in _SPEC_KEYS:
+                raise ValidationError(
+                    f"unknown chaos knob {key!r} "
+                    f"(valid: {', '.join(sorted(set(_SPEC_KEYS)))})"
+                )
+            try:
+                value = float(raw)
+            except ValueError as exc:
+                raise ValidationError(
+                    f"chaos knob {key!r} needs a number, got {raw!r}"
+                ) from exc
+            if _SPEC_KEYS[key] == "all":
+                for name in (
+                    "drop_request", "drop_response", "duplicate",
+                    "corrupt", "truncate", "disconnect", "delay",
+                ):
+                    values[name] = value
+            else:
+                values[_SPEC_KEYS[key]] = value
+        return cls(**values)
+
+
+class FaultInjectingTransport:
+    """Wrap a transport with seeded, probabilistic fault injection.
+
+    The dice rolls happen in a fixed order (delay, drop_request,
+    disconnect, duplicate, drop_response, truncate, corrupt) so a given
+    seed always yields the same schedule regardless of which faults are
+    enabled — turning one knob to zero does not shift the others' draws
+    (every probability is still rolled, just never triggers at 0).
+    """
+
+    def __init__(
+        self,
+        inner: _Transport,
+        plan: FaultPlan,
+        seed: SeedLike = None,
+        telemetry: Telemetry | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self._inner = inner
+        self._plan = plan
+        self._rng = ensure_rng(seed)
+        self._telemetry = telemetry
+        self._sleep = sleep
+        #: Injected-fault counts by kind (observable).
+        self.injected: dict[str, int] = {}
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._telemetry if self._telemetry is not None else get_telemetry()
+
+    def _hit(self, probability: float) -> bool:
+        # Always draw, so fault schedules are seed-stable across knob
+        # changes; compare strictly below p (p=0 never fires, p=1 always).
+        return float(self._rng.random()) < probability
+
+    def _note(self, kind: str, message: Message) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "uucs_faults_injected_total",
+                "Faults injected by the chaos transport, by kind.",
+                labelnames=("kind",),
+            ).inc(kind=kind)
+            telemetry.emit("fault.injected", kind=kind, type=message.type)
+
+    def request(self, message: Message) -> Message:
+        plan = self._plan
+        if self._hit(plan.delay):
+            self._note("delay", message)
+            if plan.delay_s > 0.0:
+                self._sleep(plan.delay_s)
+        if self._hit(plan.drop_request):
+            self._note("drop_request", message)
+            raise TransportError("injected fault: request dropped")
+        if self._hit(plan.disconnect):
+            self._note("disconnect", message)
+            close = getattr(self._inner, "close", None)
+            if callable(close):
+                close()
+            raise TransportError("injected fault: connection dropped")
+        if self._hit(plan.duplicate):
+            self._note("duplicate", message)
+            self._inner.request(message)  # first delivery's response lost
+        response = self._inner.request(message)
+        if self._hit(plan.drop_response):
+            self._note("drop_response", message)
+            raise TransportError(
+                "injected fault: response dropped (server committed, ack lost)"
+            )
+        if self._hit(plan.truncate):
+            self._note("truncate", message)
+            raise TransportError("injected fault: response truncated")
+        if self._hit(plan.corrupt):
+            self._note("corrupt", message)
+            raise TransportError("injected fault: response corrupted")
+        return response
+
+    def close(self) -> None:
+        close = getattr(self._inner, "close", None)
+        if callable(close):
+            close()
+
+    def __enter__(self) -> "FaultInjectingTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,157 @@
+"""A chaos TCP proxy for the UUCS wire protocol.
+
+:class:`ChaosTCPProxy` sits between real sockets — clients dial the proxy,
+the proxy dials the real server — and injects faults at the *byte* level,
+where they genuinely happen: a dropped ack is a response line that the
+server already wrote but the client never receives; a truncated response
+is half a line followed by a dead connection.  This exercises failure
+modes the in-process :class:`~repro.faults.injection.FaultInjectingTransport`
+can only approximate, and it works against any client (``uucs client
+--port <proxy port>``) without code changes.
+
+The proxy shares one seeded RNG across connections (lock-guarded), so a
+single sequential client sees a deterministic fault schedule — the basis
+of the seeded soak tests.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.faults.injection import FaultPlan
+from repro.telemetry import Telemetry, get_telemetry
+from repro.util.rng import SeedLike, ensure_rng
+
+__all__ = ["ChaosTCPProxy"]
+
+
+class ChaosTCPProxy:
+    """Fault-injecting line proxy in front of a UUCS TCP server."""
+
+    def __init__(
+        self,
+        upstream: tuple[str, int],
+        plan: FaultPlan,
+        seed: SeedLike = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry: Telemetry | None = None,
+    ):
+        self._upstream = (upstream[0], int(upstream[1]))
+        self._plan = plan
+        self._rng = ensure_rng(seed)
+        self._rng_lock = threading.Lock()
+        self._telemetry = telemetry
+        self._closing = False
+        #: Injected-fault counts by kind (observable).
+        self.injected: dict[str, int] = {}
+        self._listener = socket.create_server((host, port))
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="uucs-chaos-proxy", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._telemetry if self._telemetry is not None else get_telemetry()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._listener.getsockname()[:2]
+        return str(host), int(port)
+
+    def _hit(self, probability: float) -> bool:
+        with self._rng_lock:
+            return float(self._rng.random()) < probability
+
+    def _note(self, kind: str) -> None:
+        with self._rng_lock:
+            self.injected[kind] = self.injected.get(kind, 0) + 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "uucs_chaos_faults_total",
+                "Faults injected by the chaos proxy, by kind.",
+                labelnames=("kind",),
+            ).inc(kind=kind)
+            telemetry.emit("chaos.injected", kind=kind)
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, client: socket.socket) -> None:
+        plan = self._plan
+        try:
+            server = socket.create_connection(self._upstream, timeout=10.0)
+        except OSError:
+            client.close()
+            return
+        try:
+            client_lines = client.makefile("rb")
+            server_lines = server.makefile("rb")
+            for line in client_lines:
+                if not line.strip():
+                    continue
+                if self._hit(plan.drop_request):
+                    # The request evaporates; killing the connection makes
+                    # the loss visible to the client immediately instead
+                    # of stalling it on a read timeout.
+                    self._note("drop_request")
+                    return
+                if self._hit(plan.disconnect):
+                    self._note("disconnect")
+                    return
+                if self._hit(plan.duplicate):
+                    # Deliver twice; swallow the first response so the
+                    # client sees exactly one (the server saw two).
+                    self._note("duplicate")
+                    server.sendall(line)
+                    if not server_lines.readline():
+                        return
+                server.sendall(line)
+                response = server_lines.readline()
+                if not response:
+                    return  # upstream died; drop the client too
+                if self._hit(plan.drop_response):
+                    # The server has committed; the ack dies here.
+                    self._note("drop_response")
+                    return
+                if self._hit(plan.truncate):
+                    self._note("truncate")
+                    client.sendall(response[: max(1, len(response) // 2)])
+                    return
+                if self._hit(plan.corrupt):
+                    self._note("corrupt")
+                    response = b"\x00garbage\xff" + response[9:-1] + b"\n"
+                if self._hit(plan.delay) and plan.delay_s > 0.0:
+                    self._note("delay")
+                    time.sleep(plan.delay_s)
+                client.sendall(response)
+        except OSError:
+            pass  # either side vanished; nothing to salvage
+        finally:
+            for sock in (client, server):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        self._closing = True
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChaosTCPProxy":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,93 @@
+"""A TCP client transport that re-dials dropped connections.
+
+:class:`~repro.server.server.TCPClientTransport` is bound to one socket:
+once the server restarts or a middlebox cuts the connection, every
+subsequent request fails.  :class:`ReconnectingTCPTransport` holds the
+*address* instead — it dials lazily, discards the connection on any
+transport failure, and dials again on the next request.  It never
+*resends* anything itself; composing it under
+:class:`~repro.faults.retry.RetryingTransport` yields the full
+reconnect-and-retry loop while keeping each layer single-purpose.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransportError
+from repro.server.protocol import Message
+from repro.server.server import TCPClientTransport
+from repro.telemetry import Telemetry, get_telemetry
+
+__all__ = ["ReconnectingTCPTransport"]
+
+
+class ReconnectingTCPTransport:
+    """Lazily dialed, self-healing TCP transport."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        telemetry: Telemetry | None = None,
+    ):
+        self._host = host
+        self._port = int(port)
+        self._timeout = timeout
+        self._telemetry = telemetry
+        self._conn: TCPClientTransport | None = None
+        #: Successful dials beyond the first (observable).
+        self.reconnects = 0
+        self._dials = 0
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._telemetry if self._telemetry is not None else get_telemetry()
+
+    @property
+    def connected(self) -> bool:
+        return self._conn is not None
+
+    def _ensure(self) -> TCPClientTransport:
+        if self._conn is None:
+            self._conn = TCPClientTransport(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._dials += 1
+            if self._dials > 1:
+                self.reconnects += 1
+                telemetry = self.telemetry
+                if telemetry.enabled:
+                    telemetry.metrics.counter(
+                        "uucs_client_reconnects_total",
+                        "TCP connections re-dialed after a drop.",
+                    ).inc()
+                    telemetry.emit(
+                        "client.reconnect",
+                        server=f"{self._host}:{self._port}",
+                        dials=self._dials,
+                    )
+        return self._conn
+
+    def request(self, message: Message) -> Message:
+        conn = self._ensure()
+        try:
+            return conn.request(message)
+        except TransportError:
+            # The connection is suspect; drop it so the next request (a
+            # retry layer's resend, typically) starts from a fresh dial.
+            self._drop()
+            raise
+
+    def _drop(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "ReconnectingTCPTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -7,6 +7,7 @@ as a growing random sample, new results flow up.
 """
 
 from repro.server.protocol import (
+    PROTOCOL_VERSION,
     Message,
     decode_message,
     encode_message,
@@ -21,6 +22,7 @@ from repro.server.server import (
 )
 
 __all__ = [
+    "PROTOCOL_VERSION",
     "ClientRecord",
     "ClientRegistry",
     "GrowingSampler",

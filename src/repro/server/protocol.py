@@ -11,6 +11,13 @@ Newline-delimited JSON messages; both interactions are client initiated
   number of results accepted.
 
 Errors come back as ``{"type": "error", "reason": ...}``.
+
+Version negotiation is payload-based and backward compatible: a v2 client
+adds ``protocol``/``sync_seq`` fields to its ``sync`` request and a v2
+server echoes them in ``sync_ok`` (plus a ``duplicates`` count).  A v1
+peer simply omits or ignores the extra keys — unknown payload fields pass
+through the codec untouched — so old clients work against new servers and
+vice versa; only the idempotency fast path is lost.
 """
 
 from __future__ import annotations
@@ -21,7 +28,11 @@ from typing import Any, Mapping
 
 from repro.errors import ProtocolError
 
-__all__ = ["Message", "decode_message", "encode_message"]
+__all__ = ["PROTOCOL_VERSION", "Message", "decode_message", "encode_message"]
+
+#: Highest protocol revision this package speaks.  v1 is the seed wire
+#: format; v2 adds idempotent hot sync (``sync_seq`` replay detection).
+PROTOCOL_VERSION = 2
 
 #: Message types a client may send.
 REQUEST_TYPES = ("register", "sync", "ping")

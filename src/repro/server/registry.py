@@ -6,7 +6,11 @@ machine, and allowing the server to associate a globally unique identifier
 with the client."
 
 Registrations persist as JSON lines so the server can restart without
-losing its client population.
+losing its client population.  The registry also remembers, per GUID, the
+highest hot-sync sequence number it has acknowledged (``sync_acks.jsonl``,
+append-only, last-write-wins) — the server-side half of the idempotent
+sync protocol: a replayed upload after a lost ack is recognized instead of
+committed twice, even across a server restart.
 """
 
 from __future__ import annotations
@@ -60,7 +64,9 @@ class ClientRegistry:
 
     def __init__(self, root: str | Path | None = None):
         self._records: dict[str, ClientRecord] = {}
+        self._acks: dict[str, tuple[int, int]] = {}
         self._path: Path | None = None
+        self._acks_path: Path | None = None
         if root is not None:
             root = Path(root)
             try:
@@ -68,17 +74,33 @@ class ClientRegistry:
             except OSError as exc:
                 raise StoreError(f"cannot create registry at {root}: {exc}") from exc
             self._path = root / "registrations.jsonl"
+            self._acks_path = root / "sync_acks.jsonl"
             self._load()
 
     def _load(self) -> None:
-        if self._path is None or not self._path.exists():
-            return
-        with self._path.open() as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    record = ClientRecord.from_json(line)
-                    self._records[record.client_id] = record
+        if self._path is not None and self._path.exists():
+            with self._path.open() as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        record = ClientRecord.from_json(line)
+                        self._records[record.client_id] = record
+        if self._acks_path is not None and self._acks_path.exists():
+            with self._acks_path.open() as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        data = json.loads(line)
+                        client_id = str(data["client_id"])
+                        seq = int(data["sync_seq"])
+                        accepted = int(data.get("accepted", 0))
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        # A torn tail (crashed writer) loses at most the
+                        # final ack; run-id dedupe still protects the store.
+                        continue
+                    self._acks[client_id] = (seq, accepted)
 
     def register(
         self, snapshot: Mapping[str, str], now: float = 0.0
@@ -94,6 +116,37 @@ class ClientRegistry:
             with self._path.open("a") as fh:
                 fh.write(record.to_json() + "\n")
         return record
+
+    # -- idempotent-sync bookkeeping ---------------------------------------
+
+    def last_acked(self, client_id: str) -> tuple[int, int]:
+        """The highest ``(sync_seq, accepted)`` acknowledged for a client.
+
+        ``(0, 0)`` for clients that never synced (client sequence numbers
+        start at 1) or that speak protocol v1.
+        """
+        return self._acks.get(client_id, (0, 0))
+
+    def record_sync_ack(
+        self, client_id: str, sync_seq: int, accepted: int
+    ) -> None:
+        """Remember (and persist) that ``sync_seq`` was acknowledged."""
+        if sync_seq <= self._acks.get(client_id, (0, 0))[0]:
+            return
+        self._acks[client_id] = (int(sync_seq), int(accepted))
+        if self._acks_path is not None:
+            with self._acks_path.open("a") as fh:
+                fh.write(
+                    json.dumps(
+                        {
+                            "client_id": client_id,
+                            "sync_seq": int(sync_seq),
+                            "accepted": int(accepted),
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
 
     def lookup(self, client_id: str) -> ClientRecord:
         try:

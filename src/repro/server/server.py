@@ -23,10 +23,15 @@ from repro.core.testcase import Testcase
 from repro.errors import (
     ProtocolError,
     RegistrationError,
-    SerializationError,
-    StoreError,
+    ReproError,
+    TransportError,
 )
-from repro.server.protocol import Message, decode_message, encode_message
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    Message,
+    decode_message,
+    encode_message,
+)
 from repro.server.registry import ClientRegistry
 from repro.server.sampling import GrowingSampler
 from repro.stores import ResultStore, TestcaseStore
@@ -119,7 +124,10 @@ class UUCSServer:
             if request.type == "sync":
                 return self._handle_sync(request)
             return Message.error(f"cannot serve message type {request.type!r}")
-        except (ProtocolError, RegistrationError, StoreError, SerializationError) as exc:
+        except ReproError as exc:
+            # Any library failure — malformed payloads, store trouble,
+            # validation of uploaded records — becomes an error *response*;
+            # a client mistake must never take down the serving thread.
             return Message.error(str(exc))
 
     def _handle_register(self, request: Message) -> Message:
@@ -140,7 +148,10 @@ class UUCSServer:
             ).set(len(self.registry))
             self.rollups.record_register(record.client_id, now=self._clock)
             self._touch_client(telemetry, record.client_id)
-        return Message("registered", {"client_id": record.client_id})
+        return Message(
+            "registered",
+            {"client_id": record.client_id, "protocol": PROTOCOL_VERSION},
+        )
 
     def _touch_client(self, telemetry: Telemetry, client_id: str) -> None:
         telemetry.metrics.gauge(
@@ -165,15 +176,31 @@ class UUCSServer:
         want = request.payload.get("want")
         if want is not None and (not isinstance(want, int) or want < 0):
             raise ProtocolError("'want' must be a non-negative integer")
+        sync_seq = request.payload.get("sync_seq")
+        if sync_seq is not None and (
+            not isinstance(sync_seq, int)
+            or isinstance(sync_seq, bool)
+            or sync_seq < 1
+        ):
+            raise ProtocolError("'sync_seq' must be a positive integer")
 
-        accepted = 0
         runs: list[TestcaseRun] = []
         for record in uploads:
             if not isinstance(record, dict):
                 raise ProtocolError("each result must be a JSON object")
             runs.append(TestcaseRun.from_dict(record))
         with self._lock:
-            accepted = self.results.extend(runs)
+            replayed = (
+                sync_seq is not None
+                and sync_seq <= self.registry.last_acked(client_id)[0]
+            )
+            # Idempotency is run-id based, not batch based: a retried
+            # batch may carry runs recorded *after* the lost ack, so each
+            # upload is judged individually against the store's index.
+            accepted = self.results.extend(runs, dedupe=True)
+            duplicates = len(runs) - accepted
+            if sync_seq is not None:
+                self.registry.record_sync_ack(client_id, sync_seq, accepted)
             fresh_ids = self._sampler.sample(
                 self.testcases.ids(), [str(h) for h in held], want
             )
@@ -192,6 +219,23 @@ class UUCSServer:
                 "uucs_server_testcases_shipped_total",
                 "Testcases shipped to clients during hot sync.",
             ).inc(len(shipped))
+            metrics.counter(
+                "uucs_server_duplicate_results_total",
+                "Uploaded run results dropped as already-stored duplicates.",
+            ).inc(duplicates)
+            if replayed:
+                metrics.counter(
+                    "uucs_server_replayed_syncs_total",
+                    "Hot syncs recognized as replays of an acked sync_seq.",
+                ).inc()
+            if duplicates or replayed:
+                telemetry.emit(
+                    "server.sync_replay",
+                    client=client_id,
+                    sync_seq=sync_seq,
+                    duplicates=duplicates,
+                    accepted=accepted,
+                )
             discomforts = sum(1 for run in runs if run.discomforted)
             self.rollups.record_sync(
                 client_id,
@@ -215,10 +259,17 @@ class UUCSServer:
                 labelnames=("client",),
             ).inc(discomforts, client=client_id)
             self._touch_client(telemetry, client_id)
-        return Message(
-            "sync_ok",
-            {"testcases": shipped, "accepted": accepted},
-        )
+        payload: dict[str, object] = {
+            "testcases": shipped,
+            "accepted": accepted,
+            "duplicates": duplicates,
+            "protocol": PROTOCOL_VERSION,
+        }
+        if sync_seq is not None:
+            # Echoing the seq is the ack: the client drains its queue only
+            # once it sees its own sequence number come back.
+            payload["sync_seq"] = sync_seq
+        return Message("sync_ok", payload)
 
     def record_client_bytes(self, client_id: str, read: int, written: int) -> None:
         """Attribute wire bytes to a client (transport-level accounting)."""
@@ -265,6 +316,14 @@ class _Handler(socketserver.StreamRequestHandler):
             telemetry.metrics.counter(
                 "uucs_server_connections_total", "TCP connections accepted."
             ).inc()
+        try:
+            self._serve_lines(server, telemetry)
+        except OSError:
+            # The peer vanished mid-exchange (reset, half-close, chaos
+            # proxy); this connection is done but the server is fine.
+            pass
+
+    def _serve_lines(self, server: UUCSServer, telemetry: Telemetry) -> None:
         for line in self.rfile:
             if not line.strip():
                 continue
@@ -275,9 +334,22 @@ class _Handler(socketserver.StreamRequestHandler):
                 if isinstance(payload_client, str):
                     client_id = payload_client
                 response = server.handle(request)
-            except ProtocolError as exc:
+            except ReproError as exc:
+                # One garbage line must not kill the connection thread: any
+                # library error (ProtocolError, SerializationError, ...)
+                # turns into an error reply and the loop keeps reading.
                 response = Message.error(str(exc))
-            payload = encode_message(response)
+                if telemetry.enabled:
+                    telemetry.metrics.counter(
+                        "uucs_server_malformed_lines_total",
+                        "Request lines that failed to decode or dispatch.",
+                    ).inc()
+            try:
+                payload = encode_message(response)
+            except ReproError as exc:
+                payload = encode_message(
+                    Message.error(f"unencodable response: {exc}")
+                )
             self.wfile.write(payload)
             self.wfile.flush()
             if telemetry.enabled:
@@ -295,6 +367,40 @@ class _Handler(socketserver.StreamRequestHandler):
                 server.record_client_bytes(client_id, len(line), len(payload))
 
 
+class _ReusableThreadingTCPServer(socketserver.ThreadingTCPServer):
+    # A restarted server must be able to rebind its old port immediately,
+    # even while dead connections from the previous incarnation linger in
+    # TIME_WAIT.
+    allow_reuse_address = True
+
+    def __init__(self, *args: object, **kwargs: object):
+        self._open_requests: set[socket.socket] = set()
+        self._open_lock = threading.Lock()
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+
+    def process_request(self, request, client_address) -> None:
+        with self._open_lock:
+            self._open_requests.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._open_lock:
+            self._open_requests.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        # Handler threads are daemonic and block reading their sockets;
+        # without this a "stopped" server would keep serving established
+        # connections forever, which is not what a restart means.
+        with self._open_lock:
+            requests = list(self._open_requests)
+        for request in requests:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+
 class TCPServerTransport:
     """Serve a :class:`UUCSServer` over localhost TCP.
 
@@ -303,7 +409,7 @@ class TCPServerTransport:
     """
 
     def __init__(self, server: UUCSServer, host: str = "127.0.0.1", port: int = 0):
-        self._tcp = socketserver.ThreadingTCPServer(
+        self._tcp = _ReusableThreadingTCPServer(
             (host, port), _Handler, bind_and_activate=True
         )
         self._tcp.daemon_threads = True
@@ -323,6 +429,7 @@ class TCPServerTransport:
 
     def close(self) -> None:
         self._tcp.shutdown()
+        self._tcp.close_all_connections()
         self._tcp.server_close()
         self._thread.join(timeout=5.0)
 
@@ -334,13 +441,19 @@ class TCPServerTransport:
 
 
 class TCPClientTransport:
-    """Newline-delimited JSON request/response over a TCP connection."""
+    """Newline-delimited JSON request/response over a TCP connection.
+
+    All carrier-level failures — connect, send, a dropped or half-written
+    response — surface as :class:`~repro.errors.TransportError`, the
+    retryable subset of :class:`ProtocolError` that
+    :class:`~repro.faults.RetryingTransport` resends on.
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0):
         try:
             self._sock = socket.create_connection((host, port), timeout=timeout)
         except OSError as exc:
-            raise ProtocolError(f"cannot connect to {host}:{port}: {exc}") from exc
+            raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
         self._file = self._sock.makefile("rb")
 
     def request(self, message: Message) -> Message:
@@ -348,10 +461,18 @@ class TCPClientTransport:
             self._sock.sendall(encode_message(message))
             line = self._file.readline()
         except OSError as exc:
-            raise ProtocolError(f"transport failure: {exc}") from exc
+            raise TransportError(f"transport failure: {exc}") from exc
         if not line:
-            raise ProtocolError("server closed the connection")
-        return decode_message(line)
+            raise TransportError("server closed the connection")
+        if not line.endswith(b"\n"):
+            raise TransportError("connection lost mid-response (truncated line)")
+        try:
+            return decode_message(line)
+        except ProtocolError as exc:
+            # An undecodable response means the line was damaged in
+            # flight; under idempotent sync a blind resend is safe, so
+            # classify it as transient.
+            raise TransportError(f"undecodable response: {exc}") from exc
 
     def close(self) -> None:
         try:

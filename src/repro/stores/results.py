@@ -4,6 +4,11 @@ Run results accumulate in ``results.jsonl`` (one JSON document per run),
 "stored in text-based form for later communication back to the server"
 (§2.3).  The client drains the store at hot-sync time; the server appends
 uploaded results to its own store for the analysis phase.
+
+The store keeps an in-memory run-id index (built lazily from the file,
+maintained incrementally afterwards) so the server can deduplicate
+replayed hot-sync uploads in O(1) per run instead of re-reading the
+whole file on every sync.
 """
 
 from __future__ import annotations
@@ -28,23 +33,48 @@ class ResultStore:
         except OSError as exc:
             raise StoreError(f"cannot create result store at {root}: {exc}") from exc
         self._path = self._root / filename
+        #: Lazily built run-id index; ``None`` until first needed.
+        self._ids: set[str] | None = None
 
     @property
     def path(self) -> Path:
         return self._path
 
+    def _index(self) -> set[str]:
+        if self._ids is None:
+            self._ids = {run.run_id for run in self}
+        return self._ids
+
     def append(self, run: TestcaseRun) -> None:
         """Append one run."""
         with self._path.open("a") as fh:
             fh.write(run.to_json() + "\n")
+        if self._ids is not None:
+            self._ids.add(run.run_id)
 
-    def extend(self, runs: Iterable[TestcaseRun]) -> int:
+    def extend(
+        self, runs: Iterable[TestcaseRun], dedupe: bool = False
+    ) -> int:
+        """Append runs, returning how many were written.
+
+        With ``dedupe=True`` runs whose ``run_id`` is already stored are
+        silently skipped (idempotent upload semantics: a client blindly
+        resending a batch after a lost ack commits nothing twice).
+        """
+        index = self._index() if dedupe else self._ids
         count = 0
         with self._path.open("a") as fh:
             for run in runs:
+                if dedupe and run.run_id in index:  # type: ignore[operator]
+                    continue
                 fh.write(run.to_json() + "\n")
+                if index is not None:
+                    index.add(run.run_id)
                 count += 1
         return count
+
+    def __contains__(self, run_id: str) -> bool:
+        return run_id in self._index()
 
     def __iter__(self) -> Iterator[TestcaseRun]:
         if not self._path.exists():
@@ -65,11 +95,12 @@ class ResultStore:
         return sum(1 for _ in self)
 
     def run_ids(self) -> set[str]:
-        return {run.run_id for run in self}
+        return set(self._index())
 
     def drain(self) -> list[TestcaseRun]:
         """Read all runs and truncate the store (used at hot-sync upload)."""
         runs = list(self)
         if self._path.exists():
             self._path.write_text("")
+        self._ids = set()
         return runs

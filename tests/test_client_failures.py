@@ -103,6 +103,8 @@ class TestProtocolViolations:
     def test_sync_with_partial_acceptance_keeps_results(
         self, tmp_path, server, feedback
     ):
+        """A v1-style short acceptance is reconciled, not fatal: the client
+        keeps its queue (no poison pill, no drain) and carries on."""
         good = InProcessTransport(server)
         client = UUCSClient(
             ClientConfig(root=tmp_path / "c", user_id="u"), good, seed=1
@@ -114,10 +116,17 @@ class TestProtocolViolations:
             [Message("sync_ok", {"testcases": [], "accepted": 0})]
         )
         client._transport = lying  # inject the misbehaving server
-        with pytest.raises(ProtocolError):
-            client.hot_sync()
-        # Results were NOT drained on a bad acknowledgement.
+        downloaded, uploaded = client.hot_sync()  # must not raise
+        assert uploaded == 0
+        # Results were NOT drained on a bad acknowledgement...
         assert len(client.results) == 1
+        # ...and the very next sync against the real server delivers them
+        # exactly once (the v2 server dedupes any that did land).
+        client._transport = good
+        _, uploaded = client.hot_sync()
+        assert uploaded == 1
+        assert len(client.results) == 0
+        assert len(server.results) == 1
 
     def test_error_response_surfaced(self, tmp_path):
         lying = LyingServerTransport([Message.error("database on fire")])
