@@ -1,0 +1,124 @@
+"""Wall-clock scaling of the sharded study engine.
+
+Times the canonical seed-2004 controlled study at several shard counts,
+verifies every run produced byte-identical records, and writes the
+measurements to ``BENCH_study.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_study_shards.py
+    PYTHONPATH=src python benchmarks/bench_study_shards.py --shards 1 2 4 8 --repeat 3
+
+Speedup is reported against the 1-shard (in-process) run.  The engine's
+compute is embarrassingly parallel, so on an N-core host the expected
+ceiling is ~N x minus pool startup and result-pickling IPC; a 1-core
+host will show a slowdown for every shard count > 1, which the JSON
+records honestly (see ``host.cpus``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone: make `repro` importable
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro._version import __version__
+from repro.study import ControlledStudyConfig, run_sharded_study
+
+
+def _digest(result) -> str:
+    h = hashlib.sha256()
+    for run in result.runs:
+        h.update((run.to_json() + "\n").encode())
+    return h.hexdigest()
+
+
+def bench(config: ControlledStudyConfig, shard_counts, repeat: int) -> dict:
+    entries = []
+    baseline_s = None
+    baseline_digest = None
+    for shards in shard_counts:
+        times = []
+        digest = None
+        runs = 0
+        for _ in range(repeat):
+            started = time.perf_counter()
+            result = run_sharded_study(config, shards=shards)
+            times.append(time.perf_counter() - started)
+            digest = _digest(result)
+            runs = len(result.runs)
+        best = min(times)
+        if shards == 1:
+            baseline_s, baseline_digest = best, digest
+        entries.append(
+            {
+                "shards": shards,
+                "wall_seconds_best": round(best, 4),
+                "wall_seconds_all": [round(t, 4) for t in times],
+                "runs": runs,
+                "runs_per_second": round(runs / best, 1),
+                "sha256": digest,
+            }
+        )
+    for entry in entries:
+        entry["speedup_vs_1_shard"] = (
+            round(baseline_s / entry["wall_seconds_best"], 2)
+            if baseline_s
+            else None
+        )
+        entry["byte_identical_to_1_shard"] = entry["sha256"] == baseline_digest
+    return {
+        "benchmark": "sharded controlled study (repro.study.sharded)",
+        "config": {
+            "n_users": config.n_users,
+            "seed": config.seed,
+            "engine": config.engine,
+        },
+        "host": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "version": __version__,
+        "repeat": repeat,
+        "results": entries,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=33)
+    parser.add_argument("--seed", type=int, default=2004)
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_study.json"),
+    )
+    args = parser.parse_args(argv)
+    config = ControlledStudyConfig(n_users=args.users, seed=args.seed)
+    report = bench(config, args.shards, args.repeat)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    for entry in report["results"]:
+        print(
+            f"shards={entry['shards']}: {entry['wall_seconds_best']:.3f}s "
+            f"({entry['speedup_vs_1_shard']}x, "
+            f"identical={entry['byte_identical_to_1_shard']})"
+        )
+    print(f"wrote {args.out}")
+    if not all(e["byte_identical_to_1_shard"] for e in report["results"]):
+        print("FAIL: shard outputs diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

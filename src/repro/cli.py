@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from pathlib import Path
 
 from repro._version import __version__
@@ -58,8 +59,9 @@ from repro.errors import (
 )
 from repro.server.server import TCPServerTransport, UUCSServer
 from repro.stores import ResultStore, TestcaseStore
-from repro.study.controlled import ControlledStudyConfig, run_controlled_study
+from repro.study.controlled import ControlledStudyConfig
 from repro.study.internet import generate_library
+from repro.study.sharded import run_sharded_study, shard_ranges
 from repro.telemetry import Telemetry, use_telemetry
 
 __all__ = ["main"]
@@ -147,20 +149,46 @@ def _cmd_testcase_view(args: argparse.Namespace) -> int:
 
 def _cmd_study(args: argparse.Namespace) -> int:
     config = ControlledStudyConfig(n_users=args.users, seed=args.seed)
+    # One timer pair around the whole study — never inside the per-run hot
+    # loop, where per-session timing belongs to (and is gated by) telemetry.
+    started = time.perf_counter()
     if args.telemetry:
         with use_telemetry(Telemetry.to_path(args.telemetry)):
-            result = run_controlled_study(config)
+            result = run_sharded_study(
+                config, shards=args.shards, max_workers=args.workers
+            )
     else:
-        result = run_controlled_study(config)
+        result = run_sharded_study(
+            config, shards=args.shards, max_workers=args.workers
+        )
+    elapsed = time.perf_counter() - started
     store = ResultStore(args.results)
-    store.extend(result.runs)
+    shards = shard_ranges(config.n_users, args.shards)
+    store.extend_batches(_study_batches(result, shards))
     _print(
         f"controlled study: {len(result.runs)} runs from "
         f"{len(result.profiles)} users -> {store.path}"
     )
+    _print(
+        f"  {len(shards)} shard(s), {elapsed:.2f}s wall "
+        f"({len(result.runs) / elapsed:.0f} runs/s)"
+    )
     if args.telemetry:
         _print(f"telemetry event log -> {args.telemetry}")
     return 0
+
+
+def _study_batches(result, shards):
+    """Slice a study's runs back into per-shard batches for batched append."""
+    runs_per_user: dict[str, list] = {}
+    for run in result.runs:
+        runs_per_user.setdefault(run.context.user_id, []).append(run)
+    ordered_users = [p.user_id for p in result.profiles]
+    for shard in shards:
+        batch = []
+        for user_id in ordered_users[shard.start:shard.stop]:
+            batch.extend(runs_per_user.get(user_id, []))
+        yield batch
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -500,6 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--users", type=int, default=33)
     study.add_argument("--seed", type=int, default=2004)
     study.add_argument("--results", default="results")
+    study.add_argument("--shards", type=int, default=1,
+                       help="partition users across N worker processes "
+                            "(byte-identical results for any N)")
+    study.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: one per shard)")
     study.add_argument("--telemetry", default="", metavar="PATH",
                        help="write a JSON-lines telemetry event log to PATH")
     study.set_defaults(func=_cmd_study)

@@ -96,7 +96,10 @@ class Testcase:
         """
         out: dict[Resource, float] = {}
         for resource, fn in self.functions.items():
-            out[resource] = fn.level_at(t) if t <= fn.duration else 0.0
+            # Plain float, not np.float64: run records embed these values,
+            # and numpy scalars pickle ~20x slower (the sharded study ships
+            # every record across a process boundary).
+            out[resource] = float(fn.level_at(t)) if t <= fn.duration else 0.0
         return out
 
     def last_values(self, t: float, n: int = 5) -> dict[Resource, np.ndarray]:

@@ -9,13 +9,18 @@ The store keeps an in-memory run-id index (built lazily from the file,
 maintained incrementally afterwards) so the server can deduplicate
 replayed hot-sync uploads in O(1) per run instead of re-reading the
 whole file on every sync.
+
+Crash tolerance: a writer killed mid-append leaves one unterminated
+partial line at the tail.  Readers ignore it (the record was never
+fully committed), and the next append truncates it first so fresh
+records never concatenate onto the wreckage.
 """
 
 from __future__ import annotations
 
-import json
+import os
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.run import TestcaseRun
 from repro.errors import SerializationError, StoreError
@@ -45,8 +50,32 @@ class ResultStore:
             self._ids = {run.run_id for run in self}
         return self._ids
 
+    def repair_tail(self) -> bool:
+        """Truncate an unterminated partial line left by a crashed writer.
+
+        Returns whether anything was removed.  Only the final line can
+        lack a newline; everything before it was fully committed and is
+        never touched.
+        """
+        if not self._path.exists():
+            return False
+        size = self._path.stat().st_size
+        if size == 0:
+            return False
+        with self._path.open("rb+") as fh:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) == b"\n":
+                return False
+            # Walk back to the last newline (or file start) and cut there.
+            fh.seek(0)
+            data = fh.read()
+            keep = data.rfind(b"\n") + 1
+            fh.truncate(keep)
+        return True
+
     def append(self, run: TestcaseRun) -> None:
         """Append one run."""
+        self.repair_tail()
         with self._path.open("a") as fh:
             fh.write(run.to_json() + "\n")
         if self._ids is not None:
@@ -61,6 +90,7 @@ class ResultStore:
         silently skipped (idempotent upload semantics: a client blindly
         resending a batch after a lost ack commits nothing twice).
         """
+        self.repair_tail()
         index = self._index() if dedupe else self._ids
         count = 0
         with self._path.open("a") as fh:
@@ -73,6 +103,37 @@ class ResultStore:
                 count += 1
         return count
 
+    def extend_batches(
+        self,
+        batches: Iterable[Sequence[TestcaseRun]],
+        dedupe: bool = False,
+    ) -> int:
+        """Append pre-ordered batches, one ``write`` per batch.
+
+        The sharded study engine merges per-shard run batches through
+        here: serializing a whole batch into a single buffer turns
+        thousands of tiny writes into one syscall each, and a crash
+        between batches leaves only whole, parseable lines behind
+        (within a batch, at worst one partial line, which
+        :meth:`repair_tail` removes on the next append).
+        """
+        self.repair_tail()
+        index = self._index() if dedupe else self._ids
+        count = 0
+        with self._path.open("a") as fh:
+            for batch in batches:
+                lines: list[str] = []
+                for run in batch:
+                    if dedupe and run.run_id in index:  # type: ignore[operator]
+                        continue
+                    lines.append(run.to_json() + "\n")
+                    if index is not None:
+                        index.add(run.run_id)
+                if lines:
+                    fh.write("".join(lines))
+                    count += len(lines)
+        return count
+
     def __contains__(self, run_id: str) -> bool:
         return run_id in self._index()
 
@@ -81,12 +142,17 @@ class ResultStore:
             return
         with self._path.open() as fh:
             for line_no, line in enumerate(fh, 1):
+                terminated = line.endswith("\n")
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     yield TestcaseRun.from_json(line)
                 except SerializationError as exc:
+                    if not terminated:
+                        # Unterminated == final line == a crashed writer's
+                        # uncommitted partial record; ignore it.
+                        return
                     raise StoreError(
                         f"corrupt result at {self._path.name}:{line_no}: {exc}"
                     ) from exc

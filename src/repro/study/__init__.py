@@ -3,8 +3,17 @@ Internet-wide study (§4), plus the Figure 8 testcase table."""
 
 from repro.study.controlled import (
     ControlledStudyConfig,
+    StudyFixtures,
     StudyResult,
     run_controlled_study,
+    run_user_range,
+    study_fixtures,
+)
+from repro.study.sharded import (
+    Shard,
+    merge_shard_batches,
+    run_sharded_study,
+    shard_ranges,
 )
 from repro.study.burstiness import (
     BurstinessResult,
@@ -48,10 +57,17 @@ __all__ = [
     "host_speed_effect",
     "internet_discomfort_curve",
     "run_internet_study",
+    "Shard",
+    "StudyFixtures",
     "StudyResult",
     "blank_testcase",
+    "merge_shard_batches",
     "ramp_testcase",
     "run_controlled_study",
+    "run_sharded_study",
+    "run_user_range",
+    "shard_ranges",
     "step_testcase",
+    "study_fixtures",
     "task_testcases",
 ]

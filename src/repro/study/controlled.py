@@ -20,13 +20,12 @@ from typing import Iterator, Sequence
 
 from repro.apps.registry import TASK_ORDER, get_task
 from repro.core.run import RunContext, TestcaseRun
-from repro.core.session import run_simulated_session
 from repro.core.testcase import Testcase
 from repro.errors import StudyError
 from repro.machine.machine import SimulatedMachine
 from repro.monitor.base import SimulatedMonitor
 from repro.machine.specs import MachineSpec
-from repro.study.engine import run_analytic_session
+from repro.study.engine import SESSION_ENGINES, get_session_engine
 from repro.study.testcases import STUDY_SAMPLE_RATE, task_testcases
 from repro.telemetry import get_telemetry
 from repro.users.behavior import BehaviorParams, SimulatedUser
@@ -35,7 +34,14 @@ from repro.users.profile import UserProfile
 from repro.users.tolerance import ToleranceTable, paper_calibrated_table
 from repro.util.rng import derive_rng
 
-__all__ = ["ControlledStudyConfig", "StudyResult", "run_controlled_study"]
+__all__ = [
+    "ControlledStudyConfig",
+    "StudyFixtures",
+    "StudyResult",
+    "run_controlled_study",
+    "run_user_range",
+    "study_fixtures",
+]
 
 #: Seconds between testcases (user keeps working; client idles).
 _INTER_TESTCASE_GAP = 0.0
@@ -72,7 +78,7 @@ class ControlledStudyConfig:
             raise StudyError(f"n_users must be >= 1, got {self.n_users}")
         if not self.tasks:
             raise StudyError("at least one task is required")
-        if self.engine not in ("analytic", "loop"):
+        if self.engine not in SESSION_ENGINES:
             raise StudyError(f"unknown engine {self.engine!r}")
 
 
@@ -120,6 +126,36 @@ class StudyResult:
         return len(self.runs)
 
 
+@dataclass(frozen=True)
+class StudyFixtures:
+    """Deterministic shared state of one study execution.
+
+    Everything here is a pure function of the config — machine, per-task
+    testcases, and the sampled population — so any process can rebuild
+    identical fixtures from the config alone.  That property is what lets
+    the sharded engine (:mod:`repro.study.sharded`) recompute fixtures in
+    each worker instead of shipping them over the wire.
+    """
+
+    machine: SimulatedMachine
+    testcases_by_task: dict[str, Sequence[Testcase]]
+    profiles: tuple[UserProfile, ...]
+
+
+def study_fixtures(config: ControlledStudyConfig) -> StudyFixtures:
+    """Build the fixtures for ``config`` (deterministic, stateless)."""
+    return StudyFixtures(
+        machine=SimulatedMachine(config.machine),
+        testcases_by_task={
+            task: task_testcases(task, config.sample_rate)
+            for task in config.tasks
+        },
+        profiles=tuple(
+            sample_population(config.n_users, derive_rng(config.seed, "population"))
+        ),
+    )
+
+
 def _run_user_session(
     profile: UserProfile,
     config: ControlledStudyConfig,
@@ -133,6 +169,7 @@ def _run_user_session(
     user = SimulatedUser(
         profile, config.table, config.behavior, seed=derive_rng(config.seed, "user-behavior", user_index)
     )
+    run_session = get_session_engine(config.engine)
     clock = _PREAMBLE_MINUTES * 60.0
     runs: list[TestcaseRun] = []
     for task_name in config.tasks:
@@ -154,11 +191,6 @@ def _run_user_session(
                         for cat, level in profile.questionnaire().items()
                     },
                 },
-            )
-            run_session = (
-                run_analytic_session
-                if config.engine == "analytic"
-                else run_simulated_session
             )
             result = run_session(
                 testcase,
@@ -183,6 +215,39 @@ def _run_user_session(
     return runs
 
 
+def run_user_range(
+    config: ControlledStudyConfig,
+    start: int,
+    stop: int,
+    fixtures: StudyFixtures | None = None,
+) -> list[TestcaseRun]:
+    """Sessions for users ``start <= index < stop``, in index order.
+
+    Every user draws from RNG streams derived as ``derive_rng(config.seed,
+    "user-session"/"user-behavior", user_index)``, so the records are
+    byte-identical no matter how the index range is partitioned across
+    calls or processes — the contract ``tests/shardcheck.py`` enforces.
+    """
+    if not 0 <= start <= stop <= config.n_users:
+        raise StudyError(
+            f"user range [{start}, {stop}) outside [0, {config.n_users})"
+        )
+    if fixtures is None:
+        fixtures = study_fixtures(config)
+    runs: list[TestcaseRun] = []
+    for index in range(start, stop):
+        runs.extend(
+            _run_user_session(
+                fixtures.profiles[index],
+                config,
+                fixtures.machine,
+                fixtures.testcases_by_task,
+                index,
+            )
+        )
+    return runs
+
+
 def run_controlled_study(
     config: ControlledStudyConfig | None = None,
 ) -> StudyResult:
@@ -200,24 +265,14 @@ def run_controlled_study(
         seed=config.seed,
         engine=config.engine,
     ) as span:
-        machine = SimulatedMachine(config.machine)
-        testcases_by_task = {
-            task: task_testcases(task, config.sample_rate) for task in config.tasks
-        }
-        profiles = sample_population(
-            config.n_users, derive_rng(config.seed, "population")
-        )
-        runs: list[TestcaseRun] = []
-        for index, profile in enumerate(profiles):
-            runs.extend(
-                _run_user_session(profile, config, machine, testcases_by_task, index)
-            )
+        fixtures = study_fixtures(config)
+        runs = run_user_range(config, 0, config.n_users, fixtures)
         span.annotate(runs=len(runs))
         if telemetry.enabled:
             telemetry.emit(
                 "study.complete",
-                users=len(profiles),
+                users=len(fixtures.profiles),
                 runs=len(runs),
                 discomforts=sum(1 for r in runs if r.discomforted),
             )
-        return StudyResult(tuple(runs), tuple(profiles), config)
+        return StudyResult(tuple(runs), fixtures.profiles, config)

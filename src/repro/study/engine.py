@@ -30,14 +30,18 @@ import numpy as np
 from repro.core.feedback import DiscomfortEvent, RunOutcome
 from repro.core.resources import Resource
 from repro.core.run import RunContext, TestcaseRun
-from repro.core.session import SessionResult, record_session_metrics
+from repro.core.session import (
+    SessionResult,
+    record_session_metrics,
+    run_simulated_session,
+)
 from repro.core.testcase import Testcase
 from repro.telemetry import get_telemetry
 from repro.machine.machine import TaskInteractivityModel
 from repro.monitor.base import SimulatedMonitor
 from repro.users.behavior import SimulatedUser
 
-__all__ = ["run_analytic_session"]
+__all__ = ["SESSION_ENGINES", "get_session_engine", "run_analytic_session"]
 
 
 def _level_array(testcase: Testcase, resource: Resource, n_steps: int) -> np.ndarray:
@@ -155,10 +159,13 @@ def run_analytic_session(
         machine = monitor._machine
         task = monitor._task
         cpu, mem, disk = machine.sample_load_batch(task, level_arrays, n_steps)
+        # .tolist() yields plain floats (np.float64 scalars serialize to the
+        # same JSON but pickle an order of magnitude slower — they would
+        # dominate the sharded engine's IPC cost).
         extra_trace = {
-            "load_cpu": tuple(cpu[:steps_done]),
-            "load_memory": tuple(mem[:steps_done]),
-            "load_disk": tuple(disk[:steps_done]),
+            "load_cpu": tuple(cpu[:steps_done].tolist()),
+            "load_memory": tuple(mem[:steps_done].tolist()),
+            "load_disk": tuple(disk[:steps_done].tolist()),
         }
 
     outcome = RunOutcome.DISCOMFORT if event is not None else RunOutcome.EXHAUSTED
@@ -172,16 +179,19 @@ def run_analytic_session(
         shapes={r: fn.shape for r, fn in testcase.functions.items()},
         levels_at_end=testcase.levels_at(min(end_offset, testcase.duration)),
         last_values={
-            r: tuple(v) for r, v in testcase.last_values(end_offset).items()
+            r: tuple(np.asarray(v).tolist())
+            for r, v in testcase.last_values(end_offset).items()
         },
         feedback=event,
         load_trace={
-            "slowdown": tuple(slowdowns[:steps_done]),
-            "jitter": tuple(jitters[:steps_done]),
+            "slowdown": tuple(np.asarray(slowdowns[:steps_done]).tolist()),
+            "jitter": tuple(np.asarray(jitters[:steps_done]).tolist()),
             **extra_trace,
             **{
                 f"contention_{r.value}": tuple(
-                    fn.values[: min(steps_done, len(fn.values))]
+                    np.asarray(
+                        fn.values[: min(steps_done, len(fn.values))]
+                    ).tolist()
                 )
                 for r, fn in testcase.functions.items()
             },
@@ -197,3 +207,21 @@ def run_analytic_session(
         slowdown_trace=np.asarray(slowdowns[:steps_done]),
         jitter_trace=np.asarray(jitters[:steps_done]),
     )
+
+
+#: Session engines by config name.  Both callables share a signature and
+#: produce identical run records on the same armed user state; study
+#: drivers (sequential and sharded) resolve the engine here so the choice
+#: stays a pure config value that survives a process boundary.
+SESSION_ENGINES = {
+    "analytic": run_analytic_session,
+    "loop": run_simulated_session,
+}
+
+
+def get_session_engine(name: str):
+    """The session-engine callable registered under ``name``."""
+    try:
+        return SESSION_ENGINES[name]
+    except KeyError:
+        raise KeyError(f"unknown session engine {name!r}") from None

@@ -1,0 +1,248 @@
+"""Sharded multiprocess controlled-study engine.
+
+Replaying many independent (user, task, testcase) sessions is
+embarrassingly parallel — the synthetic population draws every user's
+randomness from ``derive_rng(config.seed, "user-session"/"user-behavior",
+user_index)``, so no state crosses a user boundary.  This module
+partitions the user index range of a :class:`ControlledStudyConfig`
+across N worker processes and merges the per-shard run-record batches
+back in deterministic user-index order, in the spirit of Condor-style
+partitioned replay of user traces.
+
+The contract is **byte-identical output**: for every shard count the
+merged records serialize exactly as the single-process engine's would —
+same runs, same order, same JSON bytes.  Workers rebuild fixtures from
+the (picklable) config instead of receiving them over the wire, which
+keeps :func:`_run_shard` spawn-safe: it is a module-level function whose
+arguments survive pickling under any multiprocessing start method.
+``tests/shardcheck.py`` enforces the contract at 1/2/4/8 shards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.run import TestcaseRun
+from repro.errors import StudyError
+from repro.study.controlled import (
+    ControlledStudyConfig,
+    StudyResult,
+    run_controlled_study,
+    run_user_range,
+    study_fixtures,
+)
+from repro.telemetry import get_telemetry
+
+__all__ = [
+    "Shard",
+    "merge_shard_batches",
+    "run_sharded_study",
+    "shard_ranges",
+]
+
+#: Histogram buckets for per-shard wall-clock (seconds of real time; a
+#: canonical 33-user shard at 4 shards computes in well under a second,
+#: but loop-engine or large-population shards run far longer).
+SHARD_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice ``[start, stop)`` of the user index range."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def n_users(self) -> int:
+        return self.stop - self.start
+
+
+def shard_ranges(n_users: int, n_shards: int) -> tuple[Shard, ...]:
+    """Partition ``range(n_users)`` into at most ``n_shards`` balanced,
+    contiguous, disjoint shards covering every index exactly once.
+
+    The first ``n_users % n_shards`` shards get one extra user; shards
+    that would be empty (``n_shards > n_users``) are dropped.
+    """
+    if n_users < 1:
+        raise StudyError(f"n_users must be >= 1, got {n_users}")
+    if n_shards < 1:
+        raise StudyError(f"shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, n_users)
+    base, extra = divmod(n_users, n_shards)
+    shards: list[Shard] = []
+    start = 0
+    for index in range(n_shards):
+        stop = start + base + (1 if index < extra else 0)
+        shards.append(Shard(index=index, start=start, stop=stop))
+        start = stop
+    return tuple(shards)
+
+
+def _run_shard(
+    config: ControlledStudyConfig, start: int, stop: int
+) -> list[TestcaseRun]:
+    """Worker entry point: users ``[start, stop)`` of ``config``.
+
+    Module-level (hence picklable) and dependent only on its arguments,
+    so it behaves identically under fork and spawn start methods.  The
+    worker process's telemetry hub is the silent default; shard-level
+    metrics are recorded by the parent, which observes the only clock
+    that matters (wall time including IPC).
+    """
+    return run_user_range(config, start, stop, study_fixtures(config))
+
+
+def merge_shard_batches(
+    batches: Iterable[tuple[Shard, Sequence[TestcaseRun]]],
+) -> list[TestcaseRun]:
+    """Merge per-shard run batches into single-process record order.
+
+    Order-invariant in its input: batches are sorted by shard start
+    before concatenation, so completion order (or any shuffling in
+    between) cannot leak into the merged sequence.  Raises
+    :class:`StudyError` if the shards overlap or leave a gap — a merge
+    that silently dropped or duplicated a user range would corrupt the
+    result store downstream.
+    """
+    ordered = sorted(batches, key=lambda item: item[0].start)
+    if not ordered:
+        raise StudyError("no shard batches to merge")
+    runs: list[TestcaseRun] = []
+    previous: Shard | None = None
+    for shard, batch in ordered:
+        if previous is not None and shard.start != previous.stop:
+            raise StudyError(
+                f"shard {shard.index} starts at user {shard.start}, "
+                f"expected {previous.stop}: merge would be discontiguous"
+            )
+        runs.extend(batch)
+        previous = shard
+    return runs
+
+
+def _resolve_context(mp_context: str | None) -> multiprocessing.context.BaseContext:
+    """Pick a start method: explicit request, else fork where available.
+
+    Fork avoids re-importing the interpreter per worker (the study's
+    compute is fractions of a second, so spawn startup would dominate);
+    everything submitted is nevertheless spawn-safe, which the test
+    suite exercises with an explicit ``mp_context="spawn"``.
+    """
+    if mp_context is not None:
+        return multiprocessing.get_context(mp_context)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_sharded_study(
+    config: ControlledStudyConfig | None = None,
+    shards: int = 1,
+    max_workers: int | None = None,
+    mp_context: str | None = None,
+) -> StudyResult:
+    """Execute the controlled study across ``shards`` worker processes.
+
+    Byte-identical to :func:`run_controlled_study` for any shard count:
+    per-user RNG streams are derived from ``(config.seed, user_index)``
+    alone, and the merge restores user-index order.  ``shards=1`` runs
+    in-process with no pool.  ``max_workers`` caps the pool size (default:
+    one worker per shard); ``mp_context`` forces a start method
+    (``"fork"``/``"spawn"``/``"forkserver"``).
+    """
+    if config is None:
+        config = ControlledStudyConfig()
+    if shards < 1:
+        raise StudyError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return run_controlled_study(config)
+
+    plan = shard_ranges(config.n_users, shards)
+    telemetry = get_telemetry()
+    with telemetry.span(
+        "study.sharded",
+        users=config.n_users,
+        seed=config.seed,
+        engine=config.engine,
+        shards=len(plan),
+    ) as span:
+        workers = min(len(plan), max_workers) if max_workers else len(plan)
+        batches: dict[int, Sequence[TestcaseRun]] = {}
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_resolve_context(mp_context)
+        ) as pool:
+            submitted = {}
+            for shard in plan:
+                future = pool.submit(_run_shard, config, shard.start, shard.stop)
+                submitted[future] = (shard, time.perf_counter())
+            pending = set(submitted)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard, started = submitted[future]
+                    batch = future.result()
+                    batches[shard.index] = batch
+                    if telemetry.enabled:
+                        _record_shard_metrics(
+                            telemetry,
+                            shard,
+                            len(batch),
+                            time.perf_counter() - started,
+                        )
+        runs = merge_shard_batches(
+            [(shard, batches[shard.index]) for shard in plan]
+        )
+        profiles = study_fixtures(config).profiles
+        span.annotate(runs=len(runs))
+        if telemetry.enabled:
+            telemetry.emit(
+                "study.complete",
+                users=len(profiles),
+                runs=len(runs),
+                shards=len(plan),
+                discomforts=sum(1 for r in runs if r.discomforted),
+            )
+        return StudyResult(tuple(runs), profiles, config)
+
+
+def _record_shard_metrics(
+    telemetry, shard: Shard, n_runs: int, elapsed_s: float
+) -> None:
+    """Parent-side per-shard instrumentation (caller checked ``enabled``)."""
+    metrics = telemetry.metrics
+    metrics.histogram(
+        "uucs_study_shard_seconds",
+        "Wall-clock per study shard, submit to completion.",
+        unit="seconds",
+        labelnames=("shard",),
+        buckets=SHARD_SECONDS_BUCKETS,
+    ).observe(elapsed_s, shard=str(shard.index))
+    metrics.counter(
+        "uucs_study_shard_workers_total",
+        "Shard worker tasks completed.",
+    ).inc()
+    metrics.counter(
+        "uucs_study_shard_runs_total",
+        "Run records produced by shard workers.",
+        labelnames=("shard",),
+    ).inc(n_runs, shard=str(shard.index))
+    metrics.counter(
+        "uucs_study_shard_users_total",
+        "Participant sessions executed by shard workers.",
+        labelnames=("shard",),
+    ).inc(shard.n_users, shard=str(shard.index))
+    telemetry.emit(
+        "study.shard",
+        shard=shard.index,
+        users=shard.n_users,
+        runs=n_runs,
+        duration_s=elapsed_s,
+    )

@@ -1,0 +1,129 @@
+"""Shard-equivalence contract checker for the study engines.
+
+The sharded engine (:mod:`repro.study.sharded`) may only ever be an
+optimization: for any shard count the merged run records must serialize
+byte-for-byte identically to the single-process engine's.  This module
+is the reusable harness that enforces it — imported by the test suite
+and runnable standalone against any config::
+
+    PYTHONPATH=src python tests/shardcheck.py --users 33 --seed 2004 --shards 1 4
+
+Exit status 0 means every requested shard count reproduced the
+single-process bytes exactly; any drift prints the first divergence and
+exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone: make `repro` importable
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.study import (  # noqa: E402  (after the standalone path fix-up)
+    ControlledStudyConfig,
+    StudyResult,
+    run_controlled_study,
+    run_sharded_study,
+)
+
+__all__ = [
+    "assert_shard_equivalence",
+    "serialized_records",
+    "study_digest",
+]
+
+
+def serialized_records(result: StudyResult) -> list[bytes]:
+    """The study's records in canonical stored form: one encoded JSON
+    line per run, in study order — exactly the bytes ``ResultStore``
+    writes."""
+    return [(run.to_json() + "\n").encode() for run in result.runs]
+
+
+def study_digest(result: StudyResult) -> str:
+    """SHA-256 over the concatenated canonical record lines."""
+    digest = hashlib.sha256()
+    for line in serialized_records(result):
+        digest.update(line)
+    return digest.hexdigest()
+
+
+def _first_divergence(a: list[bytes], b: list[bytes]) -> str:
+    if len(a) != len(b):
+        return f"record counts differ: {len(a)} vs {len(b)}"
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return f"record {i} differs:\n  baseline: {x!r}\n  sharded:  {y!r}"
+    return "no divergence"
+
+
+def assert_shard_equivalence(
+    config: ControlledStudyConfig,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    mp_context: str | None = None,
+    verbose: bool = False,
+) -> str:
+    """Run ``config`` single-process and at every shard count; assert all
+    serializations are byte-identical.  Returns the common digest."""
+    baseline = run_controlled_study(config)
+    baseline_records = serialized_records(baseline)
+    baseline_digest = study_digest(baseline)
+    for shards in shard_counts:
+        started = time.perf_counter()
+        sharded = run_sharded_study(config, shards=shards, mp_context=mp_context)
+        elapsed = time.perf_counter() - started
+        records = serialized_records(sharded)
+        assert records == baseline_records, (
+            f"--shards {shards} diverged from the single-process engine: "
+            + _first_divergence(baseline_records, records)
+        )
+        if verbose:
+            print(
+                f"  shards={shards}: {len(records)} records, "
+                f"{elapsed:.2f}s, sha256={baseline_digest[:16]}... OK"
+            )
+    return baseline_digest
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="check sharded-study byte-equivalence for a config"
+    )
+    parser.add_argument("--users", type=int, default=33)
+    parser.add_argument("--seed", type=int, default=2004)
+    parser.add_argument("--engine", choices=["analytic", "loop"],
+                        default="analytic")
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument("--mp-context", default=None,
+                        choices=["fork", "spawn", "forkserver"])
+    args = parser.parse_args(argv)
+    config = ControlledStudyConfig(
+        n_users=args.users, seed=args.seed, engine=args.engine
+    )
+    print(
+        f"shardcheck: users={args.users} seed={args.seed} "
+        f"engine={args.engine} shards={args.shards}"
+    )
+    try:
+        digest = assert_shard_equivalence(
+            config,
+            shard_counts=tuple(args.shards),
+            mp_context=args.mp_context,
+            verbose=True,
+        )
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: all shard counts byte-identical (sha256 {digest})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,26 @@ class TestStudyPipeline:
     def test_analyze_empty(self, tmp_path, capsys):
         assert run_cli("analyze", "--results", str(tmp_path / "empty")) == 1
 
+    def test_study_sharded_byte_identical_store(self, tmp_path, capsys):
+        single = str(tmp_path / "single")
+        sharded = str(tmp_path / "sharded")
+        assert run_cli("study", "--users", "4", "--seed", "9",
+                       "--results", single) == 0
+        assert "1 shard(s)" in capsys.readouterr().out
+        assert run_cli("study", "--users", "4", "--seed", "9",
+                       "--results", sharded, "--shards", "2") == 0
+        out = capsys.readouterr().out
+        assert "128 runs" in out
+        assert "2 shard(s)" in out
+        a = (tmp_path / "single" / "results.jsonl").read_bytes()
+        b = (tmp_path / "sharded" / "results.jsonl").read_bytes()
+        assert a == b
+
+    def test_study_bad_shards_errors(self, tmp_path, capsys):
+        # StudyError family exits 9.
+        assert run_cli("study", "--users", "2", "--shards", "0",
+                       "--results", str(tmp_path / "r")) == 9
+
 
 class TestTestcaseEdit:
     def test_scale_and_rename(self, tmp_path, capsys):

@@ -1,0 +1,37 @@
+"""Golden regression fixture for the canonical seed-2004 study.
+
+``tests/golden/controlled_study_seed2004.sha256`` pins the SHA-256 of
+the canonical study's serialized records (the exact bytes ``ResultStore``
+would hold).  Any engine, model, or serialization edit that shifts even
+one byte of paper-calibrated output fails here loudly instead of
+silently drifting the reproduced figures.
+
+If a change is *meant* to alter study output, regenerate the pin::
+
+    PYTHONPATH=src:tests python -c "
+    from shardcheck import study_digest
+    from repro.study import ControlledStudyConfig, run_controlled_study
+    print(study_digest(run_controlled_study(ControlledStudyConfig())))"
+
+and say so in the commit message.
+"""
+
+from pathlib import Path
+
+from shardcheck import study_digest
+
+GOLDEN = Path(__file__).parent / "golden" / "controlled_study_seed2004.sha256"
+
+
+def test_canonical_study_matches_golden(controlled_study):
+    expected = GOLDEN.read_text().split()[0]
+    assert study_digest(controlled_study) == expected, (
+        "canonical seed-2004 study output drifted from the golden pin; "
+        "if intentional, regenerate tests/golden/ (see module docstring)"
+    )
+
+
+def test_golden_pin_well_formed():
+    digest, *annotation = GOLDEN.read_text().split()
+    assert len(digest) == 64 and int(digest, 16) >= 0
+    assert "seed=2004" in " ".join(annotation)

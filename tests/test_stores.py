@@ -131,3 +131,95 @@ class TestResultStore:
         original = run_record()
         store.append(original)
         assert next(iter(store)) == original
+
+
+class TestResultStoreBatches:
+    def test_extend_batches_counts_and_order(self, tmp_path):
+        store = ResultStore(tmp_path)
+        batches = [[run_record("a"), run_record("b")], [], [run_record("c")]]
+        assert store.extend_batches(batches) == 3
+        assert [r.run_id for r in store] == ["a", "b", "c"]
+
+    def test_extend_batches_matches_extend_bytes(self, tmp_path):
+        runs = [run_record(f"r{i}") for i in range(6)]
+        flat = ResultStore(tmp_path / "flat")
+        flat.extend(runs)
+        batched = ResultStore(tmp_path / "batched")
+        batched.extend_batches([runs[:2], runs[2:5], runs[5:]])
+        assert flat.path.read_bytes() == batched.path.read_bytes()
+
+    def test_extend_batches_into_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.extend_batches([]) == 0
+        assert len(store) == 0
+        assert store.run_ids() == set()
+
+    def test_extend_batches_dedupe(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(run_record("a"))
+        wrote = store.extend_batches(
+            [[run_record("a"), run_record("b")]], dedupe=True
+        )
+        assert wrote == 1
+        assert [r.run_id for r in store] == ["a", "b"]
+
+
+class TestResultStoreCrashTail:
+    def crashed(self, tmp_path):
+        """A store whose writer died mid-record."""
+        store = ResultStore(tmp_path)
+        store.extend([run_record("a"), run_record("b")])
+        with store.path.open("a") as fh:
+            fh.write('{"run_id": "half-written')  # no newline: uncommitted
+        return store
+
+    def test_partial_tail_ignored_on_read(self, tmp_path):
+        self.crashed(tmp_path)
+        reopened = ResultStore(tmp_path)
+        assert [r.run_id for r in reopened] == ["a", "b"]
+
+    def test_reopen_and_reindex_after_crash(self, tmp_path):
+        self.crashed(tmp_path)
+        reopened = ResultStore(tmp_path)
+        assert reopened.run_ids() == {"a", "b"}
+        assert "half-written" not in reopened
+
+    def test_append_after_crash_repairs_tail(self, tmp_path):
+        store = self.crashed(tmp_path)
+        store.append(run_record("c"))
+        assert [r.run_id for r in ResultStore(tmp_path)] == ["a", "b", "c"]
+        assert b"half-written" not in store.path.read_bytes()
+
+    def test_extend_batches_after_crash(self, tmp_path):
+        self.crashed(tmp_path)
+        reopened = ResultStore(tmp_path)
+        assert reopened.extend_batches([[run_record("c"), run_record("d")]]) == 2
+        assert [r.run_id for r in reopened] == ["a", "b", "c", "d"]
+
+    def test_repair_tail_reports(self, tmp_path):
+        store = self.crashed(tmp_path)
+        assert store.repair_tail() is True
+        assert store.repair_tail() is False
+
+    def test_repair_tail_noop_cases(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.repair_tail() is False  # no file yet
+        store.path.write_text("")
+        assert store.repair_tail() is False  # empty file
+
+    def test_repair_tail_whole_file_is_partial(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.path.write_text('{"no-newline')
+        assert store.repair_tail() is True
+        assert store.path.read_bytes() == b""
+        assert list(store) == []
+
+    def test_terminated_corruption_still_raises(self, tmp_path):
+        # Leniency is only for the crash-truncated tail; a corrupt line
+        # that *was* committed (newline-terminated) stays a hard error.
+        store = ResultStore(tmp_path)
+        store.append(run_record("a"))
+        with store.path.open("a") as fh:
+            fh.write("{broken\n")
+        with pytest.raises(StoreError, match="results.jsonl:2"):
+            list(store)
