@@ -57,11 +57,12 @@ from repro.errors import (
     ThrottleError,
     ValidationError,
 )
-from repro.server.server import TCPServerTransport, UUCSServer
+from repro.net import SERVER_BACKENDS, serve_transport
+from repro.server.server import UUCSServer
 from repro.stores import ResultStore, TestcaseStore
 from repro.study.controlled import ControlledStudyConfig
 from repro.study.internet import generate_library
-from repro.study.sharded import run_sharded_study, shard_ranges
+from repro.study.sharded import resolve_shards, run_sharded_study, shard_ranges
 from repro.telemetry import Telemetry, use_telemetry
 
 __all__ = ["main"]
@@ -149,21 +150,22 @@ def _cmd_testcase_view(args: argparse.Namespace) -> int:
 
 def _cmd_study(args: argparse.Namespace) -> int:
     config = ControlledStudyConfig(n_users=args.users, seed=args.seed)
+    n_shards = resolve_shards(args.shards, config.n_users)
     # One timer pair around the whole study — never inside the per-run hot
     # loop, where per-session timing belongs to (and is gated by) telemetry.
     started = time.perf_counter()
     if args.telemetry:
         with use_telemetry(Telemetry.to_path(args.telemetry)):
             result = run_sharded_study(
-                config, shards=args.shards, max_workers=args.workers
+                config, shards=n_shards, max_workers=args.workers
             )
     else:
         result = run_sharded_study(
-            config, shards=args.shards, max_workers=args.workers
+            config, shards=n_shards, max_workers=args.workers
         )
     elapsed = time.perf_counter() - started
     store = ResultStore(args.results)
-    shards = shard_ranges(config.n_users, args.shards)
+    shards = shard_ranges(config.n_users, n_shards)
     store.extend_batches(_study_batches(result, shards))
     _print(
         f"controlled study: {len(result.runs)} runs from "
@@ -360,9 +362,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = UUCSServer(args.root, seed=args.seed, telemetry=telemetry)
     if args.library:
         server.add_testcases(generate_library(args.library, seed=args.seed))
-    transport = TCPServerTransport(server, args.host, args.port)
+    from repro.net import default_backend
+
+    backend = args.backend or default_backend()
+    transport = serve_transport(
+        server,
+        backend=backend,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+    )
     host, port = transport.address
-    _print(f"UUCS server on {host}:{port} ({len(server.testcases)} testcases)")
+    _print(
+        f"UUCS server on {host}:{port} "
+        f"({backend} backend, {len(server.testcases)} testcases)"
+    )
     chaos = None
     if args.chaos:
         from repro.faults import ChaosTCPProxy, FaultPlan
@@ -528,9 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--users", type=int, default=33)
     study.add_argument("--seed", type=int, default=2004)
     study.add_argument("--results", default="results")
-    study.add_argument("--shards", type=int, default=1,
-                       help="partition users across N worker processes "
-                            "(byte-identical results for any N)")
+    study.add_argument("--shards", default="1", metavar="N|auto",
+                       help="partition users across N worker processes, "
+                            "byte-identical results for any N; 'auto' sizes "
+                            "the pool from os.cpu_count(), clamped to the "
+                            "user count")
     study.add_argument("--workers", type=int, default=None,
                        help="process-pool size (default: one per shard)")
     study.add_argument("--telemetry", default="", metavar="PATH",
@@ -556,6 +572,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--root", default="server")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--backend", choices=sorted(SERVER_BACKENDS),
+                       default=None,
+                       help="server transport backend (default: "
+                            "$UUCS_SERVER_BACKEND or threading); asyncio "
+                            "holds thousands of concurrent connections in "
+                            "one process")
+    serve.add_argument("--max-connections", type=int, default=None,
+                       help="serve at most N connections at once; excess "
+                            "connections queue with backpressure instead "
+                            "of failing")
     serve.add_argument("--library", type=int, default=0)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--timeout", type=float, default=0.0,

@@ -1,0 +1,80 @@
+"""The server backend registry.
+
+Transports are interchangeable: each maps one :class:`UUCSServer` onto a
+listening socket with the same constructor shape ``(server, host, port,
+max_connections=..., drain_timeout=...)`` and the same surface
+(``.address``, ``.connect()``, ``.close()``, context manager), all
+speaking the wire protocol through the shared
+:class:`~repro.net.dispatcher.RequestDispatcher`.  Callers pick one by
+name — ``uucs serve --backend asyncio`` — or let the
+``UUCS_SERVER_BACKEND`` environment variable decide, which is how the
+test matrix runs one suite against every backend.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ValidationError
+from repro.net.asyncio_server import AsyncioServerTransport
+from repro.server.server import TCPServerTransport, UUCSServer
+
+__all__ = [
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "SERVER_BACKENDS",
+    "default_backend",
+    "get_server_backend",
+    "serve_transport",
+]
+
+#: Environment variable consulted when no backend is named explicitly.
+BACKEND_ENV = "UUCS_SERVER_BACKEND"
+
+#: The historical thread-per-connection transport stays the default:
+#: asyncio is opt-in until a fleet actually needs its connection counts.
+DEFAULT_BACKEND = "threading"
+
+#: Registry of server transport classes by backend name.
+SERVER_BACKENDS: dict[str, type] = {
+    "threading": TCPServerTransport,
+    "asyncio": AsyncioServerTransport,
+}
+
+
+def default_backend() -> str:
+    """The backend used when none is named: ``$UUCS_SERVER_BACKEND`` or
+    :data:`DEFAULT_BACKEND`."""
+    name = os.environ.get(BACKEND_ENV, "").strip().lower()
+    return name or DEFAULT_BACKEND
+
+
+def get_server_backend(name: str | None = None) -> type:
+    """Resolve a backend name to its transport class.
+
+    ``None`` or ``""`` means :func:`default_backend`.  Unknown names
+    raise :class:`~repro.errors.ValidationError` listing the choices.
+    """
+    resolved = (name or default_backend()).strip().lower()
+    try:
+        return SERVER_BACKENDS[resolved]
+    except KeyError:
+        raise ValidationError(
+            f"unknown server backend {resolved!r} "
+            f"(choose from {', '.join(sorted(SERVER_BACKENDS))})"
+        ) from None
+
+
+def serve_transport(
+    server: UUCSServer,
+    backend: str | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **options: object,
+):
+    """Start serving ``server`` over TCP on the chosen backend.
+
+    Extra keyword ``options`` (``max_connections``, ``drain_timeout``)
+    pass through to the transport constructor.
+    """
+    return get_server_backend(backend)(server, host, port, **options)

@@ -310,61 +310,23 @@ class InProcessTransport:
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
-        server: UUCSServer = self.server.uucs_server  # type: ignore[attr-defined]
-        telemetry = server.telemetry
-        if telemetry.enabled:
-            telemetry.metrics.counter(
-                "uucs_server_connections_total", "TCP connections accepted."
-            ).inc()
+        # All protocol behaviour lives in the backend-shared dispatcher;
+        # this handler only moves bytes between it and the socket.
+        dispatcher = self.server.dispatcher  # type: ignore[attr-defined]
+        dispatcher.connection_opened()
         try:
-            self._serve_lines(server, telemetry)
+            for line in self.rfile:
+                payload = dispatcher.dispatch_line(line)
+                if payload is None:
+                    continue
+                self.wfile.write(payload)
+                self.wfile.flush()
         except OSError:
             # The peer vanished mid-exchange (reset, half-close, chaos
             # proxy); this connection is done but the server is fine.
             pass
-
-    def _serve_lines(self, server: UUCSServer, telemetry: Telemetry) -> None:
-        for line in self.rfile:
-            if not line.strip():
-                continue
-            client_id = ""
-            try:
-                request = decode_message(line)
-                payload_client = request.payload.get("client_id")
-                if isinstance(payload_client, str):
-                    client_id = payload_client
-                response = server.handle(request)
-            except ReproError as exc:
-                # One garbage line must not kill the connection thread: any
-                # library error (ProtocolError, SerializationError, ...)
-                # turns into an error reply and the loop keeps reading.
-                response = Message.error(str(exc))
-                if telemetry.enabled:
-                    telemetry.metrics.counter(
-                        "uucs_server_malformed_lines_total",
-                        "Request lines that failed to decode or dispatch.",
-                    ).inc()
-            try:
-                payload = encode_message(response)
-            except ReproError as exc:
-                payload = encode_message(
-                    Message.error(f"unencodable response: {exc}")
-                )
-            self.wfile.write(payload)
-            self.wfile.flush()
-            if telemetry.enabled:
-                metrics = telemetry.metrics
-                metrics.counter(
-                    "uucs_server_bytes_read_total",
-                    "Request bytes read off TCP connections.",
-                    unit="bytes",
-                ).inc(len(line))
-                metrics.counter(
-                    "uucs_server_bytes_written_total",
-                    "Response bytes written to TCP connections.",
-                    unit="bytes",
-                ).inc(len(payload))
-                server.record_client_bytes(client_id, len(line), len(payload))
+        finally:
+            dispatcher.connection_closed()
 
 
 class _ReusableThreadingTCPServer(socketserver.ThreadingTCPServer):
@@ -373,19 +335,48 @@ class _ReusableThreadingTCPServer(socketserver.ThreadingTCPServer):
     # TIME_WAIT.
     allow_reuse_address = True
 
-    def __init__(self, *args: object, **kwargs: object):
+    def __init__(
+        self,
+        *args: object,
+        max_connections: int | None = None,
+        **kwargs: object,
+    ):
         self._open_requests: set[socket.socket] = set()
         self._open_lock = threading.Lock()
+        self._slots = (
+            threading.BoundedSemaphore(max_connections)
+            if max_connections
+            else None
+        )
+        self._closing = False
         super().__init__(*args, **kwargs)  # type: ignore[arg-type]
 
     def process_request(self, request, client_address) -> None:
+        if self._slots is not None and not self._acquire_slot(request):
+            return
         with self._open_lock:
             self._open_requests.add(request)
         super().process_request(request, client_address)
 
+    def _acquire_slot(self, request) -> bool:
+        # Backpressure, not refusal: while every handler thread is busy
+        # the accept loop parks here, so excess dials queue in the listen
+        # backlog instead of erroring.  Polled so close() can never
+        # deadlock behind a full pool.
+        if not self._slots.acquire(blocking=False):
+            self.dispatcher.connection_waited()  # type: ignore[attr-defined]
+            while not self._slots.acquire(timeout=0.05):
+                if self._closing:
+                    super().shutdown_request(request)
+                    return False
+        return True
+
     def shutdown_request(self, request) -> None:
         with self._open_lock:
+            held_slot = request in self._open_requests
             self._open_requests.discard(request)
+        if self._slots is not None and held_slot:
+            self._slots.release()
         super().shutdown_request(request)
 
     def close_all_connections(self) -> None:
@@ -402,18 +393,38 @@ class _ReusableThreadingTCPServer(socketserver.ThreadingTCPServer):
 
 
 class TCPServerTransport:
-    """Serve a :class:`UUCSServer` over localhost TCP.
+    """Serve a :class:`UUCSServer` over localhost TCP (thread per
+    connection; the ``threading`` entry of the backend registry).
 
-    Also provides the matching client-side transport via
-    :meth:`connect`.
+    ``max_connections`` bounds concurrently served connections with
+    backpressure: when every slot is taken the accept loop pauses, so
+    excess dials queue in the listen backlog instead of failing.  Also
+    provides the matching client-side transport via :meth:`connect`.
     """
 
-    def __init__(self, server: UUCSServer, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        server: UUCSServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int | None = None,
+        drain_timeout: float = 5.0,
+    ):
+        # Deferred import: repro.net imports this module for the registry.
+        from repro.net.dispatcher import RequestDispatcher
+
         self._tcp = _ReusableThreadingTCPServer(
-            (host, port), _Handler, bind_and_activate=True
+            (host, port),
+            _Handler,
+            bind_and_activate=True,
+            max_connections=max_connections,
         )
         self._tcp.daemon_threads = True
         self._tcp.uucs_server = server  # type: ignore[attr-defined]
+        self._tcp.dispatcher = RequestDispatcher(  # type: ignore[attr-defined]
+            server, backend="threading"
+        )
+        self._drain_timeout = float(drain_timeout)
         self._thread = threading.Thread(
             target=self._tcp.serve_forever, name="uucs-server", daemon=True
         )
@@ -428,10 +439,16 @@ class TCPServerTransport:
         return TCPClientTransport(*self.address)
 
     def close(self) -> None:
-        self._tcp.shutdown()
-        self._tcp.close_all_connections()
-        self._tcp.server_close()
-        self._thread.join(timeout=5.0)
+        # The listening socket is released unconditionally: even when a
+        # handler or the accept loop raises mid-shutdown, the port must
+        # be immediately rebindable by the next incarnation.
+        self._tcp._closing = True
+        try:
+            self._tcp.shutdown()
+            self._tcp.close_all_connections()
+        finally:
+            self._tcp.server_close()
+            self._thread.join(timeout=self._drain_timeout)
 
     def __enter__(self) -> "TCPServerTransport":
         return self

@@ -12,6 +12,7 @@ from repro.study.controlled import (
 from repro.study.sharded import (
     Shard,
     merge_shard_batches,
+    resolve_shards,
     run_sharded_study,
     shard_ranges,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "blank_testcase",
     "merge_shard_batches",
     "ramp_testcase",
+    "resolve_shards",
     "run_controlled_study",
     "run_sharded_study",
     "run_user_range",

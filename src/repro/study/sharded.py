@@ -21,6 +21,7 @@ arguments survive pickling under any multiprocessing start method.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -40,6 +41,7 @@ from repro.telemetry import get_telemetry
 __all__ = [
     "Shard",
     "merge_shard_batches",
+    "resolve_shards",
     "run_sharded_study",
     "shard_ranges",
 ]
@@ -85,6 +87,32 @@ def shard_ranges(n_users: int, n_shards: int) -> tuple[Shard, ...]:
         shards.append(Shard(index=index, start=start, stop=stop))
         start = stop
     return tuple(shards)
+
+
+def resolve_shards(spec: int | str, n_users: int) -> int:
+    """Resolve a ``--shards`` request (a count or ``"auto"``) to an int.
+
+    ``"auto"`` sizes the pool from :func:`os.cpu_count`, clamped to the
+    user count — more shards than users would only be dropped by
+    :func:`shard_ranges`, and more than the host's cores only adds pool
+    overhead.  Numeric strings parse as counts; anything else raises
+    :class:`~repro.errors.StudyError`.
+    """
+    if n_users < 1:
+        raise StudyError(f"n_users must be >= 1, got {n_users}")
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text == "auto":
+            return max(1, min(os.cpu_count() or 1, n_users))
+        try:
+            spec = int(text)
+        except ValueError:
+            raise StudyError(
+                f"shards must be a positive integer or 'auto', got {spec!r}"
+            ) from None
+    if spec < 1:
+        raise StudyError(f"shards must be >= 1, got {spec}")
+    return spec
 
 
 def _run_shard(

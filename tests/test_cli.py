@@ -85,6 +85,17 @@ class TestStudyPipeline:
         # StudyError family exits 9.
         assert run_cli("study", "--users", "2", "--shards", "0",
                        "--results", str(tmp_path / "r")) == 9
+        assert run_cli("study", "--users", "2", "--shards", "soon",
+                       "--results", str(tmp_path / "r2")) == 9
+
+    def test_study_shards_auto(self, tmp_path, capsys, monkeypatch):
+        """`--shards auto` sizes the pool from os.cpu_count(), clamped to
+        the user count (2 users here, so 2 shards regardless of cores)."""
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        assert run_cli("study", "--users", "2", "--seed", "9",
+                       "--shards", "auto",
+                       "--results", str(tmp_path / "r")) == 0
+        assert "2 shard(s)" in capsys.readouterr().out
 
 
 class TestTestcaseEdit:
@@ -135,7 +146,30 @@ class TestServeAndClient:
                        "--library", "3", "--timeout", "0.2") == 0
         out = capsys.readouterr().out
         assert "UUCS server on 127.0.0.1" in out
+        assert "threading backend" in out
         assert "3 testcases" in out
+
+    def test_serve_asyncio_backend(self, tmp_path, capsys):
+        assert run_cli("serve", "--root", str(tmp_path / "srv"),
+                       "--backend", "asyncio", "--max-connections", "64",
+                       "--library", "3", "--timeout", "0.2") == 0
+        out = capsys.readouterr().out
+        assert "UUCS server on 127.0.0.1" in out
+        assert "asyncio backend" in out
+
+    def test_serve_backend_env_default(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("UUCS_SERVER_BACKEND", "asyncio")
+        assert run_cli("serve", "--root", str(tmp_path / "srv"),
+                       "--timeout", "0.2") == 0
+        assert "asyncio backend" in capsys.readouterr().out
+
+    def test_serve_asyncio_with_chaos_proxy(self, tmp_path, capsys):
+        assert run_cli("serve", "--root", str(tmp_path / "srv"),
+                       "--backend", "asyncio", "--library", "2",
+                       "--chaos", "drop=0.1", "--timeout", "0.2") == 0
+        out = capsys.readouterr().out
+        assert "asyncio backend" in out
+        assert "chaos proxy on" in out
 
     def test_client_against_tcp_server(self, tmp_path, capsys):
         from repro.server import TCPServerTransport, UUCSServer

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.exercisers",
     "repro.machine",
     "repro.monitor",
+    "repro.net",
     "repro.server",
     "repro.stores",
     "repro.study",

@@ -18,6 +18,7 @@ from repro.stores import ResultStore
 from repro.study import (
     ControlledStudyConfig,
     merge_shard_batches,
+    resolve_shards,
     run_controlled_study,
     run_sharded_study,
     run_user_range,
@@ -64,6 +65,35 @@ class TestShardRanges:
         sizes = [s.n_users for s in shards]
         assert max(sizes) - min(sizes) <= 1
         assert [s.index for s in shards] == list(range(len(shards)))
+
+
+class TestResolveShards:
+    def test_auto_sizes_pool_from_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        assert resolve_shards("auto", 33) == 4
+
+    def test_auto_clamps_to_user_count(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 64)
+        assert resolve_shards("auto", 33) == 33
+        assert resolve_shards("AUTO", 1) == 1  # case-insensitive
+
+    def test_auto_survives_unknown_cpu_count(self, monkeypatch):
+        # os.cpu_count() may return None on exotic platforms.
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert resolve_shards("auto", 33) == 1
+
+    def test_numeric_specs_pass_through(self):
+        assert resolve_shards(3, 33) == 3
+        assert resolve_shards("8", 33) == 8
+        # A count above the user total is legal; shard_ranges drops empties.
+        assert resolve_shards(100, 33) == 100
+
+    def test_invalid_specs_rejected(self):
+        for bad in ("zero", "", "2.5", 0, -1, "0"):
+            with pytest.raises(StudyError):
+                resolve_shards(bad, 33)
+        with pytest.raises(StudyError):
+            resolve_shards("auto", 0)
 
 
 class TestUserRange:

@@ -1,5 +1,9 @@
 """TCP failure paths: malformed lines, cut connections, half-written
-responses, server restarts, and the seeded chaos-proxy soak."""
+responses, server restarts, and the seeded chaos-proxy soak.
+
+Server-side transports come from the backend registry, so setting
+``UUCS_SERVER_BACKEND=asyncio`` runs this whole file against the asyncio
+backend (the CI matrix does exactly that)."""
 
 import contextlib
 import json
@@ -21,7 +25,8 @@ from repro.faults import (
     RetryingTransport,
     RetryPolicy,
 )
-from repro.server import Message, TCPServerTransport, UUCSServer
+from repro.net import serve_transport
+from repro.server import Message, UUCSServer
 from repro.users import make_user, sample_population
 
 
@@ -33,7 +38,7 @@ def tc(tcid):
 def served(tmp_path):
     server = UUCSServer(tmp_path / "server", seed=1)
     server.add_testcases([tc("a"), tc("b")])
-    with TCPServerTransport(server) as transport:
+    with serve_transport(server) as transport:
         yield server, transport
 
 
@@ -133,7 +138,7 @@ class TestServerRestart:
         root = tmp_path / "server"
         server = UUCSServer(root, seed=1)
         server.add_testcases([tc("a"), tc("b")])
-        first = TCPServerTransport(server)
+        first = serve_transport(server)
         host, port = first.address
 
         transport = RetryingTransport(
@@ -154,7 +159,7 @@ class TestServerRestart:
         first.close()
         reborn = UUCSServer(root, seed=5)  # registry + results from disk
         reborn.add_testcases([tc("a"), tc("b")])
-        second = TCPServerTransport(reborn, host=host, port=port)
+        second = serve_transport(reborn, host=host, port=port)
         try:
             _, uploaded = client.hot_sync()
             assert uploaded == 1
@@ -185,7 +190,7 @@ class TestChaosProxySoak:
     def _soak(self, tmp_path, seed):
         server = UUCSServer(tmp_path / "server", seed=1)
         server.add_testcases([tc("a"), tc("b")])
-        tcp = TCPServerTransport(server)
+        tcp = serve_transport(server)
         proxy = ChaosTCPProxy(
             tcp.address,
             FaultPlan(
