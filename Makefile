@@ -2,13 +2,15 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench reproduce examples validate clean help
+.PHONY: install test lint bench bench-check trace-demo reproduce examples validate clean help
 
 help:
 	@echo "install     editable install (falls back to setup.py develop offline)"
 	@echo "test        run the test suite"
 	@echo "lint        static checks (ruff, else pyflakes, else compileall)"
 	@echo "bench       run all benchmarks (regenerates benchmarks/artifacts/)"
+	@echo "bench-check fresh perf benchmarks gated against committed baselines"
+	@echo "trace-demo  6-process distributed trace: study + client/server sync"
 	@echo "reproduce   study -> analyze -> validate, via the uucs CLI"
 	@echo "examples    run every example script"
 	@echo "clean       remove generated stores, caches, artifacts"
@@ -32,6 +34,20 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The CI bench-regression job, runnable locally: regenerate both perf
+# reports into out/ and fail if either regressed >30% vs the committed
+# baselines (see benchmarks/bench_check.py for what counts).
+bench-check:
+	mkdir -p out
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_study_shards.py \
+		--out out/fresh-study.json --telemetry out/bench-traces
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_server.py --out out/fresh-server.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py BENCH_study.json out/fresh-study.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py BENCH_server.json out/fresh-server.json
+
+trace-demo:
+	PYTHONPATH=src $(PYTHON) examples/trace_demo.py
 
 reproduce:
 	$(PYTHON) -m repro.cli study --users 33 --seed 2004 --results out/results

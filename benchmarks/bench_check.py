@@ -1,0 +1,182 @@
+"""Perf-regression gate over the committed benchmark reports.
+
+Compares a freshly generated ``BENCH_study.json`` or ``BENCH_server.json``
+against the committed baseline and fails (exit 1) when any matched cell
+regressed beyond the tolerance::
+
+    PYTHONPATH=src python benchmarks/bench_check.py BENCH_study.json fresh-study.json
+    PYTHONPATH=src python benchmarks/bench_check.py BENCH_server.json fresh-server.json --tolerance 0.5
+
+What counts as a regression, per cell matched by its identity key
+(``shards`` for the study report; ``backend x clients`` for the server
+report):
+
+* a throughput metric (``runs_per_second``, ``requests_per_second``)
+  dropping more than ``tolerance`` below baseline;
+* a latency metric (``p50_ms``, ``p99_ms``) rising more than
+  ``tolerance`` above baseline — unless the current value is still
+  under the absolute floor (``--latency-floor-ms``, default 1 ms),
+  where scheduler noise swamps any real signal;
+* a baseline cell missing from the current report;
+* the study report's ``sha256`` digests disagreeing between runs or
+  against the 1-shard baseline — that is a *correctness* break
+  (byte-identical sharding is the engine's contract), and no tolerance
+  applies.
+
+Cells present only in the current report are noted, never failed: the
+gate guards against losing ground on what was measured before, not
+against measuring more.  CI hosts differ from the hosts that produced
+the committed baselines, which is why the default tolerance is a wide
+30% — the gate exists to catch "this change halved throughput", not
+±5% jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["compare_reports", "load_report"]
+
+#: Per-cell metrics: name -> direction ("up" = bigger is better).
+_THROUGHPUT = {"runs_per_second": "up", "requests_per_second": "up"}
+_LATENCY = {"p50_ms": "down", "p99_ms": "down"}
+
+
+def load_report(path: str | Path) -> dict:
+    report = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(report, dict) or "results" not in report:
+        raise ValueError(f"{path}: not a benchmark report (no 'results')")
+    return report
+
+
+def _cell_key(report: dict, cell: dict) -> str:
+    """The cell's identity within its report family."""
+    if "shards" in cell:
+        return f"shards={cell['shards']}"
+    return f"{cell.get('backend', '?')} x {cell.get('clients', '?')} clients"
+
+
+def compare_reports(
+    baseline: dict,
+    current: dict,
+    tolerance: float = 0.30,
+    latency_floor_ms: float = 1.0,
+) -> tuple[list[str], list[str]]:
+    """Compare two benchmark reports cell by cell.
+
+    Returns ``(regressions, notes)``: the gate fails iff ``regressions``
+    is non-empty, while ``notes`` records benign observations (new
+    cells, improvements) for the log.
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    if baseline.get("benchmark") != current.get("benchmark"):
+        regressions.append(
+            f"report mismatch: baseline is {baseline.get('benchmark')!r}, "
+            f"current is {current.get('benchmark')!r}"
+        )
+        return regressions, notes
+
+    base_cells = {_cell_key(baseline, c): c for c in baseline["results"]}
+    curr_cells = {_cell_key(current, c): c for c in current["results"]}
+
+    for key in curr_cells:
+        if key not in base_cells:
+            notes.append(f"{key}: new cell (no baseline); skipped")
+
+    # Byte-identical sharding is a correctness contract: any digest in
+    # either report diverging from that report's own 1-shard digest, or
+    # the two reports' digests diverging from each other, is a failure.
+    for label, report in (("baseline", baseline), ("current", current)):
+        for cell in report["results"]:
+            if "byte_identical_to_1_shard" in cell and not cell[
+                "byte_identical_to_1_shard"
+            ]:
+                regressions.append(
+                    f"{label} {_cell_key(report, cell)}: shard output "
+                    "diverged from the 1-shard run (sha256 mismatch)"
+                )
+
+    for key, base in base_cells.items():
+        curr = curr_cells.get(key)
+        if curr is None:
+            regressions.append(f"{key}: cell missing from current report")
+            continue
+        if "sha256" in base and "sha256" in curr and base["sha256"] != curr["sha256"]:
+            regressions.append(
+                f"{key}: study output sha256 changed "
+                f"({base['sha256'][:12]}... -> {curr['sha256'][:12]}...)"
+            )
+        for metric in _THROUGHPUT:
+            if metric not in base or metric not in curr:
+                continue
+            floor = base[metric] * (1.0 - tolerance)
+            if curr[metric] < floor:
+                regressions.append(
+                    f"{key}: {metric} {curr[metric]:.1f} is "
+                    f"{100 * (1 - curr[metric] / base[metric]):.1f}% below "
+                    f"baseline {base[metric]:.1f} (tolerance {tolerance:.0%})"
+                )
+            elif curr[metric] > base[metric]:
+                notes.append(
+                    f"{key}: {metric} improved "
+                    f"{base[metric]:.1f} -> {curr[metric]:.1f}"
+                )
+        for metric in _LATENCY:
+            if metric not in base or metric not in curr:
+                continue
+            if curr[metric] <= latency_floor_ms:
+                continue
+            ceiling = base[metric] * (1.0 + tolerance)
+            if curr[metric] > ceiling:
+                regressions.append(
+                    f"{key}: {metric} {curr[metric]:.3f}ms is "
+                    f"{100 * (curr[metric] / base[metric] - 1):.1f}% above "
+                    f"baseline {base[metric]:.3f}ms (tolerance {tolerance:.0%})"
+                )
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed benchmark JSON")
+    parser.add_argument("current", help="freshly generated benchmark JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--latency-floor-ms", type=float, default=1.0,
+                        help="latencies at or under this are never failed "
+                             "(sub-floor values are scheduler noise)")
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_report(args.baseline)
+        current = load_report(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    regressions, notes = compare_reports(
+        baseline, current,
+        tolerance=args.tolerance,
+        latency_floor_ms=args.latency_floor_ms,
+    )
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression}", file=sys.stderr)
+        print(
+            f"{len(regressions)} regression(s) vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: {len(current['results'])} cell(s) within "
+        f"{args.tolerance:.0%} of {args.baseline}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ if __package__ in (None, ""):  # standalone: make `repro` importable
 
 from repro._version import __version__
 from repro.study import ControlledStudyConfig, run_sharded_study
+from repro.telemetry import Telemetry, use_telemetry
 
 
 def _digest(result) -> str:
@@ -41,7 +42,12 @@ def _digest(result) -> str:
     return h.hexdigest()
 
 
-def bench(config: ControlledStudyConfig, shard_counts, repeat: int) -> dict:
+def bench(
+    config: ControlledStudyConfig,
+    shard_counts,
+    repeat: int,
+    telemetry_prefix: str | None = None,
+) -> dict:
     entries = []
     baseline_s = None
     baseline_digest = None
@@ -50,9 +56,26 @@ def bench(config: ControlledStudyConfig, shard_counts, repeat: int) -> dict:
         digest = None
         runs = 0
         for _ in range(repeat):
-            started = time.perf_counter()
-            result = run_sharded_study(config, shards=shards)
-            times.append(time.perf_counter() - started)
+            # With --telemetry, each timed run also records distributed
+            # traces (driver span + per-shard worker spans), so a CI
+            # failure can ship the spans that explain the numbers.  The
+            # digest check below proves the instrumentation didn't
+            # perturb the seeded study.
+            if telemetry_prefix:
+                stem = f"{telemetry_prefix}.shards{shards}"
+                hub = Telemetry.to_path(f"{stem}.jsonl")
+                with use_telemetry(hub):
+                    started = time.perf_counter()
+                    result = run_sharded_study(
+                        config,
+                        shards=shards,
+                        worker_telemetry=stem if shards > 1 else None,
+                    )
+                    times.append(time.perf_counter() - started)
+            else:
+                started = time.perf_counter()
+                result = run_sharded_study(config, shards=shards)
+                times.append(time.perf_counter() - started)
             digest = _digest(result)
             runs = len(result.runs)
         best = min(times)
@@ -103,9 +126,18 @@ def main(argv=None) -> int:
         "--out",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_study.json"),
     )
+    parser.add_argument(
+        "--telemetry", default="", metavar="PREFIX",
+        help="also record distributed traces: driver logs to "
+             "PREFIX.shardsN.jsonl, workers to PREFIX.shardsN.shardM.jsonl "
+             "(assemble with `uucs trace PREFIX*`)",
+    )
     args = parser.parse_args(argv)
     config = ControlledStudyConfig(n_users=args.users, seed=args.seed)
-    report = bench(config, args.shards, args.repeat)
+    report = bench(
+        config, args.shards, args.repeat,
+        telemetry_prefix=args.telemetry or None,
+    )
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     for entry in report["results"]:
         print(

@@ -1,0 +1,136 @@
+"""Distributed tracing, end to end: six processes, one connected trace.
+
+Opens a single root span in this driver process and runs the two
+distributed workloads this repo has inside it:
+
+1. a 4-shard controlled study — the driver's ``study.sharded`` span
+   fans out to a ``study.shard_worker`` root span in each of four
+   worker processes, each writing its own event log;
+2. a client sync against a ``uucs serve`` subprocess over real TCP —
+   the client's ``client.register``/``hot_sync`` spans carry their
+   trace context in the request payload, and the server's
+   ``server.request`` spans parent to them from another process.
+
+Every span therefore belongs to ONE trace spanning six processes: this
+driver, four shard workers, and the server subprocess.  The demo then
+assembles all six logs with :mod:`repro.telemetry.traces` and prints
+the tree and critical path — the same output as::
+
+    uucs trace demo.jsonl demo.shard*.jsonl server.jsonl
+
+Run:  make trace-demo   (or: PYTHONPATH=src python examples/trace_demo.py)
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.machine.specs import MachineSpec
+from repro.study import ControlledStudyConfig, run_sharded_study
+from repro.telemetry import Telemetry, use_telemetry
+from repro.telemetry.traces import (
+    assemble_traces,
+    load_spans,
+    render_critical_path,
+    render_trace_list,
+    render_trace_tree,
+)
+
+
+@contextmanager
+def traced_server(tmp: Path, log: Path):
+    """A ``uucs serve`` subprocess with its own telemetry log; yields
+    the bound port."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src), env.get("PYTHONPATH", "")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--root", str(tmp / "srv"), "--library", "2",
+         "--port", "0", "--timeout", "60",
+         "--telemetry", str(log)],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        port = None
+        for line in proc.stdout:
+            if line.startswith("UUCS server on "):
+                port = int(line.split()[3].rpartition(":")[2])
+                break
+        if port is None:
+            raise RuntimeError("server never printed its address")
+        yield port
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+def run_demo(tmp: Path) -> list[Path]:
+    """Run both traced workloads under one root span; return the logs."""
+    from repro.client.client import ClientConfig, UUCSClient
+    from repro.server.server import TCPClientTransport
+
+    demo_log = tmp / "demo.jsonl"
+    server_log = tmp / "server.jsonl"
+    with use_telemetry(Telemetry.to_path(demo_log)) as telemetry:
+        with telemetry.tracer.span("trace_demo"):
+            result = run_sharded_study(
+                ControlledStudyConfig(n_users=8, seed=2004),
+                shards=4,
+                worker_telemetry=tmp / "demo",
+            )
+            print(f"study: {len(result.runs)} runs across 4 shard processes")
+            with traced_server(tmp, server_log) as port:
+                transport = TCPClientTransport("127.0.0.1", port)
+                try:
+                    # No explicit hub: the client picks up the
+                    # process-wide one, so its spans nest under the
+                    # root span and share its trace.
+                    client = UUCSClient(
+                        ClientConfig(root=tmp / "client", user_id="demo"),
+                        transport, seed=0,
+                    )
+                    client.register(MachineSpec.dell_gx270().snapshot())
+                    downloaded, _ = client.hot_sync()
+                    print(
+                        f"sync: client {client.client_id[:8]}... downloaded "
+                        f"{downloaded} testcase(s) from the server subprocess"
+                    )
+                finally:
+                    transport.close()
+    return [demo_log, *sorted(tmp.glob("demo.shard*.jsonl")), server_log]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="uucs-trace-demo-") as tmpdir:
+        tmp = Path(tmpdir)
+        logs = run_demo(tmp)
+        print(f"\nassembling {len(logs)} event logs:")
+        for log in logs:
+            print(f"  {log.name}")
+        records, problems = load_spans(logs)
+        traces, assembly_problems = assemble_traces(records)
+        for problem in problems + assembly_problems:
+            print(f"warning: {problem}", file=sys.stderr)
+
+        print()
+        print(render_trace_list(traces))
+        processes = {p for t in traces for p in t.processes}
+        print(
+            f"\n{len(records)} span(s) in {len(traces)} trace(s) from "
+            f"{len(processes)} distinct processes"
+        )
+        for trace in traces:
+            print()
+            print(render_trace_tree(trace))
+        print()
+        print(render_critical_path(traces[0]))
+
+
+if __name__ == "__main__":
+    main()

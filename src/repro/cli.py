@@ -12,6 +12,7 @@ Subcommands::
     uucs client         run a client against a TCP server
     uucs import-db      import a result store into a sqlite database
     uucs metrics-summary  summarize a telemetry event log
+    uucs trace          assemble distributed traces from event logs
     uucs clients        per-client rollups from a metrics endpoint
     uucs top            live fleet dashboard over a metrics endpoint
 
@@ -155,9 +156,17 @@ def _cmd_study(args: argparse.Namespace) -> int:
     # loop, where per-session timing belongs to (and is gated by) telemetry.
     started = time.perf_counter()
     if args.telemetry:
+        # Shard workers get sibling logs named <telemetry stem>.shardN.jsonl
+        # so `uucs trace <telemetry> <stem>.shard*.jsonl` reassembles the
+        # full study tree across the driver and every worker process.
+        tpath = Path(args.telemetry)
+        worker_prefix = tpath.with_suffix("") if tpath.suffix else tpath
         with use_telemetry(Telemetry.to_path(args.telemetry)):
             result = run_sharded_study(
-                config, shards=n_shards, max_workers=args.workers
+                config,
+                shards=n_shards,
+                max_workers=args.workers,
+                worker_telemetry=worker_prefix if n_shards > 1 else None,
             )
     else:
         result = run_sharded_study(
@@ -177,6 +186,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
     )
     if args.telemetry:
         _print(f"telemetry event log -> {args.telemetry}")
+        if n_shards > 1:
+            _print(f"shard worker logs -> {worker_prefix}.shard*.jsonl")
     return 0
 
 
@@ -432,6 +443,57 @@ def _cmd_metrics_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    # Lenient like metrics-summary: assemble whatever the logs yield and
+    # warn (exit 0) about what they couldn't — except when the user named
+    # a specific trace or no spans survived at all, where silence would
+    # mask an operator error (wrong id, wrong files).
+    from repro.telemetry.traces import (
+        assemble_traces,
+        load_spans,
+        render_critical_path,
+        render_span_stats,
+        render_trace_list,
+        render_trace_tree,
+        write_chrome_trace,
+    )
+
+    records, problems = load_spans(args.paths)
+    traces, assembly_problems = assemble_traces(records)
+    for problem in problems + assembly_problems:
+        _print(f"warning: {problem}", err=True)
+    if not traces:
+        _print("no spans found in the given logs", err=True)
+        return 1
+    if args.trace:
+        selected = [t for t in traces if t.trace_id == args.trace]
+        if not selected:
+            known = ", ".join(t.trace_id for t in traces[:10])
+            _print(
+                f"error: no trace {args.trace!r} in the given logs "
+                f"(found: {known})",
+                err=True,
+            )
+            return 1
+    else:
+        selected = traces
+    _print(render_trace_list(selected))
+    _print("")
+    _print(render_span_stats(r for t in selected for r in t.spans))
+    # The tree + critical path are per-trace views; without --trace,
+    # focus on the largest assembly (first after the sort) so a log
+    # full of tiny request traces still prints something useful.
+    focus = selected[0]
+    _print("")
+    _print(render_trace_tree(focus))
+    _print("")
+    _print(render_critical_path(focus))
+    if args.chrome:
+        write_chrome_trace(selected, args.chrome)
+        _print(f"chrome trace-event JSON -> {args.chrome}")
+    return 0
+
+
 def _cmd_clients(args: argparse.Namespace) -> int:
     from repro.telemetry.aggregate import fetch_clients
     from repro.util.tables import TextTable, format_float
@@ -605,6 +667,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summary.add_argument("path", help="event log written by --telemetry")
     summary.set_defaults(func=_cmd_metrics_summary)
+
+    trace = sub.add_parser(
+        "trace",
+        help="assemble distributed traces from telemetry event logs",
+    )
+    trace.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="event logs from any number of processes (client, server, "
+             "study driver, shard workers); merged before assembly",
+    )
+    trace.add_argument("--trace", default="", metavar="ID",
+                       help="focus one trace id (default: all traces, with "
+                            "the tree and critical path of the largest)")
+    trace.add_argument("--chrome", default="", metavar="PATH",
+                       help="also write Chrome trace-event JSON to PATH "
+                            "(open in Perfetto or chrome://tracing)")
+    trace.set_defaults(func=_cmd_trace)
 
     clients = sub.add_parser(
         "clients",

@@ -183,18 +183,40 @@ class UUCSClient:
         payload_snapshot = dict(snapshot or {})
         if not self._config.share_snapshot:
             payload_snapshot = {"privacy": "snapshot withheld"}
-        response = self._transport.request(
-            Message("register", {"snapshot": payload_snapshot})
-        ).expect("registered")
-        client_id = response.payload.get("client_id")
-        if not isinstance(client_id, str) or not client_id:
-            raise ProtocolError("server returned no client_id")
-        announced = response.payload.get("protocol")
-        if isinstance(announced, int) and not isinstance(announced, bool):
-            self._server_protocol = announced
-        self._identity = _Identity(client_id)
-        self._identity_path.write_text(client_id + "\n")
-        return client_id
+        telemetry = self.telemetry
+        with telemetry.span("client.register") as span:
+            payload: dict[str, object] = {"snapshot": payload_snapshot}
+            if telemetry.enabled and span.context is not None:
+                payload["trace"] = span.context.to_wire()
+            response = self._transport.request(
+                Message("register", payload)
+            ).expect("registered")
+            self._note_server_span(span, response)
+            client_id = response.payload.get("client_id")
+            if not isinstance(client_id, str) or not client_id:
+                raise ProtocolError("server returned no client_id")
+            announced = response.payload.get("protocol")
+            if isinstance(announced, int) and not isinstance(announced, bool):
+                self._server_protocol = announced
+            self._identity = _Identity(client_id)
+            self._identity_path.write_text(client_id + "\n")
+            span.annotate(client=client_id)
+            return client_id
+
+    @staticmethod
+    def _note_server_span(span, response: Message) -> None:
+        """Record the server-side span echoed in a traced reply.
+
+        The server grafts its handler span under ours and echoes its
+        context back; annotating our span with the server span id makes
+        the client log self-sufficient for "which server span served
+        this round-trip" even before logs are merged.
+        """
+        from repro.telemetry import TraceContext
+
+        echoed = TraceContext.from_wire(response.payload.get("trace"))
+        if echoed is not None:
+            span.annotate(server_span=echoed.span_id)
 
     # -- hot sync ---------------------------------------------------------------
 
@@ -225,19 +247,22 @@ class UUCSClient:
                     record["load_trace"] = {}
                 uploads.append(record)
             sync_seq = self._acked_seq + 1
+            payload: dict[str, object] = {
+                "client_id": self.client_id,
+                "have": self.testcases.ids(),
+                "results": uploads,
+                "want": self._config.sync_want,
+                "protocol": PROTOCOL_VERSION,
+                "sync_seq": sync_seq,
+            }
+            if telemetry.enabled and span.context is not None:
+                # Carry this span's trace context so the server-side
+                # handler span joins the same distributed trace.
+                payload["trace"] = span.context.to_wire()
             response = self._transport.request(
-                Message(
-                    "sync",
-                    {
-                        "client_id": self.client_id,
-                        "have": self.testcases.ids(),
-                        "results": uploads,
-                        "want": self._config.sync_want,
-                        "protocol": PROTOCOL_VERSION,
-                        "sync_seq": sync_seq,
-                    },
-                )
+                Message("sync", payload)
             ).expect("sync_ok")
+            self._note_server_span(span, response)
             announced = response.payload.get("protocol")
             if isinstance(announced, int) and not isinstance(announced, bool):
                 self._server_protocol = announced

@@ -35,7 +35,7 @@ from repro.server.protocol import (
 from repro.server.registry import ClientRegistry
 from repro.server.sampling import GrowingSampler
 from repro.stores import ResultStore, TestcaseStore
-from repro.telemetry import ClientRollups, Telemetry, get_telemetry
+from repro.telemetry import ClientRollups, Telemetry, TraceContext, get_telemetry
 from repro.util.rng import SeedLike
 
 __all__ = ["InProcessTransport", "TCPServerTransport", "UUCSServer"]
@@ -82,12 +82,26 @@ class UUCSServer:
     # -- request handling ------------------------------------------------------
 
     def handle(self, request: Message) -> Message:
-        """Serve one request message; never raises for client mistakes."""
+        """Serve one request message; never raises for client mistakes.
+
+        When the request payload carries a ``"trace"`` context (see
+        :class:`~repro.telemetry.TraceContext`), the handler span joins
+        the caller's distributed trace — its parent is the client-side
+        span that sent the request — and the response payload echoes
+        this server span's context so the client can record where
+        server-side time went.  Identical on every transport backend:
+        both the threading and asyncio dispatchers funnel through here.
+        """
         telemetry = self.telemetry
         if not telemetry.enabled:
             return self._dispatch(request)
+        remote = TraceContext.from_wire(request.payload.get("trace"))
         started = time.perf_counter()
-        response = self._dispatch(request)
+        with telemetry.tracer.span(
+            "server.request", parent_context=remote, type=request.type
+        ) as span:
+            response = self._dispatch(request)
+            span.annotate(response=response.type)
         elapsed = time.perf_counter() - started
         metrics = telemetry.metrics
         metrics.counter(
@@ -113,6 +127,14 @@ class UUCSServer:
             response=response.type,
             duration_s=elapsed,
         )
+        if remote is not None:
+            # Echo the server span back so the client can attribute the
+            # round-trip's server-side share.  Only for trace-carrying
+            # requests: v1 peers never see the extra key.
+            response = Message(
+                response.type,
+                {**dict(response.payload), "trace": span.context.to_wire()},
+            )
         return response
 
     def _dispatch(self, request: Message) -> Message:

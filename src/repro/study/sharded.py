@@ -23,6 +23,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from pathlib import Path
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -36,7 +37,13 @@ from repro.study.controlled import (
     run_user_range,
     study_fixtures,
 )
-from repro.telemetry import get_telemetry
+from repro.telemetry import (
+    Telemetry,
+    TraceContext,
+    get_telemetry,
+    process_guid,
+    use_telemetry,
+)
 
 __all__ = [
     "Shard",
@@ -116,17 +123,43 @@ def resolve_shards(spec: int | str, n_users: int) -> int:
 
 
 def _run_shard(
-    config: ControlledStudyConfig, start: int, stop: int
+    config: ControlledStudyConfig,
+    start: int,
+    stop: int,
+    trace: tuple[str, dict | None, int] | None = None,
 ) -> list[TestcaseRun]:
     """Worker entry point: users ``[start, stop)`` of ``config``.
 
     Module-level (hence picklable) and dependent only on its arguments,
-    so it behaves identically under fork and spawn start methods.  The
-    worker process's telemetry hub is the silent default; shard-level
-    metrics are recorded by the parent, which observes the only clock
-    that matters (wall time including IPC).
+    so it behaves identically under fork and spawn start methods.
+    Shard-level wall-clock metrics are recorded by the parent, which
+    observes the only clock that matters (wall time including IPC).
+
+    ``trace`` is the shard-IPC leg of distributed tracing: a picklable
+    ``(event_log_path, parent_trace_context, shard_index)`` triple.
+    When given, the worker installs its own telemetry hub writing to
+    ``event_log_path`` and wraps the shard in a ``study.shard_worker``
+    root span whose parent is the study driver's ``study.sharded`` span
+    in another process.  The tracer guid is salted with the shard index
+    so a pooled worker process serving several shards still yields
+    distinct per-shard id namespaces.  When ``trace`` is None the
+    worker inherits whatever hub fork gave it (silent under spawn).
     """
-    return run_user_range(config, start, stop, study_fixtures(config))
+    if trace is None:
+        return run_user_range(config, start, stop, study_fixtures(config))
+    path, parent_wire, shard_index = trace
+    hub = Telemetry.to_path(path, tracer_guid=f"{process_guid()}.s{shard_index}")
+    with use_telemetry(hub) as telemetry:
+        with telemetry.tracer.span(
+            "study.shard_worker",
+            parent_context=TraceContext.from_wire(parent_wire),
+            shard=shard_index,
+            users_start=start,
+            users_stop=stop,
+        ) as span:
+            runs = run_user_range(config, start, stop, study_fixtures(config))
+            span.annotate(runs=len(runs))
+        return runs
 
 
 def merge_shard_batches(
@@ -176,6 +209,7 @@ def run_sharded_study(
     shards: int = 1,
     max_workers: int | None = None,
     mp_context: str | None = None,
+    worker_telemetry: str | Path | None = None,
 ) -> StudyResult:
     """Execute the controlled study across ``shards`` worker processes.
 
@@ -185,6 +219,15 @@ def run_sharded_study(
     in-process with no pool.  ``max_workers`` caps the pool size (default:
     one worker per shard); ``mp_context`` forces a start method
     (``"fork"``/``"spawn"``/``"forkserver"``).
+
+    ``worker_telemetry`` enables distributed tracing across the shard
+    IPC boundary: each worker writes its own JSON-lines event log to
+    ``<worker_telemetry>.shard<i>.jsonl`` and roots its spans in a
+    ``study.shard_worker`` span parented (across the process boundary)
+    to this call's ``study.sharded`` span.  ``uucs trace`` over the
+    driver log plus the shard logs then reconstructs the full study
+    tree.  Works under any start method — the context travels in the
+    (picklable) task arguments, not in inherited state.
     """
     if config is None:
         config = ControlledStudyConfig()
@@ -202,6 +245,9 @@ def run_sharded_study(
         engine=config.engine,
         shards=len(plan),
     ) as span:
+        parent_wire = None
+        if telemetry.enabled and span.context is not None:
+            parent_wire = span.context.to_wire()
         workers = min(len(plan), max_workers) if max_workers else len(plan)
         batches: dict[int, Sequence[TestcaseRun]] = {}
         with ProcessPoolExecutor(
@@ -209,7 +255,16 @@ def run_sharded_study(
         ) as pool:
             submitted = {}
             for shard in plan:
-                future = pool.submit(_run_shard, config, shard.start, shard.stop)
+                trace = None
+                if worker_telemetry is not None:
+                    trace = (
+                        f"{worker_telemetry}.shard{shard.index}.jsonl",
+                        parent_wire,
+                        shard.index,
+                    )
+                future = pool.submit(
+                    _run_shard, config, shard.start, shard.stop, trace
+                )
                 submitted[future] = (shard, time.perf_counter())
             pending = set(submitted)
             while pending:

@@ -62,7 +62,7 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     quantile_from_buckets,
 )
-from repro.telemetry.tracing import Span, Tracer
+from repro.telemetry.tracing import Span, TraceContext, Tracer, process_guid
 
 __all__ = [
     "ClientRollup",
@@ -81,10 +81,12 @@ __all__ = [
     "RegistrySnapshot",
     "Span",
     "Telemetry",
+    "TraceContext",
     "Tracer",
     "fetch_clients",
     "fetch_snapshot",
     "get_telemetry",
+    "process_guid",
     "push_snapshot",
     "quantile_from_buckets",
     "read_events",
@@ -98,6 +100,10 @@ class _NullSpan:
     """Stands in for a :class:`Span` when telemetry is disabled."""
 
     __slots__ = ()
+
+    #: No position to propagate; callers guard with ``telemetry.enabled``
+    #: but an unguarded read must degrade to "no parent", not crash.
+    context = None
 
     def annotate(self, **fields: object) -> None:
         """Drop the fields."""
@@ -126,10 +132,11 @@ class Telemetry:
         metrics: MetricsRegistry | None = None,
         enabled: bool = True,
         span_clock: Callable[[], float] = time.perf_counter,
+        tracer_guid: str | None = None,
     ):
         self.events = events if events is not None else EventLog()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.tracer = Tracer(self.events, clock=span_clock)
+        self.tracer = Tracer(self.events, clock=span_clock, guid=tracer_guid)
         self._enabled = bool(enabled)
 
     @property
@@ -149,9 +156,19 @@ class Telemetry:
         cls,
         path: str | Path,
         clock: Callable[[], float] = time.time,
+        tracer_guid: str | None = None,
     ) -> "Telemetry":
-        """An enabled hub writing its event log to ``path`` (JSON lines)."""
-        return cls(events=EventLog(JsonLinesSink(path), clock=clock))
+        """An enabled hub writing its event log to ``path`` (JSON lines).
+
+        ``tracer_guid`` overrides the span-id namespace (see
+        :class:`~repro.telemetry.tracing.Tracer`); shard workers use it
+        to keep each shard's spans distinct even when one pooled worker
+        process serves several shards.
+        """
+        return cls(
+            events=EventLog(JsonLinesSink(path), clock=clock),
+            tracer_guid=tracer_guid,
+        )
 
     @classmethod
     def in_memory(cls, clock: Callable[[], float] = time.time) -> "Telemetry":
@@ -165,11 +182,20 @@ class Telemetry:
         if self._enabled:
             self.events.emit(name, **fields)
 
-    def span(self, name: str, **fields: object) -> ContextManager[object]:
-        """A timed span context manager (shared no-op when disabled)."""
+    def span(
+        self,
+        name: str,
+        parent_context: TraceContext | None = None,
+        **fields: object,
+    ) -> ContextManager[object]:
+        """A timed span context manager (shared no-op when disabled).
+
+        ``parent_context`` grafts the span under a remote parent from
+        another process (see :meth:`Tracer.span`).
+        """
         if not self._enabled:
             return _NULL_SPAN
-        return self.tracer.span(name, **fields)
+        return self.tracer.span(name, parent_context=parent_context, **fields)
 
     def close(self) -> None:
         """Flush and release the event sink."""

@@ -1,0 +1,362 @@
+"""Trace assembly from hostile, multi-process event logs.
+
+Real logs are damaged in predictable ways — a crashed writer truncates
+its last line, a copied log duplicates events, a lost file orphans a
+subtree, and logs from N processes arrive in arbitrary order.  Every
+test here feeds :mod:`repro.telemetry.traces` one of those shapes and
+asserts the assembly both salvages what it can and *says* what it
+couldn't.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import Telemetry, TraceContext, use_telemetry
+from repro.telemetry.traces import (
+    SpanRecord,
+    assemble_traces,
+    load_spans,
+    render_critical_path,
+    render_span_stats,
+    render_trace_list,
+    render_trace_tree,
+    span_name_stats,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def span_line(name, sid, parent, trace, ts, dur, depth=0, outcome="ok",
+              **fields):
+    """One span event exactly as the tracer serializes it."""
+    return json.dumps(
+        {
+            "event": "span",
+            "ts": ts,
+            "fields": {
+                "span": name, "id": sid, "parent": parent, "trace": trace,
+                "depth": depth, "duration_s": dur, "outcome": outcome,
+                **fields,
+            },
+        },
+        sort_keys=True,
+    )
+
+
+def write_log(path, *lines, newline_at_end=True):
+    text = "\n".join(lines)
+    path.write_text(text + ("\n" if newline_at_end else ""))
+    return path
+
+
+@pytest.fixture
+def three_process_logs(tmp_path):
+    """A driver, a worker, and a server log forming one trace.
+
+    Driver root ``d:1`` (0..10s) has a local child ``d:2`` plus two
+    cross-process children: worker root ``w:1`` and server root
+    ``s:1``, which has its own child ``s:2``.
+    """
+    driver = write_log(
+        tmp_path / "driver.jsonl",
+        span_line("child", "d:2", "d:1", "d:1", 6.0, 2.0, depth=1),
+        span_line("root", "d:1", None, "d:1", 10.0, 10.0),
+    )
+    worker = write_log(
+        tmp_path / "worker.jsonl",
+        span_line("work", "w:1", "d:1", "d:1", 9.0, 6.0),
+    )
+    server = write_log(
+        tmp_path / "server.jsonl",
+        span_line("inner", "s:2", "s:1", "d:1", 4.0, 1.0, depth=1),
+        span_line("serve", "s:1", "d:1", "d:1", 5.0, 3.0),
+    )
+    return driver, worker, server
+
+
+class TestHostileLoading:
+    def test_truncated_final_line_is_skipped_and_reported(self, tmp_path):
+        log = write_log(
+            tmp_path / "a.jsonl",
+            span_line("ok", "p:1", None, "p:1", 1.0, 1.0),
+            '{"event": "span", "ts": 2.0, "fi',
+            newline_at_end=False,
+        )
+        records, problems = load_spans([log])
+        assert [r.span_id for r in records] == ["p:1"]
+        assert len(problems) == 1
+        assert "line 2" in problems[0] and "skipped" in problems[0]
+
+    def test_duplicated_span_events_keep_the_first(self, tmp_path):
+        line = span_line("dup", "p:1", None, "p:1", 1.0, 1.0)
+        log_a = write_log(tmp_path / "a.jsonl", line)
+        log_b = write_log(tmp_path / "b.jsonl", line)
+        records, problems = load_spans([log_a, log_b])
+        assert len(records) == 1
+        assert records[0].source == str(log_a)
+        (problem,) = problems
+        assert "duplicate span id 'p:1'" in problem
+        assert str(log_a) in problem and str(log_b) in problem
+
+    def test_missing_file_degrades_to_a_problem(self, tmp_path):
+        records, problems = load_spans([tmp_path / "nope.jsonl"])
+        assert records == []
+        assert len(problems) == 1 and "nope.jsonl" in problems[0]
+
+    def test_span_without_an_id_is_reported(self, tmp_path):
+        log = write_log(
+            tmp_path / "a.jsonl",
+            json.dumps({"event": "span", "ts": 1.0,
+                        "fields": {"span": "anon", "duration_s": 1.0}}),
+        )
+        records, problems = load_spans([log])
+        assert records == []
+        assert "without an id" in problems[0] and "anon" in problems[0]
+
+    def test_non_span_events_are_ignored(self, tmp_path):
+        log = write_log(
+            tmp_path / "a.jsonl",
+            json.dumps({"event": "study.complete", "ts": 1.0,
+                        "fields": {"runs": 5}}),
+            span_line("ok", "p:1", None, "p:1", 2.0, 1.0),
+        )
+        records, problems = load_spans([log])
+        assert problems == []
+        assert [r.name for r in records] == ["ok"]
+
+
+class TestAssembly:
+    def test_three_processes_merge_in_any_order(self, three_process_logs):
+        driver, worker, server = three_process_logs
+        orders = [
+            (driver, worker, server),
+            (server, driver, worker),
+            (worker, server, driver),
+        ]
+        shapes = []
+        for order in orders:
+            records, problems = load_spans(order)
+            traces, assembly_problems = assemble_traces(records)
+            assert problems == [] and assembly_problems == []
+            (trace,) = traces
+            shapes.append(
+                (
+                    trace.trace_id,
+                    [r.span_id for r in trace.spans],
+                    {r.span_id: [c.span_id for c in trace.children(r.span_id)]
+                     for r in trace.spans},
+                )
+            )
+        # Input file order cannot leak into the assembled shape.
+        assert shapes[0] == shapes[1] == shapes[2]
+        trace_id, chronological, children = shapes[0]
+        assert trace_id == "d:1"
+        assert chronological == ["d:1", "s:1", "s:2", "w:1", "d:2"]
+        assert children["d:1"] == ["s:1", "w:1", "d:2"]
+        assert children["s:1"] == ["s:2"]
+
+    def test_trace_properties(self, three_process_logs):
+        records, _ = load_spans(three_process_logs)
+        (trace,), _ = assemble_traces(records)
+        assert trace.root.span_id == "d:1"
+        assert trace.processes == ("d", "s", "w")
+        assert trace.start == 0.0 and trace.end == 10.0
+        assert trace.duration_s == 10.0
+        assert len(trace) == 5
+
+    def test_orphan_is_adopted_as_flagged_root(self, tmp_path):
+        log = write_log(
+            tmp_path / "a.jsonl",
+            span_line("root", "p:1", None, "p:1", 5.0, 5.0),
+            # Parent q:9's log was lost; trace id still says p:1.
+            span_line("lost-subtree", "q:1", "q:9", "p:1", 3.0, 1.0),
+        )
+        records, _ = load_spans([log])
+        (trace,), problems = assemble_traces(records)
+        assert trace.orphans == ("q:1",)
+        assert {r.span_id for r in trace.roots} == {"p:1", "q:1"}
+        (problem,) = problems
+        assert "missing parent 'q:9'" in problem
+        assert "adopted as a root" in problem
+
+    def test_legacy_records_resolve_trace_via_parent_chain(self, tmp_path):
+        """Pre-tracing span events had no ``trace`` field; they group
+        under their topmost recovered ancestor."""
+        log = write_log(
+            tmp_path / "a.jsonl",
+            span_line("root", "p:1", None, None, 5.0, 5.0),
+            span_line("mid", "p:2", "p:1", None, 4.0, 3.0, depth=1),
+            span_line("leaf", "p:3", "p:2", None, 3.0, 1.0, depth=2),
+        )
+        records, _ = load_spans([log])
+        traces, problems = assemble_traces(records)
+        assert problems == []
+        (trace,) = traces
+        assert trace.trace_id == "p:1"
+        assert len(trace) == 3
+
+    def test_unrelated_traces_stay_separate(self, tmp_path):
+        log = write_log(
+            tmp_path / "a.jsonl",
+            span_line("a", "p:1", None, "p:1", 1.0, 1.0),
+            span_line("b", "p:2", None, "p:2", 2.0, 1.0),
+            span_line("b-child", "p:3", "p:2", "p:2", 1.9, 0.5, depth=1),
+        )
+        records, _ = load_spans([log])
+        traces, _ = assemble_traces(records)
+        # Largest first.
+        assert [t.trace_id for t in traces] == ["p:2", "p:1"]
+        assert [len(t) for t in traces] == [2, 1]
+
+
+class TestCriticalPath:
+    @pytest.fixture
+    def tree(self, tmp_path):
+        log = write_log(
+            tmp_path / "a.jsonl",
+            span_line("root", "p:1", None, "p:1", 10.0, 10.0),
+            span_line("fast", "p:2", "p:1", "p:1", 4.0, 3.0, depth=1),
+            span_line("slow", "p:3", "p:1", "p:1", 10.0, 6.0, depth=1),
+            span_line("slow-leaf", "q:1", "p:3", "p:1", 9.0, 2.0),
+        )
+        records, _ = load_spans([log])
+        (trace,), _ = assemble_traces(records)
+        return trace
+
+    def test_greedy_longest_child_walk(self, tree):
+        assert [r.span_id for r in tree.critical_path()] == [
+            "p:1", "p:3", "q:1",
+        ]
+
+    def test_self_time_subtracts_children(self, tree):
+        assert tree.self_time("p:1") == pytest.approx(1.0)  # 10 - (3 + 6)
+        assert tree.self_time("p:3") == pytest.approx(4.0)  # 6 - 2
+        assert tree.self_time("q:1") == pytest.approx(2.0)  # leaf
+
+    def test_self_time_floors_at_zero_for_parallel_children(self, tmp_path):
+        """Concurrent shard workers sum past their parent's wall time."""
+        log = write_log(
+            tmp_path / "a.jsonl",
+            span_line("fan", "p:1", None, "p:1", 4.0, 4.0),
+            span_line("w0", "a:1", "p:1", "p:1", 3.9, 3.5),
+            span_line("w1", "b:1", "p:1", "p:1", 3.8, 3.5),
+        )
+        records, _ = load_spans([log])
+        (trace,), _ = assemble_traces(records)
+        assert trace.self_time("p:1") == 0.0
+
+
+class TestStatsAndRendering:
+    def test_span_name_stats(self, three_process_logs):
+        records, _ = load_spans(three_process_logs)
+        stats = span_name_stats(records)
+        assert stats["root"]["count"] == 1
+        assert stats["root"]["total_s"] == pytest.approx(10.0)
+        assert stats["serve"]["min_s"] == stats["serve"]["max_s"] == 3.0
+
+    def test_stats_count_errors(self):
+        records = [
+            SpanRecord("s", "p:1", None, "p:1", 1.0, 1.0, "ok", 0),
+            SpanRecord("s", "p:2", None, "p:2", 2.0, 3.0, "error:IOError", 0),
+        ]
+        stats = span_name_stats(records)
+        assert stats["s"]["count"] == 2
+        assert stats["s"]["errors"] == 1
+        assert stats["s"]["mean_s"] == pytest.approx(2.0)
+
+    def test_renderers_smoke(self, three_process_logs):
+        records, _ = load_spans(three_process_logs)
+        traces, _ = assemble_traces(records)
+        (trace,) = traces
+        listing = render_trace_list(traces)
+        assert "d:1" in listing and "root" in listing
+        tree = render_trace_tree(trace)
+        assert tree.count("- ") == 5
+        assert "3 process(es)" in tree
+        path = render_critical_path(trace)
+        assert "100.0%" in path
+        stats = render_span_stats(records)
+        assert "serve" in stats
+
+    def test_tree_marks_errors_and_adopted_roots(self, tmp_path):
+        log = write_log(
+            tmp_path / "a.jsonl",
+            span_line("root", "p:1", None, "p:1", 2.0, 2.0),
+            span_line("boom", "p:2", "p:1", "p:1", 1.5, 0.5,
+                      outcome="error:ValueError"),
+            span_line("stray", "q:1", "q:9", "p:1", 1.0, 0.5),
+        )
+        records, _ = load_spans([log])
+        (trace,), _ = assemble_traces(records)
+        tree = render_trace_tree(trace)
+        assert "!error:ValueError" in tree
+        assert "(adopted root)" in tree
+
+
+class TestChromeExport:
+    def test_round_trip_through_json(self, three_process_logs, tmp_path):
+        records, _ = load_spans(three_process_logs)
+        traces, _ = assemble_traces(records)
+        out = tmp_path / "chrome.json"
+        write_chrome_trace(traces, out)
+        chrome = json.loads(out.read_text())
+        events = chrome["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        # One process_name per contributing process, one X per span.
+        assert sorted(m["args"]["name"] for m in meta) == ["d", "s", "w"]
+        assert len(spans) == 5
+        # Timestamps are microseconds from the earliest start.
+        root = next(e for e in spans if e["args"]["id"] == "d:1")
+        assert root["ts"] == 0.0
+        assert root["dur"] == pytest.approx(10e6)
+        serve = next(e for e in spans if e["args"]["id"] == "s:1")
+        assert serve["ts"] == pytest.approx(2e6)
+        # Parent/trace survive as args; pids map spans to processes.
+        assert serve["args"]["parent"] == "d:1"
+        assert serve["args"]["trace"] == "d:1"
+        pid_names = {m["pid"]: m["args"]["name"] for m in meta}
+        assert pid_names[serve["pid"]] == "s"
+
+    def test_annotations_survive_as_args(self, tmp_path):
+        log = write_log(
+            tmp_path / "a.jsonl",
+            span_line("s", "p:1", None, "p:1", 1.0, 1.0, shard=3, runs=64),
+        )
+        records, _ = load_spans([log])
+        traces, _ = assemble_traces(records)
+        (span,) = [
+            e for e in to_chrome_trace(traces)["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert span["args"]["shard"] == 3
+        assert span["args"]["runs"] == 64
+
+    def test_empty_input(self):
+        chrome = to_chrome_trace([])
+        assert chrome["traceEvents"] == []
+
+
+class TestLiveHubs:
+    def test_two_hub_propagation_assembles_one_trace(self, tmp_path):
+        """The real tracer + TraceContext wire format, across two hubs
+        standing in for two processes."""
+        log_a, log_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        hub_a = Telemetry.to_path(log_a, tracer_guid="procA")
+        with use_telemetry(hub_a):
+            with hub_a.tracer.span("driver") as span:
+                wire = span.context.to_wire()
+        hub_b = Telemetry.to_path(log_b, tracer_guid="procB")
+        with use_telemetry(hub_b):
+            with hub_b.tracer.span(
+                "worker", parent_context=TraceContext.from_wire(wire)
+            ):
+                pass
+        records, problems = load_spans([log_b, log_a])
+        traces, assembly_problems = assemble_traces(records)
+        assert problems == [] and assembly_problems == []
+        (trace,) = traces
+        assert len(trace.processes) == 2
+        worker = next(r for r in trace.spans if r.name == "worker")
+        assert worker.parent_id == trace.root.span_id

@@ -1,0 +1,167 @@
+"""End-to-end distributed tracing across six real processes.
+
+The acceptance shape for the tracing subsystem: one root span in the
+driver encloses a 4-shard study (four worker processes, each with its
+own event log) and a register + sync against a ``uucs serve``
+subprocess over TCP.  Assembling all six logs must yield ONE connected
+trace whose spans cover all six processes, with a critical path from
+the root and a Chrome export that round-trips.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.client.client import ClientConfig, UUCSClient
+from repro.cli import main as cli_main
+from repro.server.server import TCPClientTransport
+from repro.study import ControlledStudyConfig, run_sharded_study
+from repro.telemetry import Telemetry, use_telemetry
+from repro.telemetry.traces import (
+    assemble_traces,
+    load_spans,
+    to_chrome_trace,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def assembled(tmp_path_factory):
+    """Run the six-process workload once; yield (trace, records, logs)."""
+    tmp = tmp_path_factory.mktemp("trace-e2e")
+    driver_log = tmp / "driver.jsonl"
+    server_log = tmp / "server.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--root", str(tmp / "srv"), "--library", "1",
+         "--port", "0", "--timeout", "60",
+         "--telemetry", str(server_log)],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        port = None
+        for line in proc.stdout:
+            if line.startswith("UUCS server on "):
+                port = int(line.split()[3].rpartition(":")[2])
+                break
+        assert port, "server never printed its address"
+        with use_telemetry(Telemetry.to_path(driver_log)) as telemetry:
+            with telemetry.tracer.span("e2e"):
+                run_sharded_study(
+                    ControlledStudyConfig(n_users=4, seed=2004),
+                    shards=4,
+                    worker_telemetry=tmp / "driver",
+                )
+                transport = TCPClientTransport("127.0.0.1", port)
+                try:
+                    client = UUCSClient(
+                        ClientConfig(root=tmp / "client", user_id="e2e"),
+                        transport, seed=0,
+                    )
+                    client.register({"test": "e2e"})
+                    client.hot_sync()
+                finally:
+                    transport.close()
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+    logs = [driver_log, *sorted(tmp.glob("driver.shard*.jsonl")), server_log]
+    assert len(logs) == 6
+    records, problems = load_spans(logs)
+    traces, assembly_problems = assemble_traces(records)
+    assert problems == []
+    assert assembly_problems == []
+    assert len(traces) == 1, [t.trace_id for t in traces]
+    return traces[0], records, logs
+
+
+class TestSixProcessTrace:
+    def test_one_connected_trace_spans_six_processes(self, assembled):
+        trace, _, _ = assembled
+        assert len(trace.processes) == 6
+        assert trace.roots == (trace.root,)
+        assert trace.orphans == ()
+        assert trace.root.name == "e2e"
+
+    def test_every_leg_is_present_and_linked(self, assembled):
+        trace, _, _ = assembled
+        names = {r.name for r in trace.spans}
+        assert {"e2e", "study.sharded", "study.shard_worker",
+                "client.register", "hot_sync", "server.request"} <= names
+        sharded = next(r for r in trace.spans if r.name == "study.sharded")
+        workers = trace.children(sharded.span_id)
+        assert len(workers) == 4
+        assert {w.name for w in workers} == {"study.shard_worker"}
+        # Four distinct worker processes, none the driver's.
+        assert len({w.process for w in workers}) == 4
+        assert trace.root.process not in {w.process for w in workers}
+        # Both request spans crossed the wire into the server process.
+        requests = [r for r in trace.spans if r.name == "server.request"]
+        assert len(requests) == 2
+        (server_process,) = {r.process for r in requests}
+        parents = {trace.get(r.parent_id).name for r in requests}
+        assert parents == {"client.register", "hot_sync"}
+        assert all(
+            trace.get(r.parent_id).process == trace.root.process
+            for r in requests
+        )
+        assert server_process != trace.root.process
+
+    def test_client_spans_record_the_echoed_server_span(self, assembled):
+        trace, _, _ = assembled
+        for name in ("client.register", "hot_sync"):
+            span = next(r for r in trace.spans if r.name == name)
+            echoed = span.fields.get("server_span")
+            child_ids = {c.span_id for c in trace.children(span.span_id)}
+            assert echoed in child_ids
+
+    def test_critical_path_starts_at_the_root(self, assembled):
+        trace, _, _ = assembled
+        path = trace.critical_path()
+        assert path[0] is trace.root
+        assert len(path) >= 2
+        assert all(
+            path[i + 1].parent_id == path[i].span_id
+            for i in range(len(path) - 1)
+        )
+
+    def test_chrome_export_round_trips(self, assembled):
+        trace, records, _ = assembled
+        chrome = json.loads(json.dumps(to_chrome_trace([trace])))
+        spans = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        assert len(spans) == len(records)
+        assert len(meta) == 6
+        assert {m["args"]["name"] for m in meta} == set(trace.processes)
+
+    def test_uucs_trace_cli_renders_the_assembly(self, assembled, capsys):
+        trace, _, logs = assembled
+        chrome_out = logs[0].parent / "cli-chrome.json"
+        code = cli_main(
+            ["trace", *map(str, logs), "--trace", trace.trace_id,
+             "--chrome", str(chrome_out)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.err == ""
+        assert f"Critical path of trace {trace.trace_id}" in captured.out
+        assert "study.shard_worker" in captured.out
+        assert chrome_out.exists()
+        assert json.loads(chrome_out.read_text())["traceEvents"]
+
+    def test_uucs_trace_cli_rejects_unknown_trace_id(self, assembled, capsys):
+        _, _, logs = assembled
+        code = cli_main(["trace", *map(str, logs), "--trace", "nope:1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no trace 'nope:1'" in captured.err

@@ -1,0 +1,258 @@
+"""Tracer context semantics: contextvars nesting, ids, propagation.
+
+The regression this file exists for: the tracer's span stack used to be
+``threading.local``, and the asyncio server backend serves *every*
+connection from one event loop thread — two requests interleaving at an
+await point would push onto one shared stack and record each other as
+parents.  ``ContextVar`` state is copied per task, so each coroutine
+sees only its own ancestry; ``test_interleaved_tasks_keep_their_own_
+ancestry`` fails against the thread-local implementation and passes
+against the contextvars one.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.telemetry import Telemetry, TraceContext, process_guid
+from repro.telemetry.events import EventLog, MemorySink
+from repro.telemetry.tracing import Tracer
+
+
+def make_tracer(guid=None):
+    sink = MemorySink()
+    return Tracer(EventLog(sink), guid=guid), sink
+
+
+def span_events(sink):
+    return [e.fields for e in sink.events if e.name == "span"]
+
+
+def by_name(sink):
+    return {e["span"]: e for e in span_events(sink)}
+
+
+class TestAsyncInterleaving:
+    def test_interleaved_tasks_keep_their_own_ancestry(self):
+        """Two concurrent tasks, both inside open spans at the same
+        moment, must each parent their inner span to their *own* outer
+        span — the asyncio-backend mis-nesting regression."""
+        tracer, sink = make_tracer()
+
+        async def handler(name, opened, release):
+            with tracer.span(f"outer-{name}"):
+                opened.set()
+                await release.wait()
+                with tracer.span(f"inner-{name}"):
+                    pass
+
+        async def main():
+            opened_a, opened_b = asyncio.Event(), asyncio.Event()
+            release = asyncio.Event()
+            task_a = asyncio.create_task(handler("a", opened_a, release))
+            task_b = asyncio.create_task(handler("b", opened_b, release))
+            # Wait until BOTH outer spans are open concurrently, then
+            # let the inner spans race.
+            await opened_a.wait()
+            await opened_b.wait()
+            release.set()
+            await task_a
+            await task_b
+
+        asyncio.run(main())
+        events = by_name(sink)
+        assert events["inner-a"]["parent"] == events["outer-a"]["id"]
+        assert events["inner-b"]["parent"] == events["outer-b"]["id"]
+        assert events["inner-a"]["trace"] == events["outer-a"]["id"]
+        assert events["inner-b"]["trace"] == events["outer-b"]["id"]
+        assert events["outer-a"]["trace"] != events["outer-b"]["trace"]
+
+    def test_task_sees_span_open_at_spawn_as_parent(self):
+        """A task created inside a span inherits that ancestry (context
+        is copied at task creation)."""
+        tracer, sink = make_tracer()
+
+        async def child():
+            with tracer.span("child"):
+                pass
+
+        async def main():
+            with tracer.span("parent"):
+                await asyncio.create_task(child())
+
+        asyncio.run(main())
+        events = by_name(sink)
+        assert events["child"]["parent"] == events["parent"]["id"]
+        assert events["child"]["depth"] == 1
+
+    def test_task_cannot_corrupt_siblings_stack(self):
+        """A child task's push/pop is invisible to its sibling."""
+        tracer, sink = make_tracer()
+
+        async def noisy():
+            with tracer.span("noisy"):
+                await asyncio.sleep(0)
+
+        async def quiet(started):
+            await started.wait()
+            assert tracer.active is None
+            with tracer.span("quiet"):
+                pass
+
+        async def main():
+            started = asyncio.Event()
+            task = asyncio.create_task(noisy())
+            started.set()
+            await asyncio.gather(task, quiet(started))
+
+        asyncio.run(main())
+        assert by_name(sink)["quiet"]["parent"] is None
+
+
+class TestThreadIsolation:
+    def test_threads_do_not_share_a_stack(self):
+        tracer, sink = make_tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(f"outer-{name}"):
+                barrier.wait(timeout=10)  # both outers open concurrently
+                with tracer.span(f"inner-{name}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(n,)) for n in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = by_name(sink)
+        assert events["inner-a"]["parent"] == events["outer-a"]["id"]
+        assert events["inner-b"]["parent"] == events["outer-b"]["id"]
+
+
+class TestSpanIds:
+    def test_ids_are_guid_namespaced_and_unique_across_tracers(self):
+        """Two hubs in one process draw from one sequence: no id can
+        repeat even across tracer lifetimes."""
+        tracer_a, sink_a = make_tracer()
+        tracer_b, sink_b = make_tracer()
+        for tracer in (tracer_a, tracer_b, tracer_a):
+            with tracer.span("s"):
+                pass
+        ids = [e["id"] for e in span_events(sink_a) + span_events(sink_b)]
+        assert len(set(ids)) == 3
+        guid = process_guid()
+        assert all(i.startswith(f"{guid}:") for i in ids)
+
+    def test_process_guid_is_stable_and_short(self):
+        assert process_guid() == process_guid()
+        assert len(process_guid()) == 8
+        int(process_guid(), 16)  # hex
+
+    def test_guid_override_salts_the_namespace(self):
+        tracer, sink = make_tracer(guid="host.s3")
+        with tracer.span("s"):
+            pass
+        (event,) = span_events(sink)
+        assert event["id"].startswith("host.s3:")
+
+    def test_depth_and_trace_recorded(self):
+        tracer, sink = make_tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        events = by_name(sink)
+        assert [events[n]["depth"] for n in "abc"] == [0, 1, 2]
+        assert {events[n]["trace"] for n in "abc"} == {a.span_id}
+
+    def test_outcome_records_exception_type(self):
+        tracer, sink = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (event,) = span_events(sink)
+        assert event["outcome"] == "error:ValueError"
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        context = TraceContext("t:1", "s:2")
+        assert context.to_wire() == {"trace": "t:1", "span": "s:2"}
+        assert TraceContext.from_wire(context.to_wire()) == context
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            None,
+            "t:1",
+            42,
+            {},
+            {"trace": "t:1"},
+            {"span": "s:2"},
+            {"trace": "", "span": "s:2"},
+            {"trace": "t:1", "span": ""},
+            {"trace": 1, "span": "s:2"},
+            {"trace": "t:1", "span": None},
+            ["trace", "span"],
+        ],
+    )
+    def test_malformed_wire_data_degrades_to_none(self, data):
+        assert TraceContext.from_wire(data) is None
+
+    def test_remote_parent_grafts_a_root_span(self):
+        tracer, sink = make_tracer()
+        remote = TraceContext("far:1", "far:2")
+        with tracer.span("local", parent_context=remote):
+            pass
+        (event,) = span_events(sink)
+        assert event["parent"] == "far:2"
+        assert event["trace"] == "far:1"
+        assert event["depth"] == 0
+
+    def test_local_parent_wins_over_remote_context(self):
+        """A remote parent cannot splice into the middle of an open
+        local stack — it only applies to root spans."""
+        tracer, sink = make_tracer()
+        remote = TraceContext("far:1", "far:2")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", parent_context=remote):
+                pass
+        events = by_name(sink)
+        assert events["inner"]["parent"] == outer.span_id
+        assert events["inner"]["trace"] == outer.trace_id
+
+    def test_span_context_property_matches_event(self):
+        tracer, sink = make_tracer()
+        with tracer.span("s") as span:
+            context = span.context
+        (event,) = span_events(sink)
+        assert context.span_id == event["id"]
+        assert context.trace_id == event["trace"]
+
+    def test_current_context_tracks_the_active_span(self):
+        tracer, _ = make_tracer()
+        assert tracer.current_context() is None
+        with tracer.span("s") as span:
+            assert tracer.current_context() == span.context
+        assert tracer.current_context() is None
+
+
+class TestTelemetryFacade:
+    def test_disabled_hub_span_has_no_context(self):
+        telemetry = Telemetry.disabled()
+        with telemetry.span("s") as span:
+            assert span.context is None
+
+    def test_enabled_hub_forwards_parent_context(self):
+        telemetry = Telemetry.in_memory()
+        remote = TraceContext("far:1", "far:2")
+        with telemetry.span("s", parent_context=remote):
+            pass
+        (event,) = [
+            e.fields for e in telemetry.events.sink.events if e.name == "span"
+        ]
+        assert event["parent"] == "far:2"
