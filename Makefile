@@ -35,16 +35,20 @@ lint:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# The CI bench-regression job, runnable locally: regenerate both perf
-# reports into out/ and fail if either regressed >30% vs the committed
-# baselines (see benchmarks/bench_check.py for what counts).
+# The CI bench-regression job, runnable locally: regenerate the perf
+# reports into out/ and fail if any regressed >30% vs the committed
+# baselines, or if the dashboard costs the push gateway more than its
+# absolute overhead limit (see benchmarks/bench_check.py for what
+# counts).
 bench-check:
 	mkdir -p out
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_study_shards.py \
 		--out out/fresh-study.json --telemetry out/bench-traces
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_server.py --out out/fresh-server.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_dashboard.py --out out/fresh-dashboard.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py BENCH_study.json out/fresh-study.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py BENCH_server.json out/fresh-server.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py BENCH_dashboard.json out/fresh-dashboard.json
 
 trace-demo:
 	PYTHONPATH=src $(PYTHON) examples/trace_demo.py

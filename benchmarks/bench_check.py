@@ -9,15 +9,20 @@ regressed beyond the tolerance::
 
 What counts as a regression, per cell matched by its identity key
 (``shards`` for the study report; ``backend x clients`` for the server
-report):
+report; ``mode`` for the dashboard report):
 
-* a throughput metric (``runs_per_second``, ``requests_per_second``)
-  dropping more than ``tolerance`` below baseline;
+* a throughput metric (``runs_per_second``, ``requests_per_second``,
+  ``pushes_per_second``) dropping more than ``tolerance`` below
+  baseline;
 * a latency metric (``p50_ms``, ``p99_ms``) rising more than
   ``tolerance`` above baseline — unless the current value is still
   under the absolute floor (``--latency-floor-ms``, default 1 ms),
   where scheduler noise swamps any real signal;
 * a baseline cell missing from the current report;
+* a dashboard cell's ``overhead_pct`` exceeding the current report's
+  own ``max_overhead_pct`` — an absolute contract (the dashboard must
+  stay effectively free for the fleet it observes), enforced on the
+  current report regardless of baseline numbers;
 * the study report's ``sha256`` digests disagreeing between runs or
   against the 1-shard baseline — that is a *correctness* break
   (byte-identical sharding is the engine's contract), and no tolerance
@@ -41,7 +46,11 @@ from pathlib import Path
 __all__ = ["compare_reports", "load_report"]
 
 #: Per-cell metrics: name -> direction ("up" = bigger is better).
-_THROUGHPUT = {"runs_per_second": "up", "requests_per_second": "up"}
+_THROUGHPUT = {
+    "runs_per_second": "up",
+    "requests_per_second": "up",
+    "pushes_per_second": "up",
+}
 _LATENCY = {"p50_ms": "down", "p99_ms": "down"}
 
 
@@ -56,6 +65,8 @@ def _cell_key(report: dict, cell: dict) -> str:
     """The cell's identity within its report family."""
     if "shards" in cell:
         return f"shards={cell['shards']}"
+    if "mode" in cell:  # dashboard report: one cell per exporter mode
+        return f"mode={cell['mode']}"
     return f"{cell.get('backend', '?')} x {cell.get('clients', '?')} clients"
 
 
@@ -98,6 +109,22 @@ def compare_reports(
                 regressions.append(
                     f"{label} {_cell_key(report, cell)}: shard output "
                     "diverged from the 1-shard run (sha256 mismatch)"
+                )
+
+    # The dashboard report carries its own absolute contract: no mode
+    # may cost more than the report's ``max_overhead_pct`` against the
+    # same run's web-off baseline.  That limit is not host-relative, so
+    # it is enforced on the current report directly, independent of the
+    # committed baseline's numbers.
+    limit = current.get("max_overhead_pct")
+    if isinstance(limit, (int, float)):
+        for cell in current["results"]:
+            overhead = cell.get("overhead_pct")
+            if isinstance(overhead, (int, float)) and overhead > limit:
+                regressions.append(
+                    f"{_cell_key(current, cell)}: overhead "
+                    f"{overhead:.1f}% exceeds the report's "
+                    f"{limit:g}% limit"
                 )
 
     for key, base in base_cells.items():

@@ -15,6 +15,7 @@ Subcommands::
     uucs trace          assemble distributed traces from event logs
     uucs clients        per-client rollups from a metrics endpoint
     uucs top            live fleet dashboard over a metrics endpoint
+    uucs dashboard      open the live web fleet dashboard
 
 Every command works on the plain-text stores, so the pipeline can be
 driven entirely from a shell.
@@ -149,24 +150,66 @@ def _cmd_testcase_view(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(value: str, flag: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` option value or raise :class:`ValidationError`."""
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValidationError(f"{flag} needs HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def _gateway_pusher(push_to: tuple[str, int], client_id: str, hub: Telemetry):
+    """A best-effort snapshot pusher for mid-study progress updates."""
+    from repro.telemetry.aggregate import push_snapshot
+
+    def push(_progress=None) -> bool:
+        try:
+            push_snapshot(push_to[0], push_to[1], client_id, hub.metrics.snapshot())
+            return True
+        except (ReproError, OSError):
+            return False  # observability side channel; the study carries on
+
+    return push
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     config = ControlledStudyConfig(n_users=args.users, seed=args.seed)
     n_shards = resolve_shards(args.shards, config.n_users)
+    push_to = (
+        _parse_hostport(args.push_gateway, "--push-gateway")
+        if args.push_gateway
+        else None
+    )
+    # Pushing progress implies collecting metrics, even without an event
+    # log on disk (mirrors `uucs client --push-gateway`).
+    hub: Telemetry | None = None
+    if args.telemetry:
+        hub = Telemetry.to_path(args.telemetry)
+    elif push_to is not None:
+        hub = Telemetry()
+    on_progress = None
+    if push_to is not None and hub is not None:
+        on_progress = _gateway_pusher(
+            push_to, f"study-seed{config.seed}", hub
+        )
     # One timer pair around the whole study — never inside the per-run hot
     # loop, where per-session timing belongs to (and is gated by) telemetry.
     started = time.perf_counter()
-    if args.telemetry:
+    if hub is not None:
         # Shard workers get sibling logs named <telemetry stem>.shardN.jsonl
         # so `uucs trace <telemetry> <stem>.shard*.jsonl` reassembles the
         # full study tree across the driver and every worker process.
-        tpath = Path(args.telemetry)
-        worker_prefix = tpath.with_suffix("") if tpath.suffix else tpath
-        with use_telemetry(Telemetry.to_path(args.telemetry)):
+        worker_prefix = None
+        if args.telemetry:
+            tpath = Path(args.telemetry)
+            worker_prefix = tpath.with_suffix("") if tpath.suffix else tpath
+        with use_telemetry(hub):
             result = run_sharded_study(
                 config,
                 shards=n_shards,
                 max_workers=args.workers,
                 worker_telemetry=worker_prefix if n_shards > 1 else None,
+                on_progress=on_progress,
             )
     else:
         result = run_sharded_study(
@@ -188,6 +231,17 @@ def _cmd_study(args: argparse.Namespace) -> int:
         _print(f"telemetry event log -> {args.telemetry}")
         if n_shards > 1:
             _print(f"shard worker logs -> {worker_prefix}.shard*.jsonl")
+    if push_to is not None and on_progress is not None:
+        # Final push so the dashboard shows the completed study even when
+        # progress was shard-granular (or single-shard, with no
+        # mid-study callbacks at all).
+        if on_progress():
+            _print(f"pushed study metrics to {push_to[0]}:{push_to[1]}")
+        else:
+            _print(
+                f"warning: metrics push to {push_to[0]}:{push_to[1]} failed",
+                err=True,
+            )
     return 0
 
 
@@ -266,12 +320,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
     telemetry = Telemetry.to_path(args.telemetry) if args.telemetry else None
     push_to: tuple[str, int] | None = None
     if args.push_gateway:
-        host, _, port = args.push_gateway.rpartition(":")
-        if not host or not port.isdigit():
-            raise ValidationError(
-                f"--push-gateway needs HOST:PORT, got {args.push_gateway!r}"
-            )
-        push_to = (host, int(port))
+        push_to = _parse_hostport(args.push_gateway, "--push-gateway")
         if telemetry is None:
             telemetry = Telemetry()  # pushing implies collecting metrics
     # Resilient transport stack, innermost first: redial dropped
@@ -407,9 +456,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         exporter = MetricsExporter(
             server.telemetry.metrics, args.host, args.metrics_port,
             rollups=server.rollups,
+            stale_after=args.stale_after,
+            evict_after=args.evict_after if args.evict_after > 0 else None,
         )
         mhost, mport = exporter.address
         _print(f"metrics endpoint on {mhost}:{mport}")
+        _print(f"fleet dashboard on http://{mhost}:{mport}/")
     if args.telemetry:
         _print(f"telemetry event log -> {args.telemetry}")
     try:
@@ -528,6 +580,50 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    """Point a browser at an exporter's live web fleet dashboard.
+
+    Validates that the exporter is reachable and serving the web layer
+    (one ``/fleet`` fetch), prints a one-frame fleet summary and the
+    dashboard URL, and optionally opens the system browser.  The page
+    itself then stays live over SSE; ``--refresh`` only sets the page's
+    safety-net reconcile interval.
+    """
+    from repro.telemetry.aggregate import fetch_fleet
+    from repro.telemetry.dashboard import TopDashboard
+
+    fleet = fetch_fleet(args.host, args.port)
+    url = f"http://{args.host}:{args.port}/"
+    if args.refresh > 0:
+        url += f"?refresh={args.refresh:g}"
+    totals = fleet.get("totals")
+    if isinstance(totals, dict):
+        _print(
+            f"fleet: {totals.get('active', 0)} active / "
+            f"{totals.get('stale', 0)} stale / "
+            f"{totals.get('evicted', 0)} evicted clients, "
+            f"{totals.get('discomforts', 0):g} discomfort events"
+        )
+    summary = TopDashboard._render_fleet(fleet)
+    if summary:
+        _print(summary)
+    study = fleet.get("study")
+    if isinstance(study, dict):
+        ratio = float(study.get("progress_ratio") or 0.0)
+        eta = study.get("eta_s")
+        _print(
+            f"study: {ratio * 100:.0f}% complete"
+            + (f", ETA {float(eta):.0f}s" if eta is not None else "")
+        )
+    _print(f"dashboard -> {url}")
+    if args.open:
+        import webbrowser
+
+        if not webbrowser.open(url):
+            _print("warning: could not open a browser", err=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="uucs",
@@ -613,6 +709,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool size (default: one per shard)")
     study.add_argument("--telemetry", default="", metavar="PATH",
                        help="write a JSON-lines telemetry event log to PATH")
+    study.add_argument("--push-gateway", default="", metavar="HOST:PORT",
+                       help="push the driver's metrics (live study "
+                            "progress included) to a metrics endpoint "
+                            "after every shard completes, best-effort")
     study.set_defaults(func=_cmd_study)
 
     analyze = sub.add_parser("analyze", help="regenerate the paper's tables")
@@ -649,8 +749,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--timeout", type=float, default=0.0,
                        help="stop after N seconds (0 = run until interrupted)")
     serve.add_argument("--metrics-port", type=int, default=None,
-                       help="expose a plaintext /metrics endpoint on this "
-                            "port (0 = ephemeral)")
+                       help="expose the metrics endpoint + web fleet "
+                            "dashboard on this port (0 = ephemeral)")
+    serve.add_argument("--stale-after", type=float, default=30.0,
+                       help="flag a pushed client stale after N seconds "
+                            "without a push (default: 30)")
+    serve.add_argument("--evict-after", type=float, default=300.0,
+                       help="drop a pushed client from fleet aggregates "
+                            "after N silent seconds (0 = never; "
+                            "default: 300)")
     serve.add_argument("--telemetry", default="", metavar="PATH",
                        help="write a JSON-lines telemetry event log to PATH")
     serve.add_argument("--chaos", default="", metavar="SPEC",
@@ -708,6 +815,20 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--no-clear", action="store_true",
                      help="append frames instead of clearing the screen")
     top.set_defaults(func=_cmd_top)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="open the live web fleet dashboard of a metrics endpoint",
+    )
+    dashboard.add_argument("--host", default="127.0.0.1")
+    dashboard.add_argument("--port", type=int, required=True,
+                           help="the server's --metrics-port")
+    dashboard.add_argument("--open", action="store_true",
+                           help="open the dashboard in the system browser")
+    dashboard.add_argument("--refresh", type=float, default=30.0,
+                           help="page safety-net reconcile interval in "
+                                "seconds (0 = pure SSE; default: 30)")
+    dashboard.set_defaults(func=_cmd_dashboard)
 
     return parser
 

@@ -25,6 +25,7 @@ from repro.core.run import RunContext, TestcaseRun
 from repro.core.session import (
     FeedbackSource,
     InteractivityModel,
+    record_discomfort_levels,
     run_simulated_session,
 )
 from repro.core.testcase import Testcase
@@ -454,6 +455,13 @@ class UUCSClient:
                 "Testcase runs executed and recorded locally, by outcome.",
                 labelnames=("outcome",),
             ).inc(outcome=result.run.outcome.value)
+            if telemetry is not get_telemetry():
+                # The session loop already recorded the discomfort CDF on
+                # the process hub; mirror it onto the client's own hub
+                # when that is a different registry, so pushed snapshots
+                # carry the CDF the fleet dashboard computes headroom
+                # from (without double-counting when they are the same).
+                record_discomfort_levels(telemetry, result.run)
             telemetry.emit(
                 "client.run",
                 testcase=testcase.testcase_id,

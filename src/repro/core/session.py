@@ -33,12 +33,14 @@ from repro.errors import ValidationError
 from repro.telemetry import Telemetry, get_telemetry
 
 __all__ = [
+    "DISCOMFORT_LEVEL_BUCKETS",
     "FeedbackSource",
     "InteractivityModel",
     "LoadMonitor",
     "InteractivitySample",
     "SESSION_DURATION_BUCKETS",
     "SessionResult",
+    "record_discomfort_levels",
     "record_session_metrics",
     "run_simulated_session",
 ]
@@ -47,6 +49,16 @@ __all__ = [
 #: seconds; study testcases are two minutes long).
 SESSION_DURATION_BUCKETS: tuple[float, ...] = (
     5.0, 15.0, 30.0, 45.0, 60.0, 90.0, 120.0, 180.0, 300.0, 600.0,
+)
+
+#: Histogram buckets for contention levels at the moment of discomfort.
+#: Study exercise functions sweep levels in [0, ~3]; the cumulative
+#: counts over these bounds are the per-(task, resource) discomfort CDF
+#: that fleet tooling (``/fleet``, ``uucs dashboard``) turns into
+#: comfort-headroom estimates, so they are deliberately finer near the
+#: low levels where c_0.05 lives.
+DISCOMFORT_LEVEL_BUCKETS: tuple[float, ...] = (
+    0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0,
 )
 
 
@@ -79,6 +91,7 @@ def record_session_metrics(
         unit="seconds",
         labelnames=("engine",),
     ).observe(elapsed_s, engine=engine)
+    record_discomfort_levels(telemetry, run)
     telemetry.emit(
         "session.run",
         engine=engine,
@@ -87,6 +100,33 @@ def record_session_metrics(
         end_offset=run.end_offset,
         duration_s=elapsed_s,
     )
+
+
+def record_discomfort_levels(telemetry: Telemetry, run: TestcaseRun) -> None:
+    """Record ``run``'s discomfort observations into the discomfort CDF.
+
+    One observation per contended resource at the moment the user pressed
+    the hot-key, bucketed by contention level into the per-(task,
+    resource) ``uucs_discomfort_level`` histogram — the CDF fleet tooling
+    (``/fleet``, ``uucs dashboard``) turns into comfort-headroom
+    estimates.  No-op for runs without feedback.  Called by
+    :func:`record_session_metrics` for the study engines and directly by
+    :class:`~repro.client.UUCSClient` for its own (pushed) registry.
+    Caller guarantees ``telemetry.enabled``.
+    """
+    if run.feedback is None:
+        return
+    level_histogram = telemetry.metrics.histogram(
+        "uucs_discomfort_level",
+        "Contention level at the moment of user discomfort, "
+        "by task and resource.",
+        unit="level",
+        labelnames=("task", "resource"),
+        buckets=DISCOMFORT_LEVEL_BUCKETS,
+    )
+    task = run.context.task or "unknown"
+    for resource, level in run.feedback.levels.items():
+        level_histogram.observe(float(level), task=task, resource=resource.value)
 
 
 @dataclass(frozen=True)

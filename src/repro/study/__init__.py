@@ -11,6 +11,7 @@ from repro.study.controlled import (
 )
 from repro.study.sharded import (
     Shard,
+    StudyProgress,
     merge_shard_batches,
     resolve_shards,
     run_sharded_study,
@@ -60,6 +61,7 @@ __all__ = [
     "run_internet_study",
     "Shard",
     "StudyFixtures",
+    "StudyProgress",
     "StudyResult",
     "blank_testcase",
     "merge_shard_batches",

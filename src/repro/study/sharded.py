@@ -47,6 +47,7 @@ from repro.telemetry import (
 
 __all__ = [
     "Shard",
+    "StudyProgress",
     "merge_shard_batches",
     "resolve_shards",
     "run_sharded_study",
@@ -59,6 +60,42 @@ __all__ = [
 SHARD_SECONDS_BUCKETS: tuple[float, ...] = (
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
 )
+
+
+@dataclass(frozen=True)
+class StudyProgress:
+    """A snapshot of sharded-study progress after one shard completed.
+
+    Handed to ``run_sharded_study``'s ``on_progress`` callback and
+    mirrored into the ``uucs_study_*`` gauges the fleet dashboard
+    renders, so a long study is watchable as it runs.  ``eta_s`` is the
+    classic remaining-work estimate — remaining users divided by the
+    observed users/second — and ``None`` until a rate exists.
+    """
+
+    shards_total: int
+    shards_done: int
+    users: int
+    users_done: int
+    runs: int
+    elapsed_s: float
+
+    @property
+    def progress_ratio(self) -> float:
+        return self.users_done / self.users if self.users else 1.0
+
+    @property
+    def runs_per_s(self) -> float | None:
+        if self.elapsed_s <= 0 or self.runs == 0:
+            return None
+        return self.runs / self.elapsed_s
+
+    @property
+    def eta_s(self) -> float | None:
+        if self.elapsed_s <= 0 or self.users_done == 0:
+            return None
+        users_per_s = self.users_done / self.elapsed_s
+        return (self.users - self.users_done) / users_per_s
 
 
 @dataclass(frozen=True)
@@ -210,6 +247,7 @@ def run_sharded_study(
     max_workers: int | None = None,
     mp_context: str | None = None,
     worker_telemetry: str | Path | None = None,
+    on_progress=None,
 ) -> StudyResult:
     """Execute the controlled study across ``shards`` worker processes.
 
@@ -228,6 +266,18 @@ def run_sharded_study(
     driver log plus the shard logs then reconstructs the full study
     tree.  Works under any start method — the context travels in the
     (picklable) task arguments, not in inherited state.
+
+    ``on_progress`` (optional) is called with a :class:`StudyProgress`
+    after every shard completion — the hook ``uucs study
+    --push-gateway`` uses to push the driver's registry (progress
+    gauges included) to a fleet dashboard mid-study.  Progress is
+    shard-granular; the ``shards=1`` short-circuit never calls it.
+    When telemetry is enabled the same snapshots are mirrored into
+    ``uucs_study_progress_ratio`` / ``uucs_study_users`` /
+    ``uucs_study_users_done`` / ``uucs_study_runs_per_second`` /
+    ``uucs_study_eta_seconds`` and per-shard
+    ``uucs_study_shard_progress_ratio`` gauges; with it disabled and no
+    callback, no extra clocks are read and no gauges exist.
     """
     if config is None:
         config = ControlledStudyConfig()
@@ -249,6 +299,11 @@ def run_sharded_study(
         if telemetry.enabled and span.context is not None:
             parent_wire = span.context.to_wire()
         workers = min(len(plan), max_workers) if max_workers else len(plan)
+        track_progress = telemetry.enabled or on_progress is not None
+        study_started = time.perf_counter() if track_progress else 0.0
+        users_done = 0
+        runs_done = 0
+        shards_done = 0
         batches: dict[int, Sequence[TestcaseRun]] = {}
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=_resolve_context(mp_context)
@@ -266,6 +321,25 @@ def run_sharded_study(
                     _run_shard, config, shard.start, shard.stop, trace
                 )
                 submitted[future] = (shard, time.perf_counter())
+            if telemetry.enabled:
+                # Publish the 0% baseline so a dashboard attached before
+                # the first shard lands still sees the study (and every
+                # shard row), not a blank panel.
+                for shard in plan:
+                    _shard_progress_gauge(telemetry).set(
+                        0.0, shard=str(shard.index)
+                    )
+                _record_progress_metrics(
+                    telemetry,
+                    StudyProgress(
+                        shards_total=len(plan),
+                        shards_done=0,
+                        users=config.n_users,
+                        users_done=0,
+                        runs=0,
+                        elapsed_s=0.0,
+                    ),
+                )
             pending = set(submitted)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -273,6 +347,9 @@ def run_sharded_study(
                     shard, started = submitted[future]
                     batch = future.result()
                     batches[shard.index] = batch
+                    shards_done += 1
+                    users_done += shard.n_users
+                    runs_done += len(batch)
                     if telemetry.enabled:
                         _record_shard_metrics(
                             telemetry,
@@ -280,6 +357,22 @@ def run_sharded_study(
                             len(batch),
                             time.perf_counter() - started,
                         )
+                    if track_progress:
+                        progress = StudyProgress(
+                            shards_total=len(plan),
+                            shards_done=shards_done,
+                            users=config.n_users,
+                            users_done=users_done,
+                            runs=runs_done,
+                            elapsed_s=time.perf_counter() - study_started,
+                        )
+                        if telemetry.enabled:
+                            _shard_progress_gauge(telemetry).set(
+                                1.0, shard=str(shard.index)
+                            )
+                            _record_progress_metrics(telemetry, progress)
+                        if on_progress is not None:
+                            on_progress(progress)
         runs = merge_shard_batches(
             [(shard, batches[shard.index]) for shard in plan]
         )
@@ -294,6 +387,47 @@ def run_sharded_study(
                 discomforts=sum(1 for r in runs if r.discomforted),
             )
         return StudyResult(tuple(runs), profiles, config)
+
+
+def _shard_progress_gauge(telemetry):
+    return telemetry.metrics.gauge(
+        "uucs_study_shard_progress_ratio",
+        "Per-shard completion (0 submitted, 1 done); shard-granular.",
+        labelnames=("shard",),
+    )
+
+
+def _record_progress_metrics(telemetry, progress: StudyProgress) -> None:
+    """Overall-study progress gauges (caller checked ``enabled``).
+
+    These are what ``/fleet`` and the web dashboard's study panel read
+    (directly from a co-located exporter, or federated from a pushed
+    driver snapshot via ``uucs study --push-gateway``).
+    """
+    metrics = telemetry.metrics
+    metrics.gauge(
+        "uucs_study_users", "Participant sessions planned for this study."
+    ).set(progress.users)
+    metrics.gauge(
+        "uucs_study_users_done", "Participant sessions completed so far."
+    ).set(progress.users_done)
+    metrics.gauge(
+        "uucs_study_progress_ratio",
+        "Fraction of the study's users completed (0..1).",
+    ).set(progress.progress_ratio)
+    rate = progress.runs_per_s
+    if rate is not None:
+        metrics.gauge(
+            "uucs_study_runs_per_second",
+            "Observed study throughput in run records per wall second.",
+        ).set(rate)
+    eta = progress.eta_s
+    if eta is not None:
+        metrics.gauge(
+            "uucs_study_eta_seconds",
+            "Estimated wall seconds until study completion, from the "
+            "observed users/second.",
+        ).set(eta)
 
 
 def _record_shard_metrics(

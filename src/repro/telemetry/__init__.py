@@ -39,8 +39,11 @@ from typing import Callable, ContextManager, Iterator
 from repro.telemetry.aggregate import (
     ClientRollup,
     ClientRollups,
+    HistorySample,
     RegistrySnapshot,
     fetch_clients,
+    fetch_fleet,
+    fetch_history,
     fetch_snapshot,
     push_snapshot,
 )
@@ -74,6 +77,7 @@ __all__ = [
     "EventSink",
     "Gauge",
     "Histogram",
+    "HistorySample",
     "JsonLinesSink",
     "MemorySink",
     "MetricsRegistry",
@@ -84,6 +88,8 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "fetch_clients",
+    "fetch_fleet",
+    "fetch_history",
     "fetch_snapshot",
     "get_telemetry",
     "process_guid",

@@ -26,8 +26,10 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Mapping
+from typing import Iterator, Sequence
 
 from repro.errors import ProtocolError, SerializationError, ValidationError
 from repro.telemetry.metrics import quantile_from_buckets
@@ -35,14 +37,21 @@ from repro.telemetry.metrics import quantile_from_buckets
 __all__ = [
     "ClientRollup",
     "ClientRollups",
+    "HistorySample",
     "RegistrySnapshot",
     "fetch_clients",
+    "fetch_fleet",
+    "fetch_history",
     "fetch_snapshot",
     "push_snapshot",
 ]
 
 #: Quantiles the summary/dashboard surfaces by default.
 DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99)
+
+#: Default per-client history ring capacity (sparkline points retained
+#: across pushes; at one push per 2 s this spans ~8 minutes).
+DEFAULT_HISTORY_CAPACITY = 240
 
 
 class RegistrySnapshot:
@@ -61,6 +70,29 @@ class RegistrySnapshot:
     def of(cls, registry: "MetricsRegistry") -> "RegistrySnapshot":  # noqa: F821
         """Snapshot a live registry."""
         return cls(registry.snapshot())
+
+    @classmethod
+    def adopt(
+        cls, data: dict[str, dict[str, object]]
+    ) -> "RegistrySnapshot":
+        """Wrap ``data`` without copying.
+
+        For owners of freshly built snapshot dicts (e.g. the push
+        gateway wrapping a just-parsed request body) where the per-push
+        defensive copy of ``__init__`` would be pure overhead.  The
+        caller promises not to mutate ``data`` afterwards.
+        """
+        view = cls.__new__(cls)
+        view._data = data
+        return view
+
+    def raw(self, name: str) -> Mapping[str, object] | None:
+        """The internal entry for ``name``, uncopied (treat as read-only).
+
+        The hot-path complement of :meth:`get`: cheap enough to use for
+        per-push change detection (``current.raw(n) == previous.raw(n)``).
+        """
+        return self._data.get(name)
 
     @property
     def data(self) -> dict[str, dict[str, object]]:
@@ -193,6 +225,22 @@ class ClientRollup:
             raise SerializationError(f"bad client rollup: {exc}")
 
 
+@dataclass(frozen=True)
+class HistorySample:
+    """One per-push history point in a client's sparkline ring buffer.
+
+    ``at`` is whatever clock the recorder used (the exporter records its
+    monotonic clock); ``runs`` and ``discomforts`` are the cumulative
+    totals read from the pushed snapshot, so rates are derived from
+    deltas between consecutive samples.
+    """
+
+    at: float
+    runs: float
+    borrow_level: float
+    discomforts: float
+
+
 @dataclass
 class _MutableRollup:
     client_id: str
@@ -225,11 +273,29 @@ class ClientRollups:
     The server records into this from its request handlers (gated on
     telemetry being enabled); the exporter serves it as JSON on
     ``GET /clients``; ``uucs clients`` and ``uucs top`` render it.
+
+    Each client also owns a fixed-size ring buffer of
+    :class:`HistorySample` points (``history`` caps its length), fed one
+    sample per push by the exporter and served on ``GET /history`` — the
+    data behind the web dashboard's per-client sparklines (runs/s,
+    borrow level, discomfort count).  The rings are bounded, so a
+    long-running gateway's memory is O(clients), never O(pushes).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, history: int = DEFAULT_HISTORY_CAPACITY) -> None:
+        if history < 2:
+            raise ValidationError(
+                f"history capacity must be >= 2 (rates need deltas), "
+                f"got {history}"
+            )
         self._rollups: dict[str, _MutableRollup] = {}
+        self._history_capacity = int(history)
+        self._history: dict[str, deque[HistorySample]] = {}
         self._lock = threading.Lock()
+
+    @property
+    def history_capacity(self) -> int:
+        return self._history_capacity
 
     def _entry(self, client_id: str) -> _MutableRollup:
         entry = self._rollups.get(client_id)
@@ -268,6 +334,77 @@ class ClientRollups:
             entry = self._entry(client_id)
             entry.pushes += 1
             entry.last_seen = max(entry.last_seen, float(now))
+
+    def record_sample(
+        self,
+        client_id: str,
+        at: float,
+        runs: float = 0.0,
+        borrow_level: float = 0.0,
+        discomforts: float = 0.0,
+    ) -> None:
+        """Append one history point to ``client_id``'s ring buffer."""
+        sample = HistorySample(
+            at=float(at),
+            runs=float(runs),
+            borrow_level=float(borrow_level),
+            discomforts=float(discomforts),
+        )
+        with self._lock:
+            ring = self._history.get(client_id)
+            if ring is None:
+                ring = self._history[client_id] = deque(
+                    maxlen=self._history_capacity
+                )
+            ring.append(sample)
+
+    def history(self, client_id: str) -> tuple[HistorySample, ...]:
+        """The retained history ring for one client (oldest first)."""
+        with self._lock:
+            return tuple(self._history.get(client_id, ()))
+
+    def last_samples(
+        self, client_id: str
+    ) -> tuple[HistorySample, HistorySample] | None:
+        """The ring's two newest samples without copying the ring.
+
+        ``None`` until the client has pushed twice; the per-push rate
+        computation runs on every ``/push``, so it must not pay for a
+        full :meth:`history` copy.
+        """
+        with self._lock:
+            ring = self._history.get(client_id)
+            if ring is None or len(ring) < 2:
+                return None
+            return ring[-2], ring[-1]
+
+    def history_series(self, now: float) -> dict[str, dict[str, list[float]]]:
+        """JSON-ready per-client timeseries (the ``/history`` payload body).
+
+        ``t`` is seconds before ``now`` (so 0.0 is "just pushed" and the
+        series reads left-to-right toward the present); ``runs_per_s``
+        is the delta rate between consecutive samples, aligned with the
+        *later* sample of each pair (first point: 0).
+        """
+        with self._lock:
+            rings = {cid: tuple(ring) for cid, ring in self._history.items()}
+        out: dict[str, dict[str, list[float]]] = {}
+        for client_id in sorted(rings):
+            ring = rings[client_id]
+            rates = [0.0]
+            for prev, curr in zip(ring, ring[1:]):
+                dt = curr.at - prev.at
+                rates.append(
+                    max(0.0, curr.runs - prev.runs) / dt if dt > 0 else 0.0
+                )
+            out[client_id] = {
+                "t": [round(float(now) - s.at, 3) for s in ring],
+                "runs": [s.runs for s in ring],
+                "runs_per_s": [round(r, 4) for r in rates],
+                "borrow_level": [s.borrow_level for s in ring],
+                "discomforts": [s.discomforts for s in ring],
+            }
+        return out
 
     def get(self, client_id: str) -> ClientRollup | None:
         with self._lock:
@@ -345,6 +482,32 @@ def fetch_clients(host: str, port: int, timeout: float = 5.0) -> list[ClientRoll
         return [ClientRollup.from_dict(row) for row in data]
     except SerializationError as exc:
         raise ProtocolError(str(exc)) from exc
+
+
+def fetch_fleet(host: str, port: int, timeout: float = 5.0) -> dict[str, object]:
+    """``GET /fleet`` from an exporter -> the fleet-view dict.
+
+    The payload schema is documented in docs/OBSERVABILITY.md (and pinned
+    by ``tests/schemas/fleet.schema.json``): headline fleet gauges,
+    per-client comfort-headroom rows with staleness flags, the
+    discomfort-event feed, and study progress.
+    """
+    status, body = _http_request(host, port, "/fleet", timeout=timeout)
+    data = _expect_json(status, body, "fleet fetch")
+    if not isinstance(data, dict):
+        raise ProtocolError("fleet endpoint must return a JSON object")
+    return data
+
+
+def fetch_history(
+    host: str, port: int, timeout: float = 5.0
+) -> dict[str, object]:
+    """``GET /history`` from an exporter -> per-client sparkline series."""
+    status, body = _http_request(host, port, "/history", timeout=timeout)
+    data = _expect_json(status, body, "history fetch")
+    if not isinstance(data, dict):
+        raise ProtocolError("history endpoint must return a JSON object")
+    return data
 
 
 def push_snapshot(

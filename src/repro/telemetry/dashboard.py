@@ -13,10 +13,12 @@ import sys
 import time
 from typing import Callable, Mapping, Sequence, TextIO
 
+from repro.errors import ReproError
 from repro.telemetry.aggregate import (
     ClientRollup,
     RegistrySnapshot,
     fetch_clients,
+    fetch_fleet,
     fetch_snapshot,
 )
 from repro.util.tables import TextTable, format_float
@@ -45,6 +47,7 @@ class TopDashboard:
         interval: float = 2.0,
         fetch_snapshot: Callable[..., RegistrySnapshot] = fetch_snapshot,
         fetch_clients: Callable[..., list[ClientRollup]] = fetch_clients,
+        fetch_fleet: Callable[..., Mapping[str, object]] | None = fetch_fleet,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.host = host
@@ -52,6 +55,8 @@ class TopDashboard:
         self.interval = float(interval)
         self._fetch_snapshot = fetch_snapshot
         self._fetch_clients = fetch_clients
+        self._fetch_fleet = fetch_fleet
+        self._fleet_available = fetch_fleet is not None
         self._clock = clock
         self._prev_counters: dict[tuple[str, str], float] = {}
         self._prev_clients: dict[str, ClientRollup] = {}
@@ -71,11 +76,27 @@ class TopDashboard:
 
     # -- rendering ---------------------------------------------------------
 
+    def sample_fleet(self) -> Mapping[str, object] | None:
+        """Fetch the ``/fleet`` view, once-degrading on old exporters.
+
+        Exporters predating the web layer (or running ``web=False``)
+        404 the route; the first failure disables the section for the
+        rest of the run instead of erroring every frame.
+        """
+        if not self._fleet_available or self._fetch_fleet is None:
+            return None
+        try:
+            return self._fetch_fleet(self.host, self.port)
+        except (ReproError, OSError):
+            self._fleet_available = False
+            return None
+
     def render_once(self) -> str:
         """Fetch and render one frame, updating delta/rate state."""
         snapshot, clients, dt = self.sample()
+        fleet = self.sample_fleet()
         self._tick += 1
-        frame = self.render(snapshot, clients, dt)
+        frame = self.render(snapshot, clients, dt, fleet)
         self._prev_counters = self._counter_values(snapshot)
         self._prev_clients = {row.client_id: row for row in clients}
         return frame
@@ -98,11 +119,16 @@ class TopDashboard:
         snapshot: RegistrySnapshot,
         clients: Sequence[ClientRollup],
         dt: float,
+        fleet: Mapping[str, object] | None = None,
     ) -> str:
         parts = [
             f"uucs top — {self.host}:{self.port} — tick {self._tick} — "
             f"{len(snapshot)} metrics, {len(clients)} clients"
         ]
+        if fleet is not None:
+            fleet_section = self._render_fleet(fleet)
+            if fleet_section:
+                parts.append(fleet_section)
         counters = self._render_counters(snapshot, dt)
         if counters:
             parts.append(counters)
@@ -177,6 +203,39 @@ class TopDashboard:
                 )
                 rows += 1
         return table.render() if rows else ""
+
+    @staticmethod
+    def _render_fleet(fleet: Mapping[str, object]) -> str:
+        """The fleet comfort-headroom table, from the shared ``/fleet``
+        view (same server-side helper the web dashboard renders from)."""
+        rows = fleet.get("clients")
+        if not isinstance(rows, list) or not rows:
+            return ""
+        table = TextTable(
+            "Fleet",
+            ["client", "state", "runs", "runs/s", "borrow",
+             "c_q", "headroom", "discomforts", "age s"],
+        )
+        for row in rows:
+            if not isinstance(row, Mapping):
+                continue
+            state = (
+                "evicted" if row.get("evicted")
+                else "stale" if row.get("stale")
+                else "active"
+            )
+            table.add_row(
+                str(row.get("client_id", ""))[:12],
+                state,
+                format_float(row.get("runs"), 0),  # type: ignore[arg-type]
+                format_float(row.get("runs_per_s"), 2),  # type: ignore[arg-type]
+                format_float(row.get("borrow_level"), 2),  # type: ignore[arg-type]
+                format_float(row.get("min_c_q"), 3),  # type: ignore[arg-type]
+                format_float(row.get("min_headroom"), 3),  # type: ignore[arg-type]
+                format_float(row.get("discomforts"), 0),  # type: ignore[arg-type]
+                format_float(row.get("age_s"), 1),  # type: ignore[arg-type]
+            )
+        return table.render()
 
     def _render_clients(self, clients: Sequence[ClientRollup], dt: float) -> str:
         table = TextTable(

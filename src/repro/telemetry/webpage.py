@@ -1,0 +1,464 @@
+"""The embedded fleet-dashboard page served at ``GET /``.
+
+One self-contained HTML document — inline CSS and JS, zero external
+resources, zero third-party dependencies — so the exporter can serve it
+from memory on an air-gapped fleet.  The page loads ``/fleet`` and
+``/history`` once for the initial view, then attaches an
+``EventSource`` to ``/stream`` and applies incremental per-client
+updates as pushes arrive; it never polls for live data (an optional
+slow ``/fleet`` reconcile, ``?refresh=N`` seconds, guards against a
+silently wedged stream and is off when ``N=0``).
+
+Palette and chart rules follow the repo's observability docs: roles are
+CSS custom properties with a selected dark mode (``prefers-color-scheme``
+plus a ``data-theme`` override), status colors always pair with a text
+label, numbers that must align use tabular figures, and sparklines are
+thin 2px single-hue lines on a recessive grid.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_page"]
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>UUCS fleet dashboard</title>
+<style>
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-serious: #ec835a;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --muted: #898781;
+  --grid: #2c2c2a;
+  --axis: #383835;
+  --border: rgba(255, 255, 255, 0.10);
+  --series-1: #3987e5;
+  --series-2: #d95926;
+  --series-3: #199e70;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  background: var(--page);
+  color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 1100px; margin: 0 auto; padding: 20px 16px 48px; }
+header { display: flex; align-items: baseline; gap: 12px; flex-wrap: wrap; }
+h1 { font-size: 18px; margin: 0; }
+h2 { font-size: 14px; margin: 24px 0 8px; color: var(--text-secondary);
+     font-weight: 600; }
+#conn { font-size: 12px; color: var(--text-secondary); }
+#conn .dot { display: inline-block; width: 8px; height: 8px;
+             border-radius: 50%; margin-right: 4px; background: var(--muted); }
+#conn.live .dot { background: var(--status-good); }
+#conn.down .dot { background: var(--status-critical); }
+.tiles { display: grid; grid-template-columns: repeat(auto-fit, minmax(150px, 1fr));
+         gap: 10px; margin-top: 16px; }
+.tile { background: var(--surface-1); border: 1px solid var(--border);
+        border-radius: 8px; padding: 10px 12px; }
+.tile .label { font-size: 12px; color: var(--text-secondary); }
+.tile .value { font-size: 24px; margin-top: 2px; }
+.tile .note { font-size: 11px; color: var(--muted); margin-top: 2px; }
+.tile .value.good { color: var(--status-good); }
+.tile .value.warning { color: var(--status-warning); }
+.tile .value.critical { color: var(--status-critical); }
+.panel { background: var(--surface-1); border: 1px solid var(--border);
+         border-radius: 8px; padding: 12px; }
+table { width: 100%; border-collapse: collapse; font-variant-numeric: tabular-nums; }
+th { text-align: left; font-size: 12px; font-weight: 600;
+     color: var(--text-secondary); padding: 4px 8px;
+     border-bottom: 1px solid var(--grid); }
+th.num, td.num { text-align: right; }
+td { padding: 4px 8px; border-bottom: 1px solid var(--grid); font-size: 13px; }
+tr:last-child td { border-bottom: none; }
+td.id { font-family: ui-monospace, monospace; font-size: 12px; }
+.badge { display: inline-block; font-size: 11px; padding: 1px 7px;
+         border-radius: 9px; border: 1px solid var(--border);
+         color: var(--text-secondary); }
+.badge.active { border-color: var(--status-good); color: var(--status-good); }
+.badge.stale { border-color: var(--status-warning); color: var(--status-warning); }
+.badge.evicted { border-color: var(--status-critical); color: var(--status-critical); }
+svg.spark { display: block; }
+svg.spark path { fill: none; stroke: var(--series-1); stroke-width: 2;
+                 stroke-linejoin: round; stroke-linecap: round; }
+svg.spark path.borrow { stroke: var(--series-2); }
+svg.spark line { stroke: var(--grid); stroke-width: 1; }
+.progress { height: 10px; background: var(--grid); border-radius: 5px;
+            overflow: hidden; }
+.progress > div { height: 100%; background: var(--series-1); width: 0; }
+.shards { display: flex; gap: 4px; margin-top: 8px; flex-wrap: wrap; }
+.shard { flex: 1 1 40px; min-width: 32px; }
+.shard .progress { height: 6px; }
+.shard .label { font-size: 10px; color: var(--muted); text-align: center; }
+#study-meta { font-size: 12px; color: var(--text-secondary); margin: 6px 0 0; }
+#feed { list-style: none; margin: 0; padding: 0; max-height: 280px;
+        overflow-y: auto; font-size: 13px; }
+#feed li { padding: 4px 8px; border-bottom: 1px solid var(--grid); }
+#feed li:last-child { border-bottom: none; }
+#feed .lvl { color: var(--status-serious); font-weight: 600; }
+#feed time { color: var(--muted); font-size: 11px; margin-right: 6px; }
+.empty { color: var(--muted); font-size: 13px; padding: 8px; }
+</style>
+</head>
+<body>
+<main>
+<header>
+  <h1>UUCS fleet dashboard</h1>
+  <span id="conn"><span class="dot"></span><span id="conn-text">connecting…</span></span>
+</header>
+
+<div class="tiles">
+  <div class="tile"><div class="label">Clients</div>
+    <div class="value" id="t-clients">–</div>
+    <div class="note" id="t-clients-note"></div></div>
+  <div class="tile"><div class="label">Fleet runs/s</div>
+    <div class="value" id="t-rate">–</div>
+    <div class="note" id="t-runs-note"></div></div>
+  <div class="tile"><div class="label">Min comfort headroom</div>
+    <div class="value" id="t-headroom">–</div>
+    <div class="note" id="t-headroom-note">✓ no client near threshold</div></div>
+  <div class="tile"><div class="label">Mean borrow level</div>
+    <div class="value" id="t-borrow">–</div>
+    <div class="note">uucs_throttle_ceiling</div></div>
+  <div class="tile"><div class="label">Discomfort events</div>
+    <div class="value" id="t-discomforts">–</div>
+    <div class="note">fleet total</div></div>
+</div>
+
+<h2>Study progress</h2>
+<div class="panel" id="study-panel">
+  <div class="progress"><div id="study-bar"></div></div>
+  <p id="study-meta">no study running</p>
+  <div class="shards" id="study-shards"></div>
+</div>
+
+<h2>Clients</h2>
+<div class="panel">
+  <table>
+    <thead><tr>
+      <th>client</th><th>status</th>
+      <th class="num">runs</th><th class="num">runs/s</th>
+      <th>activity</th>
+      <th class="num">borrow</th><th class="num">c₀.₀₅</th>
+      <th class="num">headroom</th><th class="num">discomforts</th>
+    </tr></thead>
+    <tbody id="clients-body"></tbody>
+  </table>
+  <div class="empty" id="clients-empty">no clients have pushed yet</div>
+</div>
+
+<h2>Discomfort feed</h2>
+<div class="panel">
+  <ul id="feed"></ul>
+  <div class="empty" id="feed-empty">no discomfort events observed</div>
+</div>
+</main>
+
+<script>
+"use strict";
+(function () {
+  var params = new URLSearchParams(location.search);
+  var refreshS = Number(params.get("refresh") || "0");
+  var rows = {};       // client_id -> latest /fleet row
+  var spark = {};      // client_id -> {t: [], runs_per_s: [], borrow: [], lastRuns, lastAt}
+  var feed = [];       // newest first, capped
+  var study = null;
+  var FEED_MAX = 50;
+  var SPARK_MAX = 60;
+
+  function fmt(v, digits) {
+    if (v === null || v === undefined || Number.isNaN(v)) return "–";
+    return Number(v).toFixed(digits === undefined ? 2 : digits);
+  }
+  function esc(s) {
+    return String(s).replace(/[&<>"]/g, function (c) {
+      return {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}[c];
+    });
+  }
+
+  function sparkSvg(points, cls, w, h) {
+    if (!points || points.length < 2) return "";
+    var max = Math.max.apply(null, points);
+    var min = Math.min.apply(null, points, 0);
+    if (max - min < 1e-9) max = min + 1;
+    var step = w / (points.length - 1);
+    var d = points.map(function (v, i) {
+      var x = (i * step).toFixed(1);
+      var y = (h - 2 - (v - min) / (max - min) * (h - 4)).toFixed(1);
+      return (i === 0 ? "M" : "L") + x + " " + y;
+    }).join(" ");
+    return '<svg class="spark" width="' + w + '" height="' + h + '"' +
+      ' role="img" aria-label="sparkline">' +
+      '<line x1="0" y1="' + (h - 1) + '" x2="' + w + '" y2="' + (h - 1) + '"/>' +
+      '<path class="' + cls + '" d="' + d + '"/></svg>';
+  }
+
+  function statusBadge(row) {
+    if (row.evicted) return '<span class="badge evicted">✕ evicted</span>';
+    if (row.stale) return '<span class="badge stale">⚠ stale</span>';
+    return '<span class="badge active">✓ active</span>';
+  }
+
+  function headroomClass(v) {
+    if (v === null || v === undefined) return "";
+    if (v <= 0) return "critical";
+    if (v < 0.1) return "warning";
+    return "good";
+  }
+
+  function renderTiles() {
+    var all = Object.values(rows);
+    var active = all.filter(function (r) { return !r.evicted; });
+    var fresh = active.filter(function (r) { return !r.stale; });
+    var stale = active.length - fresh.length;
+    document.getElementById("t-clients").textContent = String(fresh.length);
+    document.getElementById("t-clients-note").textContent =
+      stale ? "⚠ " + stale + " stale" : "all fresh";
+    var rate = 0;
+    fresh.forEach(function (r) {
+      var s = spark[r.client_id];
+      var pts = s ? s.runs_per_s : [];
+      if (pts.length) rate += pts[pts.length - 1];
+    });
+    document.getElementById("t-rate").textContent = fmt(rate, 2);
+    var runs = 0, disc = 0;
+    active.forEach(function (r) { runs += r.runs || 0; disc += r.discomforts || 0; });
+    document.getElementById("t-runs-note").textContent = runs + " runs total";
+    document.getElementById("t-discomforts").textContent = String(disc);
+    var heads = fresh.map(function (r) { return r.min_headroom; })
+      .filter(function (v) { return v !== null && v !== undefined; });
+    var head = heads.length ? Math.min.apply(null, heads) : null;
+    var el = document.getElementById("t-headroom");
+    el.textContent = head === null ? "–" : fmt(head, 3);
+    el.className = "value " + headroomClass(head);
+    document.getElementById("t-headroom-note").textContent =
+      head === null ? "no discomfort CDF yet" :
+      head <= 0 ? "✕ borrowing past c₀.₀₅" :
+      head < 0.1 ? "⚠ close to threshold" : "✓ under threshold";
+    var borrows = fresh.map(function (r) { return r.borrow_level; })
+      .filter(function (v) { return v !== null && v !== undefined; });
+    document.getElementById("t-borrow").textContent = borrows.length
+      ? fmt(borrows.reduce(function (a, b) { return a + b; }, 0) / borrows.length, 2)
+      : "–";
+  }
+
+  function renderClients() {
+    var body = document.getElementById("clients-body");
+    var ids = Object.keys(rows).sort();
+    document.getElementById("clients-empty").style.display =
+      ids.length ? "none" : "block";
+    body.innerHTML = ids.map(function (id) {
+      var r = rows[id];
+      var s = spark[id] || {runs_per_s: [], borrow: []};
+      return "<tr>" +
+        '<td class="id">' + esc(id) + "</td>" +
+        "<td>" + statusBadge(r) + "</td>" +
+        '<td class="num">' + fmt(r.runs, 0) + "</td>" +
+        '<td class="num">' + fmt(s.runs_per_s[s.runs_per_s.length - 1], 2) + "</td>" +
+        "<td>" + sparkSvg(s.runs_per_s.slice(-SPARK_MAX), "", 110, 26) + "</td>" +
+        '<td class="num">' + fmt(r.borrow_level, 2) + "</td>" +
+        '<td class="num">' + fmt(r.min_c_q, 3) + "</td>" +
+        '<td class="num">' + fmt(r.min_headroom, 3) + "</td>" +
+        '<td class="num">' + fmt(r.discomforts, 0) + "</td>" +
+        "</tr>";
+    }).join("");
+  }
+
+  function renderStudy() {
+    var bar = document.getElementById("study-bar");
+    var meta = document.getElementById("study-meta");
+    var shardsEl = document.getElementById("study-shards");
+    if (!study) {
+      bar.style.width = "0";
+      meta.textContent = "no study running";
+      shardsEl.innerHTML = "";
+      return;
+    }
+    var pct = Math.round((study.progress_ratio || 0) * 100);
+    bar.style.width = pct + "%";
+    var bits = [pct + "%"];
+    if (study.users_done !== null && study.users !== null)
+      bits.push(fmt(study.users_done, 0) + "/" + fmt(study.users, 0) + " users");
+    if (study.runs_per_s) bits.push(fmt(study.runs_per_s, 1) + " runs/s");
+    if (study.eta_s !== null && study.eta_s !== undefined)
+      bits.push("ETA " + fmt(study.eta_s, 0) + "s");
+    meta.textContent = bits.join(" · ");
+    shardsEl.innerHTML = (study.shards || []).map(function (sh) {
+      var spct = Math.round((sh.progress_ratio || 0) * 100);
+      return '<div class="shard"><div class="progress">' +
+        '<div style="width:' + spct + '%"></div></div>' +
+        '<div class="label">' + esc(sh.shard) + "</div></div>";
+    }).join("");
+  }
+
+  function renderFeed() {
+    document.getElementById("feed-empty").style.display =
+      feed.length ? "none" : "block";
+    document.getElementById("feed").innerHTML = feed.map(function (e) {
+      return "<li><time>" + fmt(e.at, 0) + "s</time>" +
+        '<span class="lvl">⚠ discomfort</span> ' +
+        esc(e.client_id) + " · " + esc(e.task) + "/" + esc(e.resource) +
+        (e.level_le !== null && e.level_le !== undefined
+          ? " at level ≤ " + fmt(e.level_le, 2) : "") +
+        (e.count > 1 ? " (×" + e.count + ")" : "") + "</li>";
+    }).join("");
+  }
+
+  function renderAll() { renderTiles(); renderClients(); renderStudy(); renderFeed(); }
+
+  function appendSparkPoint(id, row, at) {
+    var s = spark[id];
+    if (!s) s = spark[id] = {t: [], runs_per_s: [], borrow: [],
+                             lastRuns: null, lastAt: null};
+    var rate = null;
+    if (s.lastRuns !== null && at > s.lastAt)
+      rate = Math.max(0, (row.runs - s.lastRuns)) / (at - s.lastAt);
+    if (rate !== null) {
+      s.runs_per_s.push(rate);
+      s.borrow.push(row.borrow_level || 0);
+      if (s.runs_per_s.length > SPARK_MAX) {
+        s.runs_per_s.shift(); s.borrow.shift();
+      }
+    }
+    s.lastRuns = row.runs;
+    s.lastAt = at;
+  }
+
+  function applyFleet(data) {
+    rows = {};
+    (data.clients || []).forEach(function (r) { rows[r.client_id] = r; });
+    study = data.study || null;
+    (data.events || []).slice().reverse().forEach(function (e) { feed.unshift(e); });
+    feed = feed.slice(0, FEED_MAX);
+    renderAll();
+  }
+
+  function applyHistory(data) {
+    var series = data.clients || {};
+    Object.keys(series).forEach(function (id) {
+      var h = series[id];
+      spark[id] = {
+        t: h.t || [],
+        runs_per_s: (h.runs_per_s || []).slice(-SPARK_MAX),
+        borrow: (h.borrow_level || []).slice(-SPARK_MAX),
+        lastRuns: (h.runs || []).length ? h.runs[h.runs.length - 1] : null,
+        lastAt: (h.t || []).length ? -h.t[h.t.length - 1] : null
+      };
+    });
+    renderAll();
+  }
+
+  function setConn(state, text) {
+    var el = document.getElementById("conn");
+    el.className = state;
+    document.getElementById("conn-text").textContent = text;
+  }
+
+  function fetchJson(path, cb) {
+    fetch(path).then(function (r) { return r.json(); }).then(cb)
+      .catch(function () { setConn("down", "fetch failed: " + path); });
+  }
+
+  function connect() {
+    var es = new EventSource("/stream");
+    es.addEventListener("hello", function (ev) {
+      setConn("live", "live (SSE)");
+      applyFleet(JSON.parse(ev.data));
+    });
+    es.addEventListener("push", function (ev) {
+      var d = JSON.parse(ev.data);
+      var row = rows[d.client_id];
+      if (d.row) {
+        // Full row: the client is new or its discomfort CDF changed.
+        row = rows[d.client_id] = d.row;
+      } else if (row) {
+        // Light delta: the CDF (hence every cell's c_q) is unchanged,
+        // so only the live numbers move and headroom re-derives from
+        // c_q minus the new borrow level.
+        row.runs = d.runs;
+        row.runs_per_s = d.runs_per_s;
+        row.discomforts = d.discomforts;
+        row.borrow_level = d.borrow_level;
+        row.age_s = 0; row.stale = false; row.evicted = false;
+        var minH = null;
+        (row.cells || []).forEach(function (c) {
+          if (c.c_q !== null && c.c_q !== undefined &&
+              d.borrow_level !== null && d.borrow_level !== undefined) {
+            c.headroom = c.c_q - d.borrow_level;
+            if (minH === null || c.headroom < minH) minH = c.headroom;
+          }
+        });
+        if (minH !== null) row.min_headroom = minH;
+      }
+      if (row) appendSparkPoint(d.client_id, row, d.at);
+      (d.events || []).forEach(function (e) { feed.unshift(e); });
+      feed = feed.slice(0, FEED_MAX);
+      if (d.study) study = d.study;
+      renderAll();
+    });
+    es.onerror = function () {
+      setConn("down", "stream lost — retrying");
+    };
+    es.onopen = function () { setConn("live", "live (SSE)"); };
+  }
+
+  fetchJson("/fleet", applyFleet);
+  fetchJson("/history", applyHistory);
+  connect();
+  if (refreshS > 0) {
+    // Safety-net reconcile only; live updates arrive over SSE.
+    setInterval(function () {
+      fetchJson("/fleet", applyFleet);
+      fetchJson("/history", applyHistory);
+    }, refreshS * 1000);
+  }
+})();
+</script>
+</body>
+</html>
+"""
+
+
+def render_page() -> str:
+    """The dashboard HTML document (static; all state arrives over HTTP)."""
+    return _PAGE

@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Headless smoke test for the fleet web dashboard (CI gate).
+
+Boots a real :class:`MetricsExporter`, pushes two synthetic client
+snapshots through the push gateway, then exercises the public surface
+exactly as a browser would:
+
+* ``GET /`` must serve the self-contained HTML page;
+* ``GET /fleet`` must validate against the checked-in wire contract
+  ``tests/schemas/fleet.schema.json``;
+* ``GET /history`` must return the ring-buffer series for both clients;
+* ``GET /stream`` must deliver the ``hello`` frame and one live ``push``
+  frame (triggered by a third snapshot) over SSE.
+
+Stdlib only — the schema check is a deliberately small validator
+covering the subset the schema file uses (type, required, properties,
+items, minimum, enum), not a jsonschema dependency.
+
+Run directly (``python tests/dashboard_smoke.py``) or via pytest
+(``tests/test_web_dashboard.py::test_dashboard_smoke``). Exit 0 on
+success, 1 with a diagnostic on the first failure.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+import urllib.request
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "schemas" / "fleet.schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+    "null": type(None),
+}
+
+
+def validate(instance, schema, path="$"):
+    """Check ``instance`` against the mini JSON-schema subset; returns a
+    list of error strings (empty = valid)."""
+    errors = []
+    allowed = schema.get("type")
+    if allowed is not None:
+        names = [allowed] if isinstance(allowed, str) else list(allowed)
+        ok = False
+        for name in names:
+            python_type = _TYPES[name]
+            if isinstance(instance, python_type) and not (
+                name in ("integer", "number") and isinstance(instance, bool)
+            ):
+                ok = True
+                break
+        if not ok:
+            return [f"{path}: expected {'|'.join(names)}, "
+                    f"got {type(instance).__name__}"]
+        if instance is None:
+            return []  # a nullable slot that is null needs no more checks
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in {schema['enum']}")
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and instance < minimum:
+            errors.append(f"{path}: {instance} < minimum {minimum}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in instance:
+                errors.extend(validate(instance[key], subschema, f"{path}.{key}"))
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+def synthetic_registry(runs, levels, borrow):
+    """A client-shaped registry: run counter, borrow gauge, discomfort CDF."""
+    from repro.core.session import DISCOMFORT_LEVEL_BUCKETS
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "uucs_client_runs_total", "runs", labelnames=("outcome",)
+    )
+    counter.inc(runs - len(levels), outcome="exhausted")
+    if levels:
+        counter.inc(len(levels), outcome="discomfort")
+    registry.gauge("uucs_throttle_ceiling", "borrow").set(borrow)
+    histogram = registry.histogram(
+        "uucs_discomfort_level",
+        "levels",
+        labelnames=("task", "resource"),
+        buckets=DISCOMFORT_LEVEL_BUCKETS,
+    )
+    for level in levels:
+        histogram.observe(level, task="word", resource="cpu")
+    return registry
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def check(condition, message):
+    if not condition:
+        raise AssertionError(message)
+
+
+def read_sse_frame(sock, buffer, want_event):
+    """Read from ``sock`` until a non-comment frame of ``want_event``
+    arrives; returns (fields, remaining_buffer)."""
+    sock.settimeout(10)
+    while True:
+        while b"\n\n" in buffer:
+            frame, buffer = buffer.split(b"\n\n", 1)
+            if frame.startswith(b":"):
+                continue
+            fields = {}
+            for line in frame.split(b"\n"):
+                name, _, value = line.partition(b": ")
+                fields[name.decode()] = value.decode()
+            if fields.get("event") == want_event:
+                fields["data"] = json.loads(fields["data"])
+                return fields, buffer
+        chunk = sock.recv(65536)
+        check(chunk, f"stream closed before a {want_event!r} frame")
+        buffer += chunk
+
+
+def main():
+    from repro.telemetry.aggregate import push_snapshot
+    from repro.telemetry.exporter import MetricsExporter
+    from repro.telemetry.metrics import MetricsRegistry
+
+    schema = json.loads(SCHEMA_PATH.read_text())
+    with MetricsExporter(MetricsRegistry()) as exporter:
+        host, port = exporter.address
+        base = f"http://{host}:{port}"
+
+        # Two synthetic clients: one comfortable, one near its threshold.
+        push_snapshot(host, port, "smoke-a",
+                      synthetic_registry(20, [0.5, 0.9], 0.30).snapshot())
+        push_snapshot(host, port, "smoke-b",
+                      synthetic_registry(12, [0.15], 0.10).snapshot())
+
+        status, headers, body = fetch(base + "/")
+        check(status == 200, f"GET / -> {status}")
+        check(headers.get("Content-Type") == "text/html; charset=utf-8",
+              f"GET / content-type {headers.get('Content-Type')!r}")
+        check(body.startswith(b"<!DOCTYPE html"), "GET / is not the HTML page")
+        check(b"EventSource" in body, "page lost its SSE client")
+        print(f"ok GET /        {len(body)} bytes of HTML")
+
+        status, headers, body = fetch(base + "/fleet")
+        check(status == 200, f"GET /fleet -> {status}")
+        check(headers.get("Content-Type") == "application/json; charset=utf-8",
+              f"GET /fleet content-type {headers.get('Content-Type')!r}")
+        fleet = json.loads(body)
+        schema_errors = validate(fleet, schema)
+        check(not schema_errors,
+              "fleet schema violations:\n  " + "\n  ".join(schema_errors))
+        check(len(fleet["clients"]) == 2, "expected 2 fleet rows")
+        check(fleet["totals"]["active"] == 2, "both clients should be fresh")
+        check(all(row["min_headroom"] is not None for row in fleet["clients"]),
+              "comfort headroom missing from a pushed client")
+        check(len(fleet["events"]) == 2, "expected one feed event per client")
+        print(f"ok GET /fleet   schema valid, {len(fleet['clients'])} rows")
+
+        status, headers, body = fetch(base + "/history")
+        check(status == 200, f"GET /history -> {status}")
+        history = json.loads(body)
+        check(set(history["clients"]) == {"smoke-a", "smoke-b"},
+              f"history clients {sorted(history['clients'])}")
+        for client_id, series in history["clients"].items():
+            check(len(series["runs"]) == 1,
+                  f"{client_id}: expected 1 history point")
+        print(f"ok GET /history capacity {history['capacity']}")
+
+        with socket.create_connection((host, port), timeout=10) as stream:
+            stream.sendall(b"GET /stream HTTP/1.0\r\n\r\n")
+            buffer = b""
+            while b"\r\n\r\n" not in buffer:
+                buffer += stream.recv(65536)
+            head, _, buffer = buffer.partition(b"\r\n\r\n")
+            check(b"text/event-stream" in head, "stream content-type wrong")
+            hello, buffer = read_sse_frame(stream, buffer, "hello")
+            check(len(hello["data"]["clients"]) == 2, "hello missed a client")
+            # A third push must arrive as a live SSE frame, no polling.
+            push_snapshot(host, port, "smoke-a",
+                          synthetic_registry(25, [0.5, 0.9, 1.2], 0.35).snapshot())
+            push, _ = read_sse_frame(stream, buffer, "push")
+            check(push["data"]["client_id"] == "smoke-a", "push wrong client")
+            check(push["data"]["row"]["runs"] == 25.0, "push row stale")
+            check(int(push["id"]) == push["data"]["version"],
+                  "SSE id and payload version diverged")
+        print("ok GET /stream  hello + live push frame")
+
+    print("dashboard smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except AssertionError as exc:
+        print(f"dashboard smoke FAILED: {exc}", file=sys.stderr)
+        sys.exit(1)

@@ -308,3 +308,94 @@ class TestTelemetryCommands:
         finally:
             proc.terminate()
             proc.wait(timeout=10)
+
+
+class TestDashboardCLI:
+    @staticmethod
+    def _exporter():
+        from repro.telemetry.exporter import MetricsExporter
+        from repro.telemetry.metrics import MetricsRegistry
+
+        return MetricsExporter(MetricsRegistry())
+
+    def test_prints_summary_and_url(self, capsys):
+        from repro.telemetry.aggregate import push_snapshot
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "uucs_client_runs_total", "runs", labelnames=("outcome",)
+        ).inc(4, outcome="exhausted")
+        with self._exporter() as exporter:
+            host, port = exporter.address
+            push_snapshot(host, port, "probe", registry.snapshot())
+            assert run_cli("dashboard", "--port", str(port)) == 0
+        out = capsys.readouterr().out
+        assert f"dashboard -> http://127.0.0.1:{port}/?refresh=30" in out
+        assert "fleet: 1 active" in out
+        assert "Fleet" in out and "probe" in out
+
+    def test_refresh_zero_omits_query(self, capsys):
+        with self._exporter() as exporter:
+            _, port = exporter.address
+            assert run_cli("dashboard", "--port", str(port),
+                           "--refresh", "0") == 0
+        out = capsys.readouterr().out
+        assert f"dashboard -> http://127.0.0.1:{port}/\n" in out
+
+    def test_unreachable_exporter_exits_protocol(self, capsys):
+        # ProtocolError family exits 6; grab a port nothing listens on.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert run_cli("dashboard", "--port", str(port)) == 6
+        assert "error" in capsys.readouterr().err
+
+
+class TestStudyPushGateway:
+    def test_study_pushes_progress_to_gateway(self, tmp_path, capsys):
+        from repro.telemetry.exporter import MetricsExporter
+        from repro.telemetry.metrics import MetricsRegistry
+
+        with MetricsExporter(MetricsRegistry()) as exporter:
+            host, port = exporter.address
+            assert run_cli(
+                "study", "--users", "2", "--seed", "7", "--shards", "2",
+                "--results", str(tmp_path / "results"),
+                "--push-gateway", f"{host}:{port}",
+            ) == 0
+            out = capsys.readouterr().out
+            assert f"pushed study metrics to {host}:{port}" in out
+            fleet = exporter.fleet_view()
+        (row,) = fleet["clients"]
+        assert row["client_id"] == "study-seed7"
+        study = fleet["study"]
+        assert study is not None and study["progress_ratio"] == 1.0
+        assert len(study["shards"]) == 2
+
+    def test_unreachable_gateway_warns_but_succeeds(self, tmp_path, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert run_cli(
+            "study", "--users", "2", "--seed", "7",
+            "--results", str(tmp_path / "results"),
+            "--push-gateway", f"127.0.0.1:{port}",
+        ) == 0
+        captured = capsys.readouterr()
+        assert "warning: metrics push" in captured.err
+        assert "controlled study: " in captured.out
+
+    def test_bad_hostport_is_validation_error(self, tmp_path, capsys):
+        assert run_cli(
+            "study", "--users", "2",
+            "--results", str(tmp_path / "results"),
+            "--push-gateway", "no-port-here",
+        ) == 3
+        assert "error" in capsys.readouterr().err

@@ -298,3 +298,72 @@ class TestShardedTelemetry:
         assert calls["n"] == 0, (
             f"{calls['n']} timer reads in the hot loop with telemetry disabled"
         )
+
+
+class TestStudyProgress:
+    def test_callback_sequence_and_eta(self):
+        from repro.study import StudyProgress
+
+        config = ControlledStudyConfig(n_users=4, seed=3, tasks=("word",))
+        seen: list[StudyProgress] = []
+        run_sharded_study(config, shards=4, on_progress=seen.append)
+        assert len(seen) == 4  # one per completed shard
+        assert [p.shards_done for p in seen] == [1, 2, 3, 4]
+        assert all(p.shards_total == 4 and p.users == 4 for p in seen)
+        ratios = [p.progress_ratio for p in seen]
+        assert ratios == sorted(ratios) and ratios[-1] == 1.0
+        final = seen[-1]
+        assert final.users_done == 4
+        assert final.runs == 4 * 8
+        assert final.elapsed_s > 0
+        assert final.eta_s == pytest.approx(0.0)
+        # Mid-study ETA extrapolates from observed throughput.
+        assert seen[0].eta_s is not None and seen[0].eta_s >= 0
+
+    def test_callback_without_telemetry_emits_no_metrics(self):
+        from repro.telemetry import get_telemetry
+
+        config = ControlledStudyConfig(n_users=2, seed=4, tasks=("word",))
+        seen = []
+        run_sharded_study(config, shards=2, on_progress=seen.append)
+        assert len(seen) == 2
+        assert len(get_telemetry().metrics) == 0  # default hub untouched
+
+    def test_progress_gauges_recorded(self):
+        from repro.telemetry import Telemetry, use_telemetry
+
+        config = ControlledStudyConfig(n_users=3, seed=8, tasks=("word",))
+        with use_telemetry(Telemetry.in_memory()) as telemetry:
+            run_sharded_study(config, shards=3)
+            metrics = telemetry.metrics
+            assert metrics.get("uucs_study_progress_ratio").value() == 1.0
+            assert metrics.get("uucs_study_users").value() == 3
+            assert metrics.get("uucs_study_users_done").value() == 3
+            shard_gauge = metrics.get("uucs_study_shard_progress_ratio")
+            assert all(
+                shard_gauge.value(shard=str(i)) == 1.0 for i in range(3)
+            )
+            assert metrics.get("uucs_study_runs_per_second").value() > 0
+
+    def test_single_shard_skips_progress(self):
+        seen = []
+        config = ControlledStudyConfig(n_users=2, seed=5, tasks=("word",))
+        run_sharded_study(config, shards=1, on_progress=seen.append)
+        assert seen == []  # the 1-shard fast path is the sequential driver
+
+    def test_progress_dataclass_derivations(self):
+        from repro.study import StudyProgress
+
+        half = StudyProgress(
+            shards_total=4, shards_done=2, users=8, users_done=4,
+            runs=32, elapsed_s=2.0,
+        )
+        assert half.progress_ratio == 0.5
+        assert half.runs_per_s == pytest.approx(16.0)
+        assert half.eta_s == pytest.approx(2.0)  # same pace for the rest
+        empty = StudyProgress(
+            shards_total=2, shards_done=0, users=0, users_done=0,
+            runs=0, elapsed_s=0.0,
+        )
+        assert empty.progress_ratio == 1.0
+        assert empty.runs_per_s is None and empty.eta_s is None
