@@ -59,12 +59,15 @@ from repro.errors import (
     ThrottleError,
     ValidationError,
 )
+from repro.faults.shardchaos import ShardFaultPlan
 from repro.net import SERVER_BACKENDS, serve_transport
 from repro.server.server import UUCSServer
 from repro.stores import ResultStore, TestcaseStore
+from repro.study.checkpoint import StudyCheckpoint
 from repro.study.controlled import ControlledStudyConfig
 from repro.study.internet import generate_library
 from repro.study.sharded import resolve_shards, run_sharded_study, shard_ranges
+from repro.study.supervisor import SupervisorPolicy
 from repro.telemetry import Telemetry, use_telemetry
 
 __all__ = ["main"]
@@ -175,6 +178,35 @@ def _gateway_pusher(push_to: tuple[str, int], client_id: str, hub: Telemetry):
 def _cmd_study(args: argparse.Namespace) -> int:
     config = ControlledStudyConfig(n_users=args.users, seed=args.seed)
     n_shards = resolve_shards(args.shards, config.n_users)
+    chaos = None
+    if args.chaos:
+        chaos_seed = args.chaos_seed
+        if chaos_seed is None:
+            chaos_seed = int(os.environ.get("UUCS_CHAOS_SEED", "0"))
+        chaos = ShardFaultPlan.parse(args.chaos, seed=chaos_seed)
+    store = ResultStore(args.results)
+    # Sharded (and chaos/resume/watchdog) runs go through the supervised
+    # engine with a checkpoint manifest, which commits shards to the
+    # store itself; the plain single-shard study stays in-process and is
+    # appended below, exactly as before.
+    supervised = (
+        n_shards > 1
+        or args.resume
+        or chaos is not None
+        or args.watchdog is not None
+    )
+    supervisor = checkpoint = None
+    if supervised:
+        supervisor = SupervisorPolicy(
+            max_attempts=args.shard_retries, watchdog_s=args.watchdog
+        )
+        checkpoint = StudyCheckpoint(store)
+    elif StudyCheckpoint(store).unfinished():
+        raise StudyError(
+            f"{store.path}.manifest records an unfinished study; rerun "
+            "with --resume to salvage it, or delete the manifest to "
+            "abandon the partial results"
+        )
     push_to = (
         _parse_hostport(args.push_gateway, "--push-gateway")
         if args.push_gateway
@@ -192,41 +224,68 @@ def _cmd_study(args: argparse.Namespace) -> int:
         on_progress = _gateway_pusher(
             push_to, f"study-seed{config.seed}", hub
         )
+    if args.resume:
+        _print(f"resuming from checkpoint {store.path}.manifest")
     # One timer pair around the whole study — never inside the per-run hot
     # loop, where per-session timing belongs to (and is gated by) telemetry.
     started = time.perf_counter()
-    if hub is not None:
-        # Shard workers get sibling logs named <telemetry stem>.shardN.jsonl
-        # so `uucs trace <telemetry> <stem>.shard*.jsonl` reassembles the
-        # full study tree across the driver and every worker process.
-        worker_prefix = None
-        if args.telemetry:
-            tpath = Path(args.telemetry)
-            worker_prefix = tpath.with_suffix("") if tpath.suffix else tpath
-        with use_telemetry(hub):
-            result = run_sharded_study(
-                config,
-                shards=n_shards,
-                max_workers=args.workers,
-                worker_telemetry=worker_prefix if n_shards > 1 else None,
-                on_progress=on_progress,
+    study_kwargs = dict(
+        shards=n_shards,
+        max_workers=args.workers,
+        on_progress=on_progress,
+        supervisor=supervisor,
+        checkpoint=checkpoint,
+        resume=args.resume,
+        chaos=chaos,
+    )
+    try:
+        if hub is not None:
+            # Shard workers get sibling logs named <telemetry stem>.shardN.jsonl
+            # so `uucs trace <telemetry> <stem>.shard*.jsonl` reassembles the
+            # full study tree across the driver and every worker process.
+            worker_prefix = None
+            if args.telemetry:
+                tpath = Path(args.telemetry)
+                worker_prefix = tpath.with_suffix("") if tpath.suffix else tpath
+            with use_telemetry(hub):
+                result = run_sharded_study(
+                    config,
+                    worker_telemetry=worker_prefix if n_shards > 1 else None,
+                    **study_kwargs,
+                )
+        else:
+            result = run_sharded_study(config, **study_kwargs)
+    except KeyboardInterrupt:
+        if checkpoint is not None:
+            _print(
+                f"interrupted: completed shards are checkpointed in "
+                f"{store.path}; rerun with --resume to continue",
+                err=True,
             )
-    else:
-        result = run_sharded_study(
-            config, shards=n_shards, max_workers=args.workers
-        )
+        else:
+            _print("interrupted", err=True)
+        return 130
     elapsed = time.perf_counter() - started
-    store = ResultStore(args.results)
     shards = shard_ranges(config.n_users, n_shards)
-    store.extend_batches(_study_batches(result, shards))
+    if checkpoint is None:
+        store.extend_batches(_study_batches(result, shards))
     _print(
         f"controlled study: {len(result.runs)} runs from "
         f"{len(result.profiles)} users -> {store.path}"
     )
+    rate = len(result.runs) / elapsed if elapsed > 0 else 0.0
     _print(
         f"  {len(shards)} shard(s), {elapsed:.2f}s wall "
-        f"({len(result.runs) / elapsed:.0f} runs/s)"
+        f"({rate:.0f} runs/s)"
     )
+    if result.quarantined:
+        _print(
+            f"warning: {len(result.quarantined)} shard(s) quarantined "
+            f"after {args.shard_retries} attempts each: "
+            f"{', '.join(map(str, result.quarantined))}; their results "
+            "are missing — rerun with --resume to retry them",
+            err=True,
+        )
     if args.telemetry:
         _print(f"telemetry event log -> {args.telemetry}")
         if n_shards > 1:
@@ -706,7 +765,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "the pool from os.cpu_count(), clamped to the "
                             "user count")
     study.add_argument("--workers", type=int, default=None,
-                       help="process-pool size (default: one per shard)")
+                       help="max concurrent shard worker processes "
+                            "(default: one per shard)")
+    study.add_argument("--resume", action="store_true",
+                       help="resume an interrupted study from its checkpoint "
+                            "manifest: shards whose bytes verify against the "
+                            "store are salvaged, the rest recomputed; the "
+                            "final store is byte-identical to an "
+                            "uninterrupted run")
+    study.add_argument("--watchdog", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill and retry a shard worker that exceeds this "
+                            "wall-clock deadline per attempt")
+    study.add_argument("--shard-retries", type=int, default=3, metavar="N",
+                       help="attempts per shard before the supervisor "
+                            "quarantines it (default: 3; applies to "
+                            "supervised runs: --shards > 1, --resume, "
+                            "--chaos, or --watchdog)")
+    study.add_argument("--chaos", default="", metavar="SPEC",
+                       help="inject seeded shard-level faults, e.g. "
+                            "'kill=0.3,kill_after_runs=4,hang=0.1,corrupt=0.1"
+                            ",sigint=0.05' (knobs: kill, kill_after_runs, "
+                            "hang, hang_s, corrupt, sigint, all)")
+    study.add_argument("--chaos-seed", type=int, default=None,
+                       help="seed for the shard fault schedule (default: "
+                            "$UUCS_CHAOS_SEED, else 0)")
     study.add_argument("--telemetry", default="", metavar="PATH",
                        help="write a JSON-lines telemetry event log to PATH")
     study.add_argument("--push-gateway", default="", metavar="HOST:PORT",

@@ -12,7 +12,10 @@ reproduction survive that environment and *prove* it:
   probabilistic fault injection at the transport seam (drop, delay,
   duplicate, truncate, corrupt, disconnect);
 * :class:`ChaosTCPProxy` — the same knobs applied to real sockets, for
-  soak tests and ``uucs serve --chaos`` demos.
+  soak tests and ``uucs serve --chaos`` demos;
+* :class:`ShardFaultPlan` — seeded chaos at the study's *process* seam
+  (worker kill/hang/corrupt-batch, driver SIGINT), exercising the shard
+  supervisor's retry/watchdog/quarantine and checkpoint/resume paths.
 
 Layering convention, innermost first::
 
@@ -28,6 +31,7 @@ from repro.faults.injection import FaultInjectingTransport, FaultPlan
 from repro.faults.proxy import ChaosTCPProxy
 from repro.faults.reconnect import ReconnectingTCPTransport
 from repro.faults.retry import RetryingTransport, RetryPolicy
+from repro.faults.shardchaos import ShardAttemptFaults, ShardFaultPlan
 
 __all__ = [
     "ChaosTCPProxy",
@@ -36,4 +40,6 @@ __all__ = [
     "ReconnectingTCPTransport",
     "RetryPolicy",
     "RetryingTransport",
+    "ShardAttemptFaults",
+    "ShardFaultPlan",
 ]

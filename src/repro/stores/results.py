@@ -103,6 +103,63 @@ class ResultStore:
                 count += 1
         return count
 
+    def size(self) -> int:
+        """Current byte size of the store file (0 if absent)."""
+        try:
+            return self._path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def append_serialized(self, blob: bytes) -> tuple[int, int]:
+        """Append pre-serialized record lines; return their byte span.
+
+        The checkpointing study driver appends each shard's batch as one
+        already-encoded buffer and records the returned
+        ``(offset_start, offset_end)`` span (plus its digest) in the
+        checkpoint manifest, so a resume can verify exactly which bytes
+        a crashed run committed.  The blob must be whole ``\\n``-terminated
+        lines; it is flushed *and* fsynced before the offsets are
+        returned, because a manifest entry pointing at bytes the OS
+        never persisted would salvage garbage after a power loss.
+        """
+        if not blob.endswith(b"\n"):
+            raise StoreError("serialized batch must end with a newline")
+        self.repair_tail()
+        with self._path.open("ab") as fh:
+            # "a" positions at EOF lazily on some platforms; make the
+            # recorded start offset explicit.
+            fh.seek(0, os.SEEK_END)
+            start = fh.tell()
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        # The blob bypassed per-run bookkeeping; rebuild the id index
+        # lazily if anyone asks again.
+        self._ids = None
+        return start, start + len(blob)
+
+    def truncate(self, size: int) -> None:
+        """Cut the store back to ``size`` bytes (resume salvage: drop
+        everything after the last checkpoint-verified shard)."""
+        if size < 0 or size > self.size():
+            raise StoreError(
+                f"cannot truncate {self._path.name} to {size} bytes "
+                f"(current size {self.size()})"
+            )
+        if size == 0 and not self._path.exists():
+            # A run interrupted before its first checkpoint commit never
+            # created the file; there is nothing to cut.
+            return
+        with self._path.open("rb+") as fh:
+            fh.truncate(size)
+        self._ids = None
+
+    def read_span(self, start: int, end: int) -> bytes:
+        """Read raw bytes ``[start, end)`` (checkpoint verification)."""
+        with self._path.open("rb") as fh:
+            fh.seek(start)
+            return fh.read(end - start)
+
     def extend_batches(
         self,
         batches: Iterable[Sequence[TestcaseRun]],

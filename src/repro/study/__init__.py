@@ -9,6 +9,7 @@ from repro.study.controlled import (
     run_user_range,
     study_fixtures,
 )
+from repro.study.checkpoint import ResumeState, StudyCheckpoint
 from repro.study.sharded import (
     Shard,
     StudyProgress,
@@ -17,6 +18,7 @@ from repro.study.sharded import (
     run_sharded_study,
     shard_ranges,
 )
+from repro.study.supervisor import SupervisorPolicy
 from repro.study.burstiness import (
     BurstinessResult,
     matched_mean_pair,
@@ -59,10 +61,13 @@ __all__ = [
     "host_speed_effect",
     "internet_discomfort_curve",
     "run_internet_study",
+    "ResumeState",
     "Shard",
+    "StudyCheckpoint",
     "StudyFixtures",
     "StudyProgress",
     "StudyResult",
+    "SupervisorPolicy",
     "blank_testcase",
     "merge_shard_batches",
     "ramp_testcase",

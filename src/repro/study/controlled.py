@@ -89,6 +89,10 @@ class StudyResult:
     runs: tuple[TestcaseRun, ...]
     profiles: tuple[UserProfile, ...]
     config: ControlledStudyConfig
+    #: Shard indices the sharded supervisor abandoned after exhausting
+    #: their retry budget; their users' runs are absent from ``runs``.
+    #: Always empty for single-process and fully healthy studies.
+    quarantined: tuple[int, ...] = ()
 
     def runs_for(
         self,

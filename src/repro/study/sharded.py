@@ -16,20 +16,37 @@ the (picklable) config instead of receiving them over the wire, which
 keeps :func:`_run_shard` spawn-safe: it is a module-level function whose
 arguments survive pickling under any multiprocessing start method.
 ``tests/shardcheck.py`` enforces the contract at 1/2/4/8 shards.
+
+Shards run under a *supervisor* rather than a bare process pool: each
+shard is one ``multiprocessing.Process`` talking back over a pipe, so a
+worker that dies, hangs past its watchdog deadline, or returns a damaged
+batch costs only that shard an attempt — it is relaunched after a
+seeded backoff (:class:`~repro.study.supervisor.SupervisorPolicy`) and,
+if it keeps failing, quarantined so every healthy shard's results still
+complete the study.  (A pool cannot do this: one SIGKILLed pool worker
+poisons every pending future with ``BrokenProcessPool``.)  With a
+:class:`~repro.study.checkpoint.StudyCheckpoint` attached, committed
+shards also survive *driver* death — ``resume=True`` salvages their
+bytes from the store and recomputes only the remainder, byte-identical
+to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import time
+from collections import deque
+from multiprocessing.connection import wait as _conn_wait
 from pathlib import Path
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.run import TestcaseRun
 from repro.errors import StudyError
+from repro.faults.shardchaos import CORRUPT_MARKER, ShardFaultPlan
+from repro.study.checkpoint import StudyCheckpoint
 from repro.study.controlled import (
     ControlledStudyConfig,
     StudyResult,
@@ -37,6 +54,7 @@ from repro.study.controlled import (
     run_user_range,
     study_fixtures,
 )
+from repro.study.supervisor import SupervisorPolicy
 from repro.telemetry import (
     Telemetry,
     TraceContext,
@@ -44,6 +62,7 @@ from repro.telemetry import (
     process_guid,
     use_telemetry,
 )
+from repro.util.rng import derive_rng
 
 __all__ = [
     "Shard",
@@ -241,6 +260,71 @@ def _resolve_context(mp_context: str | None) -> multiprocessing.context.BaseCont
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _shard_worker_main(
+    conn,
+    config: ControlledStudyConfig,
+    start: int,
+    stop: int,
+    trace: tuple[str, dict | None, int] | None,
+    faults,
+) -> None:
+    """Supervised worker entry point: run the shard, report over ``conn``.
+
+    Module-level and argument-only like :func:`_run_shard` (spawn-safe);
+    the extra ``faults`` argument is a picklable
+    :class:`~repro.faults.shardchaos.ShardAttemptFaults` acting out this
+    attempt's injected failures: hang (sleep before computing), kill
+    (SIGKILL self after ``kill_after_runs`` run records), or corrupt
+    (replace the batch tail with a marker the supervisor must reject).
+    Real failures follow the same wire shape — any exception becomes an
+    ``("error", message)`` reply, and a death without a reply surfaces
+    to the supervisor as EOF on the pipe.
+    """
+    try:
+        if faults is not None and faults.hang_s is not None:
+            time.sleep(faults.hang_s)
+        if faults is not None and faults.kill_after_runs is not None:
+            fixtures = study_fixtures(config)
+            done = 0
+            for index in range(start, stop):
+                done += len(run_user_range(config, index, index + 1, fixtures))
+                if done >= faults.kill_after_runs:
+                    break
+            os.kill(os.getpid(), signal.SIGKILL)
+        runs = _run_shard(config, start, stop, trace)
+        if faults is not None and faults.corrupt:
+            conn.send(("ok", list(runs[:-1]) + [CORRUPT_MARKER]))
+        else:
+            conn.send(("ok", runs))
+    except BaseException as exc:  # noqa: BLE001 — everything must be reported
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class _ShardTask:
+    """Mutable supervisor bookkeeping for one shard's attempts."""
+
+    __slots__ = ("shard", "rng", "attempts", "process", "conn", "started", "deadline")
+
+    def __init__(self, shard: Shard, rng):
+        self.shard = shard
+        #: Per-shard backoff-jitter stream, derived from the study seed:
+        #: one shard's retries never perturb another's schedule.
+        self.rng = rng
+        self.attempts = 0
+        self.process = None
+        self.conn = None
+        self.started = 0.0
+        self.deadline: float | None = None
+
+
 def run_sharded_study(
     config: ControlledStudyConfig | None = None,
     shards: int = 1,
@@ -248,15 +332,43 @@ def run_sharded_study(
     mp_context: str | None = None,
     worker_telemetry: str | Path | None = None,
     on_progress=None,
+    supervisor: SupervisorPolicy | None = None,
+    checkpoint: StudyCheckpoint | None = None,
+    resume: bool = False,
+    chaos: ShardFaultPlan | None = None,
 ) -> StudyResult:
-    """Execute the controlled study across ``shards`` worker processes.
+    """Execute the controlled study across ``shards`` supervised workers.
 
     Byte-identical to :func:`run_controlled_study` for any shard count:
     per-user RNG streams are derived from ``(config.seed, user_index)``
-    alone, and the merge restores user-index order.  ``shards=1`` runs
-    in-process with no pool.  ``max_workers`` caps the pool size (default:
-    one worker per shard); ``mp_context`` forces a start method
+    alone, and the merge restores user-index order.  ``shards=1`` (with
+    no supervision features requested) runs in-process with no workers.
+    ``max_workers`` caps concurrent worker processes (default: one per
+    shard); ``mp_context`` forces a start method
     (``"fork"``/``"spawn"``/``"forkserver"``).
+
+    Each shard runs in its own supervised ``Process``: a worker that
+    dies, exceeds ``supervisor.watchdog_s``, or returns a damaged batch
+    is relaunched after a seeded capped-exponential backoff, up to
+    ``supervisor.max_attempts`` tries; a shard that exhausts its budget
+    is **quarantined** (the study completes with every healthy shard and
+    lists the casualties in ``StudyResult.quarantined``) unless
+    ``supervisor.quarantine`` is False, in which case the study raises
+    :class:`StudyError`.  On any exit — including ``KeyboardInterrupt``
+    — remaining workers are terminated and reaped, so an aborted study
+    leaks no processes.
+
+    ``checkpoint`` (a :class:`StudyCheckpoint`) makes progress durable:
+    completed shards are committed to the checkpoint's result store *in
+    shard order* as they finish, each with a manifest record pinning its
+    byte span and digest.  ``resume=True`` salvages every verified shard
+    from a previous interrupted run and recomputes only the rest; the
+    final store bytes are identical to an uninterrupted run's.
+
+    ``chaos`` (a :class:`~repro.faults.shardchaos.ShardFaultPlan`)
+    injects the reproducible failure matrix — worker kill after N runs,
+    hang, corrupt batch, driver SIGINT between completions — used by the
+    fault-injection suite and CI.
 
     ``worker_telemetry`` enables distributed tracing across the shard
     IPC boundary: each worker writes its own JSON-lines event log to
@@ -276,17 +388,30 @@ def run_sharded_study(
     ``uucs_study_progress_ratio`` / ``uucs_study_users`` /
     ``uucs_study_users_done`` / ``uucs_study_runs_per_second`` /
     ``uucs_study_eta_seconds`` and per-shard
-    ``uucs_study_shard_progress_ratio`` gauges; with it disabled and no
-    callback, no extra clocks are read and no gauges exist.
+    ``uucs_study_shard_progress_ratio`` gauges, and the supervisor adds
+    ``uucs_study_shard_retries_total``, ``uucs_study_shards_quarantined``
+    and (with a checkpoint) ``uucs_study_shards_checkpointed``; with it
+    disabled and no callback, no metrics exist and no events are
+    emitted.
     """
     if config is None:
         config = ControlledStudyConfig()
     if shards < 1:
         raise StudyError(f"shards must be >= 1, got {shards}")
-    if shards == 1:
+    if resume and checkpoint is None:
+        raise StudyError("resume=True requires a checkpoint")
+    chaos_active = chaos is not None and chaos.active
+    supervised = (
+        supervisor is not None
+        or checkpoint is not None
+        or resume
+        or chaos_active
+    )
+    if shards == 1 and not supervised:
         return run_controlled_study(config)
 
     plan = shard_ranges(config.n_users, shards)
+    policy = supervisor if supervisor is not None else SupervisorPolicy()
     telemetry = get_telemetry()
     with telemetry.span(
         "study.sharded",
@@ -298,86 +423,331 @@ def run_sharded_study(
         parent_wire = None
         if telemetry.enabled and span.context is not None:
             parent_wire = span.context.to_wire()
-        workers = min(len(plan), max_workers) if max_workers else len(plan)
+
+        results: dict[int, Sequence[TestcaseRun]] = {}
+        if checkpoint is not None:
+            if resume:
+                state = checkpoint.resume(config, plan)
+                results.update(state.salvaged)
+                if telemetry.enabled:
+                    telemetry.emit(
+                        "study.resume",
+                        shards_salvaged=len(state.salvaged),
+                        runs_salvaged=state.runs_salvaged,
+                        truncated_to=state.truncated_to,
+                    )
+            else:
+                checkpoint.begin(config, plan)
+        #: Checkpoint frontier: first shard index not yet committed to
+        #: the store.  Salvage always yields a contiguous prefix, so
+        #: this starts right after it.
+        next_write = len(results)
+
+        fixtures = study_fixtures(config)
+        profiles = fixtures.profiles
+        quarantined: set[int] = set()
+        to_run = [shard for shard in plan if shard.index not in results]
+        workers = (
+            max(1, min(len(to_run), max_workers))
+            if max_workers
+            else max(1, len(to_run))
+        )
+        ctx = _resolve_context(mp_context)
         track_progress = telemetry.enabled or on_progress is not None
         study_started = time.perf_counter() if track_progress else 0.0
-        users_done = 0
-        runs_done = 0
-        shards_done = 0
-        batches: dict[int, Sequence[TestcaseRun]] = {}
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_resolve_context(mp_context)
-        ) as pool:
-            submitted = {}
-            for shard in plan:
-                trace = None
-                if worker_telemetry is not None:
-                    trace = (
-                        f"{worker_telemetry}.shard{shard.index}.jsonl",
-                        parent_wire,
-                        shard.index,
-                    )
-                future = pool.submit(
-                    _run_shard, config, shard.start, shard.stop, trace
-                )
-                submitted[future] = (shard, time.perf_counter())
-            if telemetry.enabled:
-                # Publish the 0% baseline so a dashboard attached before
-                # the first shard lands still sees the study (and every
-                # shard row), not a blank panel.
-                for shard in plan:
-                    _shard_progress_gauge(telemetry).set(
-                        0.0, shard=str(shard.index)
-                    )
-                _record_progress_metrics(
-                    telemetry,
-                    StudyProgress(
-                        shards_total=len(plan),
-                        shards_done=0,
-                        users=config.n_users,
-                        users_done=0,
-                        runs=0,
-                        elapsed_s=0.0,
-                    ),
-                )
-            pending = set(submitted)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    shard, started = submitted[future]
-                    batch = future.result()
-                    batches[shard.index] = batch
-                    shards_done += 1
-                    users_done += shard.n_users
-                    runs_done += len(batch)
-                    if telemetry.enabled:
-                        _record_shard_metrics(
-                            telemetry,
-                            shard,
-                            len(batch),
-                            time.perf_counter() - started,
-                        )
-                    if track_progress:
-                        progress = StudyProgress(
-                            shards_total=len(plan),
-                            shards_done=shards_done,
-                            users=config.n_users,
-                            users_done=users_done,
-                            runs=runs_done,
-                            elapsed_s=time.perf_counter() - study_started,
-                        )
-                        if telemetry.enabled:
-                            _shard_progress_gauge(telemetry).set(
-                                1.0, shard=str(shard.index)
-                            )
-                            _record_progress_metrics(telemetry, progress)
-                        if on_progress is not None:
-                            on_progress(progress)
-        runs = merge_shard_batches(
-            [(shard, batches[shard.index]) for shard in plan]
+        shards_done = len(results)
+        users_done = sum(plan[i].n_users for i in results)
+        runs_done = sum(len(batch) for batch in results.values())
+        completions = 0
+
+        pending: deque[_ShardTask] = deque(
+            _ShardTask(
+                shard, derive_rng(config.seed, "shard-supervisor", shard.index)
+            )
+            for shard in to_run
         )
-        profiles = study_fixtures(config).profiles
-        span.annotate(runs=len(runs))
+        retry_due: list[tuple[float, _ShardTask]] = []
+        running: dict = {}
+
+        if telemetry.enabled:
+            # Publish the 0% baseline so a dashboard attached before the
+            # first shard lands still sees the study (and every shard
+            # row), not a blank panel.  Salvaged shards show as done.
+            for shard in plan:
+                _shard_progress_gauge(telemetry).set(
+                    1.0 if shard.index in results else 0.0,
+                    shard=str(shard.index),
+                )
+            _record_progress_metrics(
+                telemetry,
+                StudyProgress(
+                    shards_total=len(plan),
+                    shards_done=shards_done,
+                    users=config.n_users,
+                    users_done=users_done,
+                    runs=runs_done,
+                    elapsed_s=0.0,
+                ),
+            )
+            _quarantine_gauge(telemetry).set(0)
+            if checkpoint is not None:
+                _checkpoint_gauge(telemetry).set(next_write)
+
+        def _launch(task: _ShardTask) -> None:
+            task.attempts += 1
+            faults = (
+                chaos.worker_faults(task.shard.index, task.attempts)
+                if chaos_active
+                else None
+            )
+            trace = None
+            if worker_telemetry is not None:
+                trace = (
+                    f"{worker_telemetry}.shard{task.shard.index}.jsonl",
+                    parent_wire,
+                    task.shard.index,
+                )
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(
+                    send_conn,
+                    config,
+                    task.shard.start,
+                    task.shard.stop,
+                    trace,
+                    faults,
+                ),
+                daemon=True,
+                name=f"uucs-shard-{task.shard.index}",
+            )
+            proc.start()
+            # Drop the parent's copy of the send end, or a dead worker
+            # would never surface as EOF on the receive end.
+            send_conn.close()
+            task.process = proc
+            task.conn = recv_conn
+            task.started = time.perf_counter()
+            task.deadline = (
+                task.started + policy.watchdog_s
+                if policy.watchdog_s is not None
+                else None
+            )
+            running[recv_conn] = task
+
+        def _reap(task: _ShardTask, kill: bool = False) -> int | None:
+            """Tear one attempt down; return the worker's exit code."""
+            if task.conn is not None:
+                running.pop(task.conn, None)
+                try:
+                    task.conn.close()
+                except OSError:
+                    pass
+                task.conn = None
+            exitcode = None
+            proc = task.process
+            if proc is not None:
+                if kill and proc.is_alive():
+                    proc.kill()
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=5.0)
+                exitcode = proc.exitcode
+                task.process = None
+            return exitcode
+
+        def _valid_batch(shard: Shard, batch) -> bool:
+            """Structural integrity of a worker reply: all records real,
+            covering exactly the shard's users in index order."""
+            if not isinstance(batch, list) or not batch:
+                return False
+            seen: list[str] = []
+            for item in batch:
+                if not isinstance(item, TestcaseRun):
+                    return False
+                user = item.context.user_id
+                if not seen or seen[-1] != user:
+                    seen.append(user)
+            return seen == [p.user_id for p in profiles[shard.start : shard.stop]]
+
+        def _attempt_failed(task: _ShardTask, reason: str, detail: str) -> None:
+            failures = task.attempts
+            if failures >= policy.max_attempts:
+                if not policy.quarantine:
+                    raise StudyError(
+                        f"shard {task.shard.index} failed after {failures} "
+                        f"attempts ({reason}): {detail}"
+                    )
+                quarantined.add(task.shard.index)
+                if checkpoint is not None:
+                    checkpoint.quarantine(task.shard, failures, detail)
+                if telemetry.enabled:
+                    _quarantine_gauge(telemetry).set(len(quarantined))
+                    telemetry.emit(
+                        "study.shard_quarantined",
+                        shard=task.shard.index,
+                        attempts=failures,
+                        reason=reason,
+                        error=detail,
+                    )
+                return
+            delay = policy.backoff(failures, task.rng)
+            if telemetry.enabled:
+                _retry_counter(telemetry).inc(
+                    shard=str(task.shard.index), reason=reason
+                )
+                telemetry.emit(
+                    "study.shard_retry",
+                    shard=task.shard.index,
+                    attempt=failures,
+                    reason=reason,
+                    error=detail,
+                    backoff_s=delay,
+                )
+            retry_due.append((time.perf_counter() + delay, task))
+
+        def _completed(task: _ShardTask, batch: list) -> None:
+            nonlocal next_write, shards_done, users_done, runs_done, completions
+            elapsed = time.perf_counter() - task.started
+            results[task.shard.index] = batch
+            shards_done += 1
+            users_done += task.shard.n_users
+            runs_done += len(batch)
+            if checkpoint is not None:
+                # Frontier-ordered commits: shard k's bytes go to the
+                # store only once every shard below k is committed, so
+                # the store is always a byte-exact prefix of the
+                # uninterrupted run.  A quarantined shard stalls the
+                # frontier permanently (its index never enters
+                # ``results``); later shards stay in memory only.
+                while next_write < len(plan) and next_write in results:
+                    checkpoint.write_shard(
+                        plan[next_write], results[next_write]
+                    )
+                    next_write += 1
+                if telemetry.enabled:
+                    _checkpoint_gauge(telemetry).set(next_write)
+            if telemetry.enabled:
+                _record_shard_metrics(telemetry, task.shard, len(batch), elapsed)
+            if track_progress:
+                progress = StudyProgress(
+                    shards_total=len(plan),
+                    shards_done=shards_done,
+                    users=config.n_users,
+                    users_done=users_done,
+                    runs=runs_done,
+                    elapsed_s=time.perf_counter() - study_started,
+                )
+                if telemetry.enabled:
+                    _shard_progress_gauge(telemetry).set(
+                        1.0, shard=str(task.shard.index)
+                    )
+                    _record_progress_metrics(telemetry, progress)
+                if on_progress is not None:
+                    on_progress(progress)
+            completions += 1
+            if chaos is not None and chaos.driver_sigint(completions):
+                raise KeyboardInterrupt(
+                    f"injected driver SIGINT after shard completion "
+                    f"{completions}"
+                )
+
+        try:
+            while pending or retry_due or running:
+                now = time.perf_counter()
+                if retry_due:
+                    due_now = [item for item in retry_due if item[0] <= now]
+                    if due_now:
+                        retry_due[:] = [
+                            item for item in retry_due if item[0] > now
+                        ]
+                        pending.extend(task for _, task in due_now)
+                while pending and len(running) < workers:
+                    _launch(pending.popleft())
+                if running:
+                    waits: list[float] = []
+                    for task in running.values():
+                        if task.deadline is not None:
+                            waits.append(task.deadline - now)
+                    if retry_due:
+                        waits.append(min(due for due, _ in retry_due) - now)
+                    timeout = max(0.0, min(waits)) if waits else None
+                    ready = _conn_wait(list(running), timeout=timeout)
+                elif retry_due:
+                    time.sleep(
+                        max(0.0, min(due for due, _ in retry_due) - now)
+                    )
+                    continue
+                else:
+                    continue
+                for conn in ready:
+                    task = running.get(conn)
+                    if task is None:
+                        continue
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        exitcode = _reap(task)
+                        _attempt_failed(
+                            task,
+                            "killed",
+                            f"worker died without replying "
+                            f"(exitcode {exitcode})",
+                        )
+                        continue
+                    _reap(task)
+                    kind, payload = (
+                        message if isinstance(message, tuple) and len(message) == 2
+                        else ("error", f"malformed worker reply: {message!r}")
+                    )
+                    if kind == "ok" and _valid_batch(task.shard, payload):
+                        _completed(task, payload)
+                    elif kind == "ok":
+                        _attempt_failed(
+                            task, "corrupt", "worker returned a damaged batch"
+                        )
+                    else:
+                        _attempt_failed(task, "error", str(payload))
+                if policy.watchdog_s is not None and running:
+                    now = time.perf_counter()
+                    expired = [
+                        task
+                        for task in running.values()
+                        if task.deadline is not None and now >= task.deadline
+                    ]
+                    for task in expired:
+                        _reap(task, kill=True)
+                        _attempt_failed(
+                            task,
+                            "watchdog",
+                            f"watchdog expired after {policy.watchdog_s}s",
+                        )
+        finally:
+            # Leak-proof teardown on *every* exit path — normal return,
+            # StudyError, injected or real KeyboardInterrupt: kill and
+            # reap whatever is still running so an aborted study leaves
+            # no orphan workers behind.
+            pending.clear()
+            retry_due.clear()
+            for task in list(running.values()):
+                _reap(task, kill=True)
+
+        quarantined_shards = tuple(sorted(quarantined))
+        if quarantined_shards:
+            runs = [
+                run
+                for shard in plan
+                if shard.index in results
+                for run in results[shard.index]
+            ]
+        else:
+            runs = merge_shard_batches(
+                [(shard, results[shard.index]) for shard in plan]
+            )
+        if checkpoint is not None:
+            checkpoint.complete(len(runs), quarantined_shards)
+        span.annotate(runs=len(runs), quarantined=len(quarantined_shards))
         if telemetry.enabled:
             telemetry.emit(
                 "study.complete",
@@ -385,8 +755,11 @@ def run_sharded_study(
                 runs=len(runs),
                 shards=len(plan),
                 discomforts=sum(1 for r in runs if r.discomforted),
+                quarantined=len(quarantined_shards),
             )
-        return StudyResult(tuple(runs), profiles, config)
+        return StudyResult(
+            tuple(runs), profiles, config, quarantined=quarantined_shards
+        )
 
 
 def _shard_progress_gauge(telemetry):
@@ -394,6 +767,28 @@ def _shard_progress_gauge(telemetry):
         "uucs_study_shard_progress_ratio",
         "Per-shard completion (0 submitted, 1 done); shard-granular.",
         labelnames=("shard",),
+    )
+
+
+def _retry_counter(telemetry):
+    return telemetry.metrics.counter(
+        "uucs_study_shard_retries_total",
+        "Shard attempts relaunched by the supervisor after a failure.",
+        labelnames=("shard", "reason"),
+    )
+
+
+def _quarantine_gauge(telemetry):
+    return telemetry.metrics.gauge(
+        "uucs_study_shards_quarantined",
+        "Shards abandoned after exhausting their supervisor retry budget.",
+    )
+
+
+def _checkpoint_gauge(telemetry):
+    return telemetry.metrics.gauge(
+        "uucs_study_shards_checkpointed",
+        "Shards durably committed to the result store (checkpoint frontier).",
     )
 
 

@@ -1,0 +1,85 @@
+"""Supervision policy for sharded-study worker processes.
+
+A fleet study is minutes-to-hours of work split across worker processes,
+and worker processes fail the way volunteer hosts do: they die, they
+hang, they hand back garbage.  :class:`SupervisorPolicy` is the knob set
+the sharded driver (:func:`repro.study.sharded.run_sharded_study`) uses
+to decide how hard to fight for each shard before giving it up:
+
+* **retry** — a failed shard attempt is relaunched after a
+  capped-exponential, seeded-jitter backoff.  The delay math is
+  delegated to :class:`repro.faults.retry.RetryPolicy` — the exact
+  policy shape already proven on the sync path — with the jitter RNG
+  derived per shard from the study seed, so a chaotic run replays its
+  whole retry schedule byte-for-byte under the same seed.
+* **watchdog** — an optional per-attempt wall-clock deadline.  A worker
+  that blows it is SIGKILLed and the attempt counts as a failure; this
+  is the only way a *hung* worker (NFS wedge, swap death) ever returns
+  its shard to the pool.
+* **quarantine** — when a shard exhausts ``max_attempts``, the study
+  either completes partially with that shard quarantined (the default:
+  every healthy shard's results survive) or, with ``quarantine=False``,
+  fails fast with :class:`~repro.errors.StudyError`.
+
+The policy is deliberately a frozen value object: the supervision *loop*
+lives next to the process plumbing in :mod:`repro.study.sharded`, and
+this module stays import-light so checkpointing and CLI code can build
+policies without dragging in multiprocessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StudyError, ValidationError
+from repro.faults.retry import RetryPolicy
+
+__all__ = ["SupervisorPolicy"]
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """How hard to fight for each shard before quarantining it."""
+
+    #: Total attempts per shard (first launch included).
+    max_attempts: int = 3
+    #: First retry backoff, seconds; grows by ``multiplier`` per failure
+    #: up to ``max_delay``.
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    #: Fraction of each backoff randomized away by the per-shard seeded
+    #: RNG (0 = fixed schedule, 1 = full jitter).
+    jitter: float = 0.5
+    #: Per-attempt wall-clock deadline, seconds; ``None`` disables the
+    #: watchdog (a hung worker then blocks the study forever — only safe
+    #: when no hang fault is possible, e.g. unit tests).
+    watchdog_s: float | None = None
+    #: Exhausted shards are quarantined (study completes partially) when
+    #: True; with False the study raises :class:`StudyError` instead.
+    quarantine: bool = True
+
+    def __post_init__(self) -> None:
+        try:
+            # Reuse RetryPolicy's validation + backoff math rather than
+            # re-deriving it; deadline/budget are per-shard concerns the
+            # supervisor tracks itself, so any valid stand-ins do.
+            retry = RetryPolicy(
+                max_attempts=self.max_attempts,
+                base_delay=self.base_delay,
+                max_delay=self.max_delay,
+                multiplier=self.multiplier,
+                jitter=self.jitter,
+            )
+        except ValidationError as exc:
+            raise StudyError(f"invalid supervisor policy: {exc}") from exc
+        object.__setattr__(self, "_retry", retry)
+        if self.watchdog_s is not None and self.watchdog_s <= 0:
+            raise StudyError(
+                f"watchdog_s must be positive or None, got {self.watchdog_s}"
+            )
+
+    def backoff(self, failures: int, rng) -> float:
+        """Seconds to wait before relaunching after the ``failures``-th
+        failure (1-based); jitter draws come from ``rng``."""
+        return self._retry.backoff(failures, rng)  # type: ignore[attr-defined]

@@ -51,6 +51,7 @@ import queue
 import socketserver
 import threading
 import time
+import warnings
 from collections import deque
 from typing import Mapping
 
@@ -79,6 +80,10 @@ _KEEPALIVE_S = 15.0
 #: frames, so a burst collapses to one frame per client (see
 #: MetricsExporter._pump).
 _COALESCE_S = 0.025
+#: How long close() waits for the coalescing pump thread before giving
+#: up and warning instead of hanging shutdown (monkeypatched small in
+#: tests; a wedged subscriber queue must never block process exit).
+_PUMP_JOIN_S = 5.0
 
 
 class _MetricsHandler(socketserver.StreamRequestHandler):
@@ -617,7 +622,23 @@ class MetricsExporter:
         if self._pump_thread is not None:
             self._pump_stop = True  # stop publishing before the broker closes
             self._pump_wake.set()
-            self._pump_thread.join(timeout=5.0)
+            self._pump_thread.join(timeout=_PUMP_JOIN_S)
+            if self._pump_thread.is_alive():
+                # A wedged pump (e.g. a subscriber queue that never
+                # drains) must not hang shutdown: the thread is a
+                # daemon, so abandon it loudly and move on.  The broker
+                # close below unblocks any parked publish.
+                warnings.warn(
+                    "metrics exporter SSE pump did not stop within "
+                    f"{_PUMP_JOIN_S}s; abandoning it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._registry.counter(
+                    "uucs_exporter_pump_abandoned_total",
+                    "SSE pump threads still alive when close() gave up "
+                    "waiting for them.",
+                ).inc()
         if self._broker is not None:
             self._broker.close()  # wake parked /stream readers first
         self._tcp.shutdown()

@@ -316,6 +316,18 @@ def study_progress(snapshot: RegistrySnapshot) -> dict[str, object] | None:
     ]
     eta = _gauge_value(snapshot, "uucs_study_eta_seconds")
     rate = _gauge_value(snapshot, "uucs_study_runs_per_second")
+    # Supervisor health: total retries across every (shard, reason)
+    # series, plus the quarantine/checkpoint-frontier gauges.  All are
+    # optional — studies predating the supervisor (or healthy runs with
+    # no checkpoint) simply lack the families.
+    retries = None
+    if (
+        "uucs_study_shard_retries_total" in snapshot
+        and snapshot.kind("uucs_study_shard_retries_total") == "counter"
+    ):
+        retries = sum(
+            _numeric_series(snapshot, "uucs_study_shard_retries_total").values()
+        )
     return {
         "progress_ratio": ratio,
         "users": _gauge_value(snapshot, "uucs_study_users"),
@@ -323,6 +335,11 @@ def study_progress(snapshot: RegistrySnapshot) -> dict[str, object] | None:
         "runs_per_s": rate,
         "eta_s": eta,
         "shards": shards,
+        "retries": retries,
+        "quarantined": _gauge_value(snapshot, "uucs_study_shards_quarantined"),
+        "checkpointed": _gauge_value(
+            snapshot, "uucs_study_shards_checkpointed"
+        ),
     }
 
 

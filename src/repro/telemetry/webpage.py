@@ -322,6 +322,11 @@ svg.spark line { stroke: var(--grid); stroke-width: 1; }
     if (study.runs_per_s) bits.push(fmt(study.runs_per_s, 1) + " runs/s");
     if (study.eta_s !== null && study.eta_s !== undefined)
       bits.push("ETA " + fmt(study.eta_s, 0) + "s");
+    if (study.checkpointed !== null && study.checkpointed !== undefined)
+      bits.push(fmt(study.checkpointed, 0) + " ckpt");
+    if (study.retries) bits.push(fmt(study.retries, 0) + " retries");
+    if (study.quarantined)
+      bits.push("⚠ " + fmt(study.quarantined, 0) + " quarantined");
     meta.textContent = bits.join(" · ");
     shardsEl.innerHTML = (study.shards || []).map(function (sh) {
       var spct = Math.round((sh.progress_ratio || 0) * 100);

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -26,14 +28,19 @@ if __package__ in (None, ""):  # standalone: make `repro` importable
     if str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
+from repro.faults.shardchaos import ShardFaultPlan  # noqa: E402
+from repro.stores.results import ResultStore  # noqa: E402
 from repro.study import (  # noqa: E402  (after the standalone path fix-up)
     ControlledStudyConfig,
+    StudyCheckpoint,
     StudyResult,
+    SupervisorPolicy,
     run_controlled_study,
     run_sharded_study,
 )
 
 __all__ = [
+    "assert_resume_equivalence",
     "assert_shard_equivalence",
     "serialized_records",
     "study_digest",
@@ -92,6 +99,90 @@ def assert_shard_equivalence(
     return baseline_digest
 
 
+def assert_resume_equivalence(
+    config: ControlledStudyConfig,
+    shards: int = 4,
+    chaos: ShardFaultPlan | None = None,
+    mp_context: str | None = None,
+    verbose: bool = False,
+) -> str:
+    """Interrupt a checkpointed study with seeded chaos, resume it, and
+    assert the resumed output is byte-identical to an uninterrupted run.
+
+    The chaos plan must include a driver interrupt (``sigint``; the
+    default plan fires after the first shard completion) and may layer
+    worker kills on top.  The supervisor runs with ``quarantine=False``
+    so a shard that somehow exhausts its retries fails loudly instead
+    of silently shrinking the output.  Returns the study digest.
+    """
+    baseline = run_controlled_study(config)
+    baseline_blob = b"".join(serialized_records(baseline))
+    baseline_digest = study_digest(baseline)
+    if chaos is None:
+        chaos = ShardFaultPlan(sigint=1.0)
+    assert chaos.sigint > 0.0, (
+        "resume check needs a driver-interrupt probability (sigint) in "
+        "its chaos plan, or nothing ever interrupts the study"
+    )
+    policy = SupervisorPolicy(
+        max_attempts=6, base_delay=0.01, max_delay=0.05, quarantine=False
+    )
+    with tempfile.TemporaryDirectory(prefix="uucs-resume-check-") as td:
+        store = ResultStore(td)
+        interrupted = False
+        started = time.perf_counter()
+        try:
+            run_sharded_study(
+                config,
+                shards=shards,
+                mp_context=mp_context,
+                supervisor=policy,
+                checkpoint=StudyCheckpoint(store),
+                chaos=chaos,
+            )
+        except KeyboardInterrupt:
+            interrupted = True
+        assert interrupted, (
+            f"chaos plan {chaos} never interrupted the study; the resume "
+            "path was not exercised"
+        )
+        partial = store.path.read_bytes() if store.path.exists() else b""
+        assert baseline_blob.startswith(partial), (
+            "interrupted store is not a byte prefix of the uninterrupted "
+            "run: frontier-ordered checkpointing is broken"
+        )
+        if verbose:
+            print(
+                f"  interrupted with {len(partial)}/{len(baseline_blob)} "
+                f"bytes committed; resuming"
+            )
+        resumed = run_sharded_study(
+            config,
+            shards=shards,
+            mp_context=mp_context,
+            supervisor=policy,
+            checkpoint=StudyCheckpoint(store),
+            resume=True,
+        )
+        elapsed = time.perf_counter() - started
+        records = serialized_records(resumed)
+        assert records == serialized_records(baseline), (
+            "resumed study diverged from the uninterrupted run: "
+            + _first_divergence(serialized_records(baseline), records)
+        )
+        stored = store.path.read_bytes()
+        assert stored == baseline_blob, (
+            f"resumed store bytes differ from the uninterrupted run "
+            f"({len(stored)} vs {len(baseline_blob)} bytes)"
+        )
+        if verbose:
+            print(
+                f"  resume: {len(records)} records, {elapsed:.2f}s, "
+                f"sha256={baseline_digest[:16]}... OK"
+            )
+    return baseline_digest
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="check sharded-study byte-equivalence for a config"
@@ -103,6 +194,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8])
     parser.add_argument("--mp-context", default=None,
                         choices=["fork", "spawn", "forkserver"])
+    parser.add_argument("--resume-check", action="store_true",
+                        help="also interrupt a checkpointed run with seeded "
+                             "chaos at each shard count and prove the "
+                             "resumed output is byte-identical")
+    parser.add_argument("--chaos", default="sigint=1.0", metavar="SPEC",
+                        help="shard chaos spec for --resume-check "
+                             "(default: interrupt after the first shard)")
+    parser.add_argument("--chaos-seed", type=int,
+                        default=int(os.environ.get("UUCS_CHAOS_SEED", "0")),
+                        help="seed for the --resume-check fault schedule "
+                             "(default: $UUCS_CHAOS_SEED, else 0)")
     args = parser.parse_args(argv)
     config = ControlledStudyConfig(
         n_users=args.users, seed=args.seed, engine=args.engine
@@ -110,6 +212,8 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"shardcheck: users={args.users} seed={args.seed} "
         f"engine={args.engine} shards={args.shards}"
+        + (f" resume-check chaos={args.chaos!r} "
+           f"chaos-seed={args.chaos_seed}" if args.resume_check else "")
     )
     try:
         digest = assert_shard_equivalence(
@@ -118,6 +222,19 @@ def main(argv: list[str] | None = None) -> int:
             mp_context=args.mp_context,
             verbose=True,
         )
+        if args.resume_check:
+            plan = ShardFaultPlan.parse(args.chaos, seed=args.chaos_seed)
+            for shards in args.shards:
+                if shards < 2:
+                    continue  # one shard has nothing mid-study to resume
+                print(f"  resume-check shards={shards}:")
+                assert_resume_equivalence(
+                    config,
+                    shards=shards,
+                    chaos=plan,
+                    mp_context=args.mp_context,
+                    verbose=True,
+                )
     except AssertionError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1

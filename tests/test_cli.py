@@ -97,6 +97,59 @@ class TestStudyPipeline:
                        "--results", str(tmp_path / "r")) == 0
         assert "2 shard(s)" in capsys.readouterr().out
 
+    def test_study_interrupt_then_resume_byte_identical(self, tmp_path,
+                                                        capsys):
+        """sigint chaos interrupts after the first shard (exit 130 with a
+        resume hint); --resume finishes the study byte-identically to an
+        uninterrupted run."""
+        plain = str(tmp_path / "plain")
+        resumed = str(tmp_path / "resumed")
+        assert run_cli("study", "--users", "4", "--seed", "9",
+                       "--results", plain) == 0
+        capsys.readouterr()
+        assert run_cli("study", "--users", "4", "--seed", "9",
+                       "--results", resumed, "--shards", "2",
+                       "--chaos", "sigint=1.0") == 130
+        assert "--resume" in capsys.readouterr().err
+        # Restarting WITHOUT --resume over the unfinished manifest is a
+        # refusal (StudyError family exits 9), not silent corruption.
+        assert run_cli("study", "--users", "4", "--seed", "9",
+                       "--results", resumed, "--shards", "2") == 9
+        assert "resume" in capsys.readouterr().err
+        assert run_cli("study", "--users", "4", "--seed", "9",
+                       "--results", resumed, "--shards", "2",
+                       "--resume") == 0
+        assert "128 runs" in capsys.readouterr().out
+        a = (tmp_path / "plain" / "results.jsonl").read_bytes()
+        b = (tmp_path / "resumed" / "results.jsonl").read_bytes()
+        assert a == b
+
+    def test_study_kill_chaos_retried_byte_identical(self, tmp_path,
+                                                     capsys, monkeypatch):
+        """Seeded worker-kill chaos (the CI chaos-shards scenario): the
+        supervisor retries the killed shard and the store still matches
+        the clean run byte for byte."""
+        monkeypatch.setenv("UUCS_CHAOS_SEED", "42")
+        plain = str(tmp_path / "plain")
+        chaotic = str(tmp_path / "chaos")
+        assert run_cli("study", "--users", "4", "--seed", "9",
+                       "--results", plain) == 0
+        assert run_cli("study", "--users", "4", "--seed", "9",
+                       "--results", chaotic, "--shards", "2",
+                       "--chaos", "kill=0.5,kill_after_runs=2",
+                       "--shard-retries", "6") == 0
+        assert "128 runs" in capsys.readouterr().out
+        a = (tmp_path / "plain" / "results.jsonl").read_bytes()
+        b = (tmp_path / "chaos" / "results.jsonl").read_bytes()
+        assert a == b
+
+    def test_study_bad_chaos_spec_errors(self, tmp_path, capsys):
+        # ValidationError family exits 3.
+        assert run_cli("study", "--users", "2",
+                       "--results", str(tmp_path / "r"),
+                       "--chaos", "explode=1.0") == 3
+        assert "error" in capsys.readouterr().err
+
 
 class TestTestcaseEdit:
     def test_scale_and_rename(self, tmp_path, capsys):

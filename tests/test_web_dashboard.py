@@ -608,3 +608,40 @@ class TestSchemaValidator:
         assert dashboard_smoke.validate({"a": -1}, schema)  # below minimum
         assert dashboard_smoke.validate({"a": True}, schema)  # bool is not int
         assert dashboard_smoke.validate({"a": 1, "c": [2]}, schema)  # item type
+
+
+class TestPumpShutdown:
+    """close() must never hang on a wedged SSE pump thread (satellite:
+    exporter shutdown hardening)."""
+
+    def test_close_joins_pump_promptly_by_default(self):
+        exporter = MetricsExporter(MetricsRegistry())
+        pump = exporter._pump_thread
+        assert pump is not None and pump.is_alive()
+        started = time.monotonic()
+        exporter.close()
+        assert time.monotonic() - started < 2.0
+        assert not pump.is_alive()
+
+    def test_wedged_pump_abandoned_with_warning_and_counter(self, monkeypatch):
+        from repro.telemetry import exporter as exporter_mod
+
+        monkeypatch.setattr(exporter_mod, "_PUMP_JOIN_S", 0.1)
+        registry = MetricsRegistry()
+        exporter = MetricsExporter(registry)
+        # Swap in a stand-in pump that ignores the stop signal, the way
+        # a pump parked on a never-draining subscriber would.
+        wedged = threading.Thread(target=time.sleep, args=(30.0,), daemon=True)
+        wedged.start()
+        real_pump = exporter._pump_thread
+        exporter._pump_thread = wedged
+        try:
+            started = time.monotonic()
+            with pytest.warns(RuntimeWarning, match="abandoning"):
+                exporter.close()
+            assert time.monotonic() - started < 5.0  # did not wait 30s
+            assert registry.counter(
+                "uucs_exporter_pump_abandoned_total", ""
+            ).value() == 1
+        finally:
+            real_pump.join(timeout=5.0)
