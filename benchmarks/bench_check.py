@@ -26,7 +26,13 @@ report; ``mode`` for the dashboard report):
 * the study report's ``sha256`` digests disagreeing between runs or
   against the 1-shard baseline — that is a *correctness* break
   (byte-identical sharding is the engine's contract), and no tolerance
-  applies.
+  applies;
+* an engine cell whose ``byte_identical_to_analytic`` is false — the
+  same correctness contract, across session engines instead of shards;
+* the study report's best batch-engine ``speedup_vs_analytic`` falling
+  under ``--min-batch-speedup`` (default 10x) — an absolute contract on
+  the current report, so the batch engine's win cannot silently rot
+  even when both engines slow down together.
 
 Cells present only in the current report are noted, never failed: the
 gate guards against losing ground on what was measured before, not
@@ -63,6 +69,8 @@ def load_report(path: str | Path) -> dict:
 
 def _cell_key(report: dict, cell: dict) -> str:
     """The cell's identity within its report family."""
+    if "engine" in cell:  # study report: session-engine comparison cell
+        return f"engine={cell['engine']} users={cell['users']}"
     if "shards" in cell:
         return f"shards={cell['shards']}"
     if "mode" in cell:  # dashboard report: one cell per exporter mode
@@ -75,6 +83,7 @@ def compare_reports(
     current: dict,
     tolerance: float = 0.30,
     latency_floor_ms: float = 1.0,
+    min_batch_speedup: float = 10.0,
 ) -> tuple[list[str], list[str]]:
     """Compare two benchmark reports cell by cell.
 
@@ -101,6 +110,7 @@ def compare_reports(
     # Byte-identical sharding is a correctness contract: any digest in
     # either report diverging from that report's own 1-shard digest, or
     # the two reports' digests diverging from each other, is a failure.
+    # The same contract binds session engines to the analytic digest.
     for label, report in (("baseline", baseline), ("current", current)):
         for cell in report["results"]:
             if "byte_identical_to_1_shard" in cell and not cell[
@@ -109,6 +119,13 @@ def compare_reports(
                 regressions.append(
                     f"{label} {_cell_key(report, cell)}: shard output "
                     "diverged from the 1-shard run (sha256 mismatch)"
+                )
+            if "byte_identical_to_analytic" in cell and not cell[
+                "byte_identical_to_analytic"
+            ]:
+                regressions.append(
+                    f"{label} {_cell_key(report, cell)}: engine output "
+                    "diverged from the analytic engine (sha256 mismatch)"
                 )
 
     # The dashboard report carries its own absolute contract: no mode
@@ -126,6 +143,28 @@ def compare_reports(
                     f"{overhead:.1f}% exceeds the report's "
                     f"{limit:g}% limit"
                 )
+
+    # The batch engine's reason to exist is its speedup; gate the best
+    # batched-engine cell of the *current* report against an absolute
+    # floor (host-independent: both engines run on the same host, so
+    # the ratio survives hardware changes that absolute runs/s do not).
+    batch_speedups = [
+        cell["speedup_vs_analytic"]
+        for cell in current["results"]
+        if "speedup_vs_analytic" in cell
+    ]
+    if batch_speedups and min_batch_speedup > 0:
+        best_speedup = max(batch_speedups)
+        if best_speedup < min_batch_speedup:
+            regressions.append(
+                f"batch-engine speedup {best_speedup:.1f}x is under the "
+                f"required {min_batch_speedup:g}x vs the analytic engine"
+            )
+        else:
+            notes.append(
+                f"batch-engine speedup: {best_speedup:.1f}x vs analytic "
+                f"(floor {min_batch_speedup:g}x)"
+            )
 
     for key, base in base_cells.items():
         curr = curr_cells.get(key)
@@ -176,6 +215,9 @@ def main(argv=None) -> int:
     parser.add_argument("--latency-floor-ms", type=float, default=1.0,
                         help="latencies at or under this are never failed "
                              "(sub-floor values are scheduler noise)")
+    parser.add_argument("--min-batch-speedup", type=float, default=10.0,
+                        help="required batch-vs-analytic speedup in the "
+                             "current study report (0 disables)")
     args = parser.parse_args(argv)
     try:
         baseline = load_report(args.baseline)
@@ -187,6 +229,7 @@ def main(argv=None) -> int:
         baseline, current,
         tolerance=args.tolerance,
         latency_floor_ms=args.latency_floor_ms,
+        min_batch_speedup=args.min_batch_speedup,
     )
     for note in notes:
         print(f"note: {note}")

@@ -1,4 +1,4 @@
-"""Wall-clock scaling of the sharded study engine.
+"""Wall-clock scaling of the study engines: shards and session engines.
 
 Times the canonical seed-2004 controlled study at several shard counts,
 verifies every run produced byte-identical records, and writes the
@@ -12,6 +12,20 @@ compute is embarrassingly parallel, so on an N-core host the expected
 ceiling is ~N x minus pool startup and result-pickling IPC; a 1-core
 host will show a slowdown for every shard count > 1, which the JSON
 records honestly (see ``host.cpus``).
+
+The report also carries **engine cells** (``--engines``): each session
+engine timed on the canonical 33-user study, plus a fleet-scale cell
+(``--scale-users``, default 20000) for engines with a batched user-range
+path, where per-cell template caches amortize.  Engines are measured *as
+shipped* — the batch engine pauses the cyclic GC internally as part of
+its design; the harness adds no GC games of its own.  Each batch cell's
+``speedup_vs_analytic`` divides its runs/s by the analytic cell's;
+the analytic engine's per-run cost is pure Python and scale-independent
+(its 33-user and 2000-user throughputs agree within noise), so the
+canonical cell is a fair denominator for the fleet-scale cells too.
+Every 33-user engine cell must reproduce the analytic cell's digest
+byte-for-byte (``byte_identical_to_analytic``), which on the canonical
+config is also the golden pin.
 """
 
 from __future__ import annotations
@@ -31,7 +45,12 @@ if __package__ in (None, ""):  # standalone: make `repro` importable
         sys.path.insert(0, str(_src))
 
 from repro._version import __version__
-from repro.study import ControlledStudyConfig, run_sharded_study
+from repro.study import (
+    ControlledStudyConfig,
+    run_controlled_study,
+    run_sharded_study,
+)
+from repro.study.engine import BATCH_RANGE_ENGINES
 from repro.telemetry import Telemetry, use_telemetry
 
 
@@ -116,11 +135,85 @@ def bench(
     }
 
 
+def bench_engines(
+    users: int,
+    seed: int,
+    engines,
+    scale_users: int,
+    repeat: int,
+) -> list[dict]:
+    """Engine-comparison cells: every engine at the canonical user count,
+    batched-range engines additionally at fleet scale."""
+    cells = []
+    analytic_rps = None
+    analytic_digest = None
+
+    def one_cell(engine: str, n_users: int) -> dict:
+        config = ControlledStudyConfig(
+            n_users=n_users, seed=seed, engine=engine
+        )
+        times = []
+        digest = None
+        runs = 0
+        for rep in range(repeat):
+            started = time.perf_counter()
+            result = run_controlled_study(config)
+            times.append(time.perf_counter() - started)
+            runs = len(result.runs)
+            if rep == repeat - 1:
+                # Digest once, after the timed reps: the digest is a
+                # property of the (deterministic) output, not of the
+                # engine's speed, and serializing millions of records
+                # per rep would dwarf the thing being measured.
+                digest = _digest(result)
+            del result
+        best = min(times)
+        return {
+            "engine": engine,
+            "users": n_users,
+            "wall_seconds_best": round(best, 4),
+            "wall_seconds_all": [round(t, 4) for t in times],
+            "runs": runs,
+            "runs_per_second": round(runs / best, 1),
+            "sha256": digest,
+        }
+
+    for engine in engines:
+        cell = one_cell(engine, users)
+        if engine == "analytic":
+            analytic_rps = cell["runs_per_second"]
+            analytic_digest = cell["sha256"]
+        cells.append(cell)
+    for engine in engines:
+        if engine in BATCH_RANGE_ENGINES and scale_users > users:
+            cells.append(one_cell(engine, scale_users))
+
+    for cell in cells:
+        if cell["users"] == users and analytic_digest is not None:
+            cell["byte_identical_to_analytic"] = (
+                cell["sha256"] == analytic_digest
+            )
+        if cell["engine"] != "analytic" and analytic_rps:
+            cell["speedup_vs_analytic"] = round(
+                cell["runs_per_second"] / analytic_rps, 1
+            )
+    return cells
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--users", type=int, default=33)
     parser.add_argument("--seed", type=int, default=2004)
     parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument("--engines", nargs="+",
+                        default=["analytic", "batch"],
+                        help="session engines to time head-to-head at "
+                             "--users (plus --scale-users for batched-"
+                             "range engines); pass --engines none to "
+                             "skip engine cells")
+    parser.add_argument("--scale-users", type=int, default=20000,
+                        help="fleet-scale population for batched-range "
+                             "engine cells (default: 20000)")
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument(
         "--out",
@@ -138,16 +231,47 @@ def main(argv=None) -> int:
         config, args.shards, args.repeat,
         telemetry_prefix=args.telemetry or None,
     )
+    engines = [e for e in args.engines if e != "none"]
+    if engines:
+        report["results"].extend(
+            bench_engines(
+                args.users, args.seed, engines, args.scale_users,
+                args.repeat,
+            )
+        )
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     for entry in report["results"]:
-        print(
-            f"shards={entry['shards']}: {entry['wall_seconds_best']:.3f}s "
-            f"({entry['speedup_vs_1_shard']}x, "
-            f"identical={entry['byte_identical_to_1_shard']})"
-        )
+        if "shards" in entry:
+            print(
+                f"shards={entry['shards']}: "
+                f"{entry['wall_seconds_best']:.3f}s "
+                f"({entry['speedup_vs_1_shard']}x, "
+                f"identical={entry['byte_identical_to_1_shard']})"
+            )
+        else:
+            extras = []
+            if "speedup_vs_analytic" in entry:
+                extras.append(f"{entry['speedup_vs_analytic']}x analytic")
+            if "byte_identical_to_analytic" in entry:
+                extras.append(
+                    f"identical={entry['byte_identical_to_analytic']}"
+                )
+            print(
+                f"engine={entry['engine']} users={entry['users']}: "
+                f"{entry['wall_seconds_best']:.3f}s "
+                f"({entry['runs_per_second']:,} runs/s"
+                + (", " + ", ".join(extras) if extras else "")
+                + ")"
+            )
     print(f"wrote {args.out}")
-    if not all(e["byte_identical_to_1_shard"] for e in report["results"]):
-        print("FAIL: shard outputs diverged", file=sys.stderr)
+    diverged = [
+        e for e in report["results"]
+        if not e.get("byte_identical_to_1_shard", True)
+        or not e.get("byte_identical_to_analytic", True)
+    ]
+    if diverged:
+        print("FAIL: outputs diverged across shards or engines",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -12,8 +12,10 @@ here that form is one JSON document per run.
 from __future__ import annotations
 
 import json
+import math
 import uuid
 from dataclasses import dataclass, field
+from json.encoder import encode_basestring_ascii as _jstr_raw
 from typing import Mapping
 
 import numpy as np
@@ -23,6 +25,105 @@ from repro.core.resources import Resource
 from repro.errors import SerializationError, ValidationError
 
 __all__ = ["RunContext", "TestcaseRun"]
+
+_dumps = json.dumps
+
+# ---------------------------------------------------------------------------
+# to_json fast path.
+#
+# ``json.dumps(run.to_dict(), sort_keys=True)`` re-serializes the load
+# trace — thousands of floats — for every record, which at fleet scale
+# (the million-user study) dominates everything downstream of the
+# engines: result-store writes, sync payloads, benchmark digests.  But
+# the cell-batched engine *shares* the trace/level/shape mappings
+# across every record of a cell via its record templates, so the JSON
+# fragment for each shared object can be rendered once and reused by
+# identity.  The cache holds a strong reference to each keyed object,
+# which is what makes ``id()`` a sound key: a cached object can never
+# be collected, so its id can never be recycled while the entry lives.
+# Records built one-at-a-time (the scalar engines, ``from_dict``) miss
+# the cache and pay one ``json.dumps`` per fragment, same as before.
+#
+# The fragments assume record field mappings are not mutated after
+# construction — the same immutability ``TestcaseRun``'s frozen
+# equality semantics already rely on.
+# ---------------------------------------------------------------------------
+
+#: Entries across all fragment kinds before the cache resets.  Batch
+#: studies realize one fragment per shared template object — bounded by
+#: cells × step grid, well under this cap — while scalar engines churn
+#: fresh objects, so the cap bounds their memory instead.
+_FRAGMENT_CACHE_MAX = 65536
+_fragment_cache: dict[tuple[str, int], tuple[object, str]] = {}
+
+#: Value-keyed cache for short repeated strings (user ids, tasks,
+#: outcome tags).  Unlike the id-keyed fragments this is keyed by the
+#: string itself, so it is always sound; the cap bounds churn from
+#: unique-per-record strings.
+_STR_CACHE_MAX = 8192
+_str_cache: dict[str, str] = {}
+
+
+def _jstr(s: str) -> str:
+    text = _str_cache.get(s)
+    if text is None:
+        if len(_str_cache) >= _STR_CACHE_MAX:
+            _str_cache.clear()
+        text = _str_cache[s] = _jstr_raw(s)
+    return text
+
+
+def _jnum(x) -> str:
+    # json.dumps renders finite floats via float.__repr__; the special
+    # values and any non-float number types take the generic encoder.
+    if type(x) is float and math.isfinite(x):
+        return float.__repr__(x)
+    return _dumps(x)
+
+
+def _fragment(kind: str, obj, build) -> str:
+    key = (kind, id(obj))
+    hit = _fragment_cache.get(key)
+    if hit is not None and hit[0] is obj:
+        return hit[1]
+    text = build(obj)
+    if len(_fragment_cache) >= _FRAGMENT_CACHE_MAX:
+        _fragment_cache.clear()
+    _fragment_cache[key] = (obj, text)
+    return text
+
+
+def _build_shapes(shapes) -> str:
+    return _dumps({str(r): s for r, s in shapes.items()}, sort_keys=True)
+
+
+def _build_levels(levels) -> str:
+    return _dumps({str(r): v for r, v in levels.items()}, sort_keys=True)
+
+
+def _build_last_values(last_values) -> str:
+    return _dumps(
+        {str(r): list(v) for r, v in last_values.items()}, sort_keys=True
+    )
+
+
+def _build_load_trace(load_trace) -> str:
+    return _dumps({k: list(v) for k, v in load_trace.items()}, sort_keys=True)
+
+
+def _build_feedback(feedback) -> str:
+    return _dumps(
+        {
+            "offset": feedback.offset,
+            "levels": {str(r): v for r, v in feedback.levels.items()},
+            "source": feedback.source,
+        },
+        sort_keys=True,
+    )
+
+
+def _build_extra(extra) -> str:
+    return _dumps(dict(extra), sort_keys=True)
 
 
 @dataclass(frozen=True)
@@ -164,7 +265,40 @@ class TestcaseRun:
         }
 
     def to_json(self) -> str:
-        return json.dumps(self.to_dict(), sort_keys=True)
+        """Canonical JSON form: ``json.dumps(to_dict(), sort_keys=True)``.
+
+        Assembled fragment-wise so mappings shared across records (the
+        batch engine's cell templates) serialize once — byte-equality
+        with the ``json.dumps`` form is pinned by the serialization
+        equivalence tests.
+        """
+        ctx = self.context
+        feedback = self.feedback
+        return "".join((
+            '{"context": {"client_id": ', _jstr(ctx.client_id),
+            ', "extra": ', _fragment("extra", ctx.extra, _build_extra),
+            ', "machine_id": ', _jstr(ctx.machine_id),
+            ', "started_at": ', _jnum(ctx.started_at),
+            ', "task": ', _jstr(ctx.task),
+            ', "user_id": ', _jstr(ctx.user_id),
+            '}, "end_offset": ', _jnum(self.end_offset),
+            ', "feedback": ',
+            "null" if feedback is None
+            else _fragment("feedback", feedback, _build_feedback),
+            ', "last_values": ',
+            _fragment("last_values", self.last_values, _build_last_values),
+            ', "levels_at_end": ',
+            _fragment("levels", self.levels_at_end, _build_levels),
+            ', "load_trace": ',
+            _fragment("load_trace", self.load_trace, _build_load_trace),
+            ', "load_trace_rate": ', _jnum(self.load_trace_rate),
+            ', "outcome": ', _jstr(str(self.outcome)),
+            ', "run_id": ', _jstr_raw(self.run_id),
+            ', "shapes": ', _fragment("shapes", self.shapes, _build_shapes),
+            ', "testcase_duration": ', _jnum(self.testcase_duration),
+            ', "testcase_id": ', _jstr(self.testcase_id),
+            "}",
+        ))
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "TestcaseRun":

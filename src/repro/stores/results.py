@@ -160,23 +160,32 @@ class ResultStore:
             fh.seek(start)
             return fh.read(end - start)
 
+    #: Lines joined per ``write`` in :meth:`extend_batches`.  Large
+    #: enough that syscall count is negligible, small enough that a
+    #: million-user batch (tens of GB of JSON) never materializes a
+    #: second time as one giant buffer next to the live records.
+    _WRITE_CHUNK_LINES = 8192
+
     def extend_batches(
         self,
         batches: Iterable[Sequence[TestcaseRun]],
         dedupe: bool = False,
     ) -> int:
-        """Append pre-ordered batches, one ``write`` per batch.
+        """Append pre-ordered batches, chunk-buffered writes.
 
         The sharded study engine merges per-shard run batches through
-        here: serializing a whole batch into a single buffer turns
-        thousands of tiny writes into one syscall each, and a crash
-        between batches leaves only whole, parseable lines behind
-        (within a batch, at worst one partial line, which
-        :meth:`repair_tail` removes on the next append).
+        here: serializing up to ``_WRITE_CHUNK_LINES`` records into a
+        single buffer turns thousands of tiny writes into one syscall
+        each, while bounding the transient memory — a fleet-scale batch
+        streams through in constant space instead of doubling the
+        driver's footprint.  A crash leaves only whole, parseable lines
+        behind plus at worst one partial line, which
+        :meth:`repair_tail` removes on the next append.
         """
         self.repair_tail()
         index = self._index() if dedupe else self._ids
         count = 0
+        chunk = self._WRITE_CHUNK_LINES
         with self._path.open("a") as fh:
             for batch in batches:
                 lines: list[str] = []
@@ -186,6 +195,10 @@ class ResultStore:
                     lines.append(run.to_json() + "\n")
                     if index is not None:
                         index.add(run.run_id)
+                    if len(lines) >= chunk:
+                        fh.write("".join(lines))
+                        count += len(lines)
+                        lines.clear()
                 if lines:
                     fh.write("".join(lines))
                     count += len(lines)

@@ -25,7 +25,11 @@ from repro.errors import StudyError
 from repro.machine.machine import SimulatedMachine
 from repro.monitor.base import SimulatedMonitor
 from repro.machine.specs import MachineSpec
-from repro.study.engine import SESSION_ENGINES, get_session_engine
+from repro.study.engine import (
+    SESSION_ENGINES,
+    get_batch_range_engine,
+    get_session_engine,
+)
 from repro.study.testcases import STUDY_SAMPLE_RATE, task_testcases
 from repro.telemetry import get_telemetry
 from repro.users.behavior import BehaviorParams, SimulatedUser
@@ -68,9 +72,11 @@ class ControlledStudyConfig:
     behavior: BehaviorParams = field(default_factory=BehaviorParams)
     #: Testcase sample rate (Hz).
     sample_rate: float = STUDY_SAMPLE_RATE
-    #: Session engine: "analytic" (vectorized closed form, the default)
-    #: or "loop" (the generic per-sample poll loop).  Both produce
-    #: identical runs; see repro.study.engine.
+    #: Session engine: "analytic" (vectorized closed form, the default),
+    #: "loop" (the generic per-sample poll loop), or "batch" (the
+    #: cell-batched fast path advancing every user of a (task, testcase)
+    #: cell as numpy arrays).  All produce byte-identical runs; see
+    #: repro.study.engine and repro.study.batch.
     engine: str = "analytic"
 
     def __post_init__(self) -> None:
@@ -238,6 +244,12 @@ def run_user_range(
         )
     if fixtures is None:
         fixtures = study_fixtures(config)
+    batch_runner = get_batch_range_engine(config.engine)
+    if batch_runner is not None:
+        # Cell-batched engines replace the whole per-user loop; they
+        # honor the same derivation order, so the byte contract above
+        # (and the sharded checkpoint spans built on it) is unchanged.
+        return batch_runner(config, start, stop, fixtures)
     runs: list[TestcaseRun] = []
     for index in range(start, stop):
         runs.extend(

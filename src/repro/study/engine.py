@@ -22,6 +22,7 @@ the loop.
 
 from __future__ import annotations
 
+import importlib
 import math
 import time
 
@@ -41,7 +42,13 @@ from repro.machine.machine import TaskInteractivityModel
 from repro.monitor.base import SimulatedMonitor
 from repro.users.behavior import SimulatedUser
 
-__all__ = ["SESSION_ENGINES", "get_session_engine", "run_analytic_session"]
+__all__ = [
+    "BATCH_RANGE_ENGINES",
+    "SESSION_ENGINES",
+    "get_batch_range_engine",
+    "get_session_engine",
+    "run_analytic_session",
+]
 
 
 def _level_array(testcase: Testcase, resource: Resource, n_steps: int) -> np.ndarray:
@@ -209,13 +216,27 @@ def run_analytic_session(
     )
 
 
-#: Session engines by config name.  Both callables share a signature and
+#: Session engines by config name.  All callables share a signature and
 #: produce identical run records on the same armed user state; study
 #: drivers (sequential and sharded) resolve the engine here so the choice
-#: stays a pure config value that survives a process boundary.
+#: stays a pure config value that survives a process boundary.  The
+#: "batch" engine's per-session behavior *is* the analytic closed form —
+#: its speed comes from the user-range path below, which the controlled
+#: driver engages instead of the per-session loop.
 SESSION_ENGINES = {
     "analytic": run_analytic_session,
     "loop": run_simulated_session,
+    "batch": run_analytic_session,
+}
+
+#: Engines that replace the whole per-user session loop of
+#: ``repro.study.controlled.run_user_range`` with a cell-batched range
+#: runner ``(config, start, stop, fixtures) -> list[TestcaseRun]``.
+#: Values are ``"module:callable"`` import paths, resolved lazily —
+#: :mod:`repro.study.batch` imports study modules, so eager imports here
+#: would cycle through :mod:`repro.study.controlled`.
+BATCH_RANGE_ENGINES = {
+    "batch": "repro.study.batch:run_batch_user_range",
 }
 
 
@@ -225,3 +246,14 @@ def get_session_engine(name: str):
         return SESSION_ENGINES[name]
     except KeyError:
         raise KeyError(f"unknown session engine {name!r}") from None
+
+
+def get_batch_range_engine(name: str):
+    """The user-range runner for ``name``, or None for per-session
+    engines."""
+    target = BATCH_RANGE_ENGINES.get(name)
+    if target is None:
+        return None
+    module_name, _, attr = target.partition(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

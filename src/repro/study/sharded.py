@@ -212,6 +212,7 @@ def _run_shard(
             shard=shard_index,
             users_start=start,
             users_stop=stop,
+            engine=config.engine,
         ) as span:
             runs = run_user_range(config, start, stop, study_fixtures(config))
             span.annotate(runs=len(runs))

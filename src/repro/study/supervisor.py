@@ -21,6 +21,14 @@ to decide how hard to fight for each shard before giving it up:
   every healthy shard's results survive) or, with ``quarantine=False``,
   fails fast with :class:`~repro.errors.StudyError`.
 
+Supervision is session-engine-independent: a relaunched shard re-enters
+:func:`repro.study.controlled.run_user_range`, which dispatches to the
+configured engine (``analytic``, ``loop``, or the cell-batched
+``batch``), and every engine produces byte-identical records for the
+same user range — so retries, checkpointed byte spans, and resume
+verification behave identically whichever engine the config names
+(``tests/test_study_resume.py`` pins this for ``batch``).
+
 The policy is deliberately a frozen value object: the supervision *loop*
 lives next to the process plumbing in :mod:`repro.study.sharded`, and
 this module stays import-light so checkpointing and CLI code can build

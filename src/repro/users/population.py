@@ -10,6 +10,8 @@ everyone games).
 
 from __future__ import annotations
 
+import bisect
+
 import numpy as np
 
 from repro.users.behavior import BehaviorParams, SimulatedUser
@@ -37,11 +39,25 @@ _MARGINALS: dict[str, tuple[float, float, float]] = {
 _CORRELATION = 0.55
 
 
+def _cdf(probs: tuple[float, float, float]) -> list[float]:
+    # The exact cumulative array ``Generator.choice(3, p=probs)``
+    # searches: cumsum then self-normalize, in float64.
+    cdf = np.asarray(probs).cumsum()
+    cdf /= cdf[-1]
+    return cdf.tolist()
+
+
+_CDFS = {category: _cdf(probs) for category, probs in _MARGINALS.items()}
+
+
 def _draw_level(
     rng: np.random.Generator, category: str
 ) -> SkillLevel:
-    probs = _MARGINALS[category]
-    return _LEVELS[int(rng.choice(3, p=probs))]
+    # Stream- and value-identical to ``rng.choice(3, p=probs)``, which
+    # draws one double and bisects the normalized cdf — but without
+    # re-validating and re-normalizing ``p`` on every call (the choice
+    # call dominated population sampling at fleet scale).
+    return _LEVELS[bisect.bisect_right(_CDFS[category], rng.random())]
 
 
 def sample_profile(user_id: str, seed: SeedLike = None) -> UserProfile:
@@ -55,8 +71,13 @@ def sample_profile(user_id: str, seed: SeedLike = None) -> UserProfile:
             ratings[category] = ratings["pc"]
         else:
             ratings[category] = _draw_level(rng, category)
-    tolerance = float(np.exp(rng.normal(0.0, 0.10)))
-    reaction = float(rng.uniform(1.5, 5.0))
+    # Decomposed ``rng.normal(0.0, 0.10)`` / ``rng.uniform(1.5, 5.0)``:
+    # the Generator methods compute exactly loc + scale*draw from one
+    # stream draw each, so these are bit- and stream-identical without
+    # the per-call argument parsing (population sampling is on the
+    # batch engine's critical path at fleet scale).
+    tolerance = float(np.exp(0.0 + 0.10 * rng.standard_normal()))
+    reaction = 1.5 + 3.5 * float(rng.random())
     return UserProfile(
         user_id=user_id,
         ratings=ratings,

@@ -30,6 +30,7 @@ if __package__ in (None, ""):  # standalone: make `repro` importable
 
 from repro.faults.shardchaos import ShardFaultPlan  # noqa: E402
 from repro.stores.results import ResultStore  # noqa: E402
+from repro.study.engine import SESSION_ENGINES  # noqa: E402
 from repro.study import (  # noqa: E402  (after the standalone path fix-up)
     ControlledStudyConfig,
     StudyCheckpoint,
@@ -42,6 +43,7 @@ from repro.study import (  # noqa: E402  (after the standalone path fix-up)
 __all__ = [
     "assert_resume_equivalence",
     "assert_shard_equivalence",
+    "golden_digest",
     "serialized_records",
     "study_digest",
 ]
@@ -183,13 +185,31 @@ def assert_resume_equivalence(
     return baseline_digest
 
 
+def golden_digest(config: ControlledStudyConfig) -> str | None:
+    """The pinned golden digest for ``config``, or None when the config
+    is not the canonical study.  Engines never enter the identity: every
+    registered engine must reproduce the same bytes, which is exactly
+    what checking the pin under ``--engine batch`` proves."""
+    canonical = ControlledStudyConfig()
+    if (
+        config.n_users != canonical.n_users
+        or config.seed != canonical.seed
+        or config.tasks != canonical.tasks
+    ):
+        return None
+    pin = Path(__file__).resolve().parent / "golden" / (
+        "controlled_study_seed2004.sha256"
+    )
+    return pin.read_text().split()[0]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="check sharded-study byte-equivalence for a config"
     )
     parser.add_argument("--users", type=int, default=33)
     parser.add_argument("--seed", type=int, default=2004)
-    parser.add_argument("--engine", choices=["analytic", "loop"],
+    parser.add_argument("--engine", choices=sorted(SESSION_ENGINES),
                         default="analytic")
     parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8])
     parser.add_argument("--mp-context", default=None,
@@ -238,6 +258,16 @@ def main(argv: list[str] | None = None) -> int:
     except AssertionError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1
+    golden = golden_digest(config)
+    if golden is not None:
+        if digest != golden:
+            print(
+                f"FAIL: engine {args.engine!r} diverged from the golden "
+                f"seed-2004 pin (got {digest}, pinned {golden})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: matches the golden seed-2004 pin ({golden[:16]}...)")
     print(f"OK: all shard counts byte-identical (sha256 {digest})")
     return 0
 

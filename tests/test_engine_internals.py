@@ -62,3 +62,65 @@ class TestThresholdFireStep:
         levels = np.full(20, 2.0)
         # rate 4 Hz (dt 0.25): 1.0 s delay elapses at index 4.
         assert _threshold_fire_step(levels, 1.0, 1.0, 0.25) == 4
+
+
+class TestLevelArrayBoundaryBothEngines:
+    """The "sample exactly at a short function's duration reads the
+    final value" rule, pinned for every engine that consumes
+    _level_array before anything relies on it."""
+
+    def _short_testcase(self):
+        # CPU function ends at t=5 inside a 10-second testcase: step 5
+        # samples t == duration exactly, steps 6+ are past the end.
+        return Testcase(
+            "t",
+            {
+                Resource.CPU: constant(Resource.CPU, 1.0, 5.0, 1.0),
+                Resource.DISK: constant(Resource.DISK, 2.0, 10.0, 1.0),
+            },
+        )
+
+    def test_boundary_step_reads_final_value_then_zero(self):
+        arr = _level_array(self._short_testcase(), Resource.CPU, 10)
+        assert arr[4] == 1.0   # last in-range sample
+        assert arr[5] == 1.0   # t == duration: still the final value
+        assert np.all(arr[6:] == 0.0)  # strictly past the end
+
+    def test_batch_engine_shares_the_same_level_arrays(self):
+        from repro.machine import SimulatedMachine
+        from repro.study import batch as batch_mod
+        from repro.apps import get_task
+        from repro.users.behavior import BehaviorParams
+        from repro.users.tolerance import paper_calibrated_table
+
+        # The batch cell plan must import the *same* function, not a
+        # reimplementation that could drift on this boundary.
+        assert batch_mod._level_array is _level_array
+
+        tc = self._short_testcase()
+        machine = SimulatedMachine()
+        task = get_task("word")
+        cell = batch_mod._CellPlan(
+            "word", tc, machine, task,
+            machine.interactivity_model(task),
+            paper_calibrated_table(), BehaviorParams(),
+        )
+        for resource in tc.functions:
+            expected = [
+                tc.levels_at(float(i))[resource]
+                for i in range(cell.n_steps)
+            ]
+            assert cell.level_arrays[resource].tolist() == expected
+
+    def test_boundary_affects_fire_scans_identically(self):
+        # A threshold met only by the boundary sample: both scan
+        # flavors and the scalar must fire at exactly step m.
+        tc = self._short_testcase()
+        arr = _level_array(tc, Resource.CPU, 10)
+        from repro.study import batch as batch_mod
+
+        scalar = _threshold_fire_step(arr, 1.0, 4.5, 1.0)
+        generic = batch_mod._fire_steps(
+            arr, np.array([1.0]), np.array([4.5]), 1.0
+        )
+        assert scalar == 5 and generic[0] == 5

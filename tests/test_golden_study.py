@@ -18,7 +18,11 @@ and say so in the commit message.
 
 from pathlib import Path
 
+import pytest
 from shardcheck import study_digest
+
+from repro.study import ControlledStudyConfig, run_controlled_study
+from repro.study.engine import SESSION_ENGINES
 
 GOLDEN = Path(__file__).parent / "golden" / "controlled_study_seed2004.sha256"
 
@@ -28,6 +32,19 @@ def test_canonical_study_matches_golden(controlled_study):
     assert study_digest(controlled_study) == expected, (
         "canonical seed-2004 study output drifted from the golden pin; "
         "if intentional, regenerate tests/golden/ (see module docstring)"
+    )
+
+
+@pytest.mark.parametrize("engine", sorted(SESSION_ENGINES))
+def test_every_registered_engine_matches_golden(engine):
+    """One pin, every engine: byte-identity is the engines' contract, so
+    any engine registered in SESSION_ENGINES must reproduce the exact
+    golden bytes — a new engine cannot land without passing through
+    here."""
+    result = run_controlled_study(ControlledStudyConfig(engine=engine))
+    expected = GOLDEN.read_text().split()[0]
+    assert study_digest(result) == expected, (
+        f"engine {engine!r} diverged from the golden seed-2004 pin"
     )
 
 

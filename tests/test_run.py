@@ -1,5 +1,8 @@
 """Tests for run records (feedback, outcomes, serialization)."""
 
+import json
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -121,6 +124,113 @@ class TestSerialization:
         a = TestcaseRun.new_run_id(np.random.default_rng(1))
         b = TestcaseRun.new_run_id(np.random.default_rng(1))
         assert a == b and len(a) == 32
+
+
+def _canonical(run: TestcaseRun) -> str:
+    return json.dumps(run.to_dict(), sort_keys=True)
+
+
+class TestCanonicalJson:
+    """``to_json``'s fragment-assembled fast path must stay byte-identical
+    to ``json.dumps(to_dict(), sort_keys=True)`` — the form every digest,
+    golden pin, and store payload is defined against."""
+
+    def test_matches_dumps_both_outcomes(self):
+        for run in (
+            make_run(),
+            make_run(outcome=RunOutcome.EXHAUSTED, offset=120.0),
+        ):
+            assert run.to_json() == _canonical(run)
+
+    def test_adversarial_strings_and_numbers(self):
+        context = RunContext(
+            user_id='müller "the\\usr"\n\t\x01',
+            task="quake",
+            client_id="日本語-client   ",
+            machine_id="m\x7f",
+            started_at=-0.0,
+            extra={"k\n": 'v"\\', "ключ": "значение", "": "blank"},
+        )
+        run = make_run(
+            context=context,
+            levels_at_end={Resource.CPU: math.inf, Resource.MEMORY: math.nan},
+            last_values={Resource.CPU: (1.0, -math.inf, 5e-324)},
+            load_trace={"slowdown": (math.nan, 2.0), "x y": (0.0, -0.0)},
+            load_trace_rate=4,  # ints must render as ints, same as dumps
+        )
+        assert run.to_json() == _canonical(run)
+
+    def test_shared_mappings_across_records(self):
+        # The batch engine shares trace/shape mappings between records;
+        # fragment-cache hits must reproduce the exact bytes for every
+        # record that shares the object.
+        shapes = {Resource.CPU: "step"}
+        trace = {"slowdown": tuple(float(i) / 7 for i in range(50))}
+        runs = [
+            make_run(run_id=f"s{i}", shapes=shapes, load_trace=trace)
+            for i in range(3)
+        ]
+        for run in runs:
+            assert run.to_json() == _canonical(run)
+
+    def test_cache_reset_at_cap(self, monkeypatch):
+        from repro.core import run as run_mod
+
+        monkeypatch.setattr(run_mod, "_FRAGMENT_CACHE_MAX", 4)
+        monkeypatch.setattr(run_mod, "_STR_CACHE_MAX", 4)
+        for i in range(20):
+            run = make_run(
+                run_id=f"r{i}",
+                testcase_id=f"tc{i}",
+                load_trace={"slowdown": (float(i),)},
+            )
+            assert run.to_json() == _canonical(run)
+        assert len(run_mod._fragment_cache) <= 4
+        assert len(run_mod._str_cache) <= 4
+
+    def test_roundtrips_through_from_json(self):
+        run = make_run()
+        assert TestcaseRun.from_json(run.to_json()) == run
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    user_id=st.text(max_size=20),
+    task=st.text(max_size=8),
+    extra=st.dictionaries(
+        st.text(max_size=8), st.text(max_size=8), max_size=3
+    ),
+    started=st.floats(allow_nan=False),
+    offset=st.floats(min_value=0.0, max_value=120.0),
+    level=st.floats(),
+    trace=st.lists(st.floats(), max_size=6),
+    rate=st.one_of(
+        st.floats(), st.integers(min_value=-(10**12), max_value=10**12)
+    ),
+    source=st.text(max_size=8),
+)
+def test_property_to_json_matches_dumps(
+    user_id, task, extra, started, offset, level, trace, rate, source
+):
+    run = TestcaseRun(
+        run_id="cj",
+        testcase_id="tc",
+        context=RunContext(
+            user_id=user_id, task=task, started_at=started, extra=extra
+        ),
+        outcome=RunOutcome.DISCOMFORT,
+        end_offset=offset,
+        testcase_duration=120.0,
+        shapes={Resource.CPU: "ramp"},
+        levels_at_end={Resource.CPU: level},
+        last_values={Resource.CPU: tuple(trace)},
+        feedback=DiscomfortEvent(
+            offset=offset, levels={Resource.CPU: level}, source=source
+        ),
+        load_trace={"slowdown": tuple(trace)},
+        load_trace_rate=rate,
+    )
+    assert run.to_json() == _canonical(run)
 
 
 @settings(max_examples=40)

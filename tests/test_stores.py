@@ -163,6 +163,21 @@ class TestResultStoreBatches:
         assert wrote == 1
         assert [r.run_id for r in store] == ["a", "b"]
 
+    def test_extend_batches_chunked_write_is_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        # A batch bigger than the write chunk must stream through in
+        # pieces (bounded transient memory at fleet scale) yet produce
+        # the same bytes, count, and order as a single-buffer write.
+        runs = [run_record(f"c{i}") for i in range(10)]
+        flat = ResultStore(tmp_path / "flat")
+        flat.extend(runs)
+        chunked = ResultStore(tmp_path / "chunked")
+        monkeypatch.setattr(ResultStore, "_WRITE_CHUNK_LINES", 3)
+        assert chunked.extend_batches([runs]) == 10
+        assert flat.path.read_bytes() == chunked.path.read_bytes()
+        assert [r.run_id for r in chunked] == [f"c{i}" for i in range(10)]
+
 
 class TestResultStoreCrashTail:
     def crashed(self, tmp_path):
