@@ -46,9 +46,11 @@ bench-check:
 		--out out/fresh-study.json --telemetry out/bench-traces
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_server.py --out out/fresh-server.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_dashboard.py --out out/fresh-dashboard.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scheduler.py --out out/fresh-scheduler.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py BENCH_study.json out/fresh-study.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py BENCH_server.json out/fresh-server.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py BENCH_dashboard.json out/fresh-dashboard.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py BENCH_scheduler.json out/fresh-scheduler.json
 
 trace-demo:
 	PYTHONPATH=src $(PYTHON) examples/trace_demo.py

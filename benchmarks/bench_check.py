@@ -9,7 +9,8 @@ regressed beyond the tolerance::
 
 What counts as a regression, per cell matched by its identity key
 (``shards`` for the study report; ``backend x clients`` for the server
-report; ``mode`` for the dashboard report):
+report; ``mode`` for the dashboard report; ``policy x budget`` — plus
+``shards`` for identity cells — for the scheduler report):
 
 * a throughput metric (``runs_per_second``, ``requests_per_second``,
   ``pushes_per_second``) dropping more than ``tolerance`` below
@@ -29,6 +30,11 @@ report; ``mode`` for the dashboard report):
   applies;
 * an engine cell whose ``byte_identical_to_analytic`` is false — the
   same correctness contract, across session engines instead of shards;
+* a scheduler report where, at any matched budget, the ``cdf`` policy
+  fails to harvest strictly more resource-hours than ``static`` at an
+  equal-or-lower discomfort rate — the paper's §5 claim, enforced as an
+  absolute contract on the current report (same fleet, same host, no
+  tolerance);
 * the study report's best batch-engine ``speedup_vs_analytic`` falling
   under ``--min-batch-speedup`` (default 10x) — an absolute contract on
   the current report, so the batch engine's win cannot silently rot
@@ -56,6 +62,7 @@ _THROUGHPUT = {
     "runs_per_second": "up",
     "requests_per_second": "up",
     "pushes_per_second": "up",
+    "decisions_per_second": "up",
 }
 _LATENCY = {"p50_ms": "down", "p99_ms": "down"}
 
@@ -69,6 +76,11 @@ def load_report(path: str | Path) -> dict:
 
 def _cell_key(report: dict, cell: dict) -> str:
     """The cell's identity within its report family."""
+    if "policy" in cell:  # scheduler report: Pareto or shard-identity cell
+        key = f"policy={cell['policy']} budget={cell.get('budget', '?')}"
+        if "shards" in cell:
+            key += f" shards={cell['shards']}"
+        return key
     if "engine" in cell:  # study report: session-engine comparison cell
         return f"engine={cell['engine']} users={cell['users']}"
     if "shards" in cell:
@@ -143,6 +155,52 @@ def compare_reports(
                     f"{overhead:.1f}% exceeds the report's "
                     f"{limit:g}% limit"
                 )
+
+    # The scheduler report carries the paper's §5 claim as an absolute
+    # contract on the current report: at every matched budget, the
+    # comfort-measuring ``cdf`` policy must harvest strictly more than
+    # the fixed-ceiling ``static`` strawman at an equal-or-lower
+    # discomfort-event rate.  Both cells run the same seeded fleet on
+    # the same host, so the comparison is host-independent and gets no
+    # tolerance.
+    pareto: dict[object, dict[str, dict]] = {}
+    for cell in current["results"]:
+        if "harvested_resource_hours" in cell and "shards" not in cell:
+            pareto.setdefault(cell.get("budget"), {})[cell["policy"]] = cell
+    for budget, by_policy in sorted(
+        pareto.items(), key=lambda item: str(item[0])
+    ):
+        cdf, static = by_policy.get("cdf"), by_policy.get("static")
+        if cdf is None or static is None:
+            continue
+        if cdf["harvested_resource_hours"] <= static["harvested_resource_hours"]:
+            regressions.append(
+                f"budget={budget}: cdf harvested "
+                f"{cdf['harvested_resource_hours']:.1f} resource-hours, not "
+                f"strictly more than static's "
+                f"{static['harvested_resource_hours']:.1f}"
+            )
+        if cdf["discomfort_rate"] > static["discomfort_rate"]:
+            regressions.append(
+                f"budget={budget}: cdf discomfort rate "
+                f"{cdf['discomfort_rate']:.4f} exceeds static's "
+                f"{static['discomfort_rate']:.4f}"
+            )
+        if (
+            cdf["harvested_resource_hours"] > static["harvested_resource_hours"]
+            and cdf["discomfort_rate"] <= static["discomfort_rate"]
+        ):
+            gain = (
+                cdf["harvested_resource_hours"]
+                / static["harvested_resource_hours"]
+                - 1.0
+            )
+            notes.append(
+                f"budget={budget}: cdf Pareto-dominates static "
+                f"(+{100 * gain:.1f}% harvest at "
+                f"{cdf['discomfort_rate']:.4f} vs "
+                f"{static['discomfort_rate']:.4f} discomfort rate)"
+            )
 
     # The batch engine's reason to exist is its speedup; gate the best
     # batched-engine cell of the *current* report against an absolute

@@ -53,6 +53,7 @@ from repro.errors import (
     MonitorError,
     ProtocolError,
     ReproError,
+    SchedulerError,
     SerializationError,
     StoreError,
     StudyError,
@@ -67,6 +68,7 @@ from repro.study.checkpoint import StudyCheckpoint
 from repro.study.controlled import ControlledStudyConfig
 from repro.study.engine import SESSION_ENGINES
 from repro.study.internet import generate_library
+from repro.scheduler.policy import SCHEDULER_POLICIES
 from repro.study.sharded import resolve_shards, run_sharded_study, shard_ranges
 from repro.study.supervisor import SupervisorPolicy
 from repro.telemetry import Telemetry, use_telemetry
@@ -87,6 +89,7 @@ _EXIT_CODES: dict[type[ReproError], int] = {
     StudyError: 9,
     AnalysisError: 10,
     ThrottleError: 11,
+    SchedulerError: 12,
 }
 
 
@@ -318,6 +321,73 @@ def _study_batches(result, shards):
         for user_id in ordered_users[shard.start:shard.stop]:
             batch.extend(runs_per_user.get(user_id, []))
         yield batch
+
+
+def _cmd_harvest(args: argparse.Namespace) -> int:
+    from repro.scheduler import FleetConfig, run_fleet
+
+    config = FleetConfig(
+        policy=args.policy,
+        clients=args.clients,
+        epochs=args.epochs,
+        epoch_seconds=args.epoch_seconds,
+        budget=args.budget,
+        seed=args.seed,
+        cooldown_epochs=args.cooldown,
+    )
+    n_shards = resolve_shards(args.shards, config.clients)
+    push_to = (
+        _parse_hostport(args.push_gateway, "--push-gateway")
+        if args.push_gateway
+        else None
+    )
+    hub: Telemetry | None = None
+    if args.telemetry:
+        hub = Telemetry.to_path(args.telemetry)
+    elif push_to is not None:
+        hub = Telemetry()
+    on_progress = None
+    if push_to is not None and hub is not None:
+        pusher = _gateway_pusher(
+            push_to, f"harvest-{config.policy}-seed{config.seed}", hub
+        )
+
+        def on_progress(done: int, total: int) -> None:
+            pusher()
+
+    fleet_kwargs = dict(
+        shards=n_shards,
+        max_workers=args.workers,
+        on_progress=on_progress,
+    )
+    if hub is not None:
+        with use_telemetry(hub):
+            board = run_fleet(config, **fleet_kwargs)
+            if push_to is not None:
+                pusher()  # final snapshot carries the full scoreboard
+    else:
+        board = run_fleet(config, **fleet_kwargs)
+    if args.out:
+        Path(args.out).write_text(board.to_json())
+    _print(
+        f"harvest[{config.policy}]: {config.clients} clients x "
+        f"{config.epochs} epochs, budget {config.budget:g}, "
+        f"seed {config.seed}"
+    )
+    _print(
+        f"  harvested {board.harvested_resource_hours:.1f} resource-hours, "
+        f"{board.discomforts} discomfort events "
+        f"(rate {board.discomfort_rate:.4f}/decision), "
+        f"{board.denials} admissions denied"
+    )
+    rate = board.decisions / board.elapsed_s if board.elapsed_s > 0 else 0.0
+    _print(
+        f"  {n_shards} shard(s), {board.elapsed_s:.2f}s wall "
+        f"({rate:.0f} decisions/s)"
+    )
+    if args.out:
+        _print(f"  scoreboard -> {args.out}")
+    return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -806,6 +876,46 @@ def build_parser() -> argparse.ArgumentParser:
                             "progress included) to a metrics endpoint "
                             "after every shard completes, best-effort")
     study.set_defaults(func=_cmd_study)
+
+    harvest = sub.add_parser(
+        "harvest",
+        help="simulate a harvesting scheduler over a synthetic fleet",
+    )
+    harvest.add_argument("--policy", default="cdf",
+                         choices=sorted(SCHEDULER_POLICIES),
+                         help="borrowing policy: 'static' fixed ceiling, "
+                              "'aimd' feedback backoff/recovery, 'cdf' "
+                              "comfort-CDF admission control + dynamic "
+                              "throttle (default: cdf)")
+    harvest.add_argument("--clients", type=int, default=1000,
+                         help="fleet size (default: 1000)")
+    harvest.add_argument("--epochs", type=int, default=32,
+                         help="borrow epochs per client (default: 32)")
+    harvest.add_argument("--epoch-seconds", type=float, default=60.0,
+                         metavar="S", help="epoch length (default: 60)")
+    harvest.add_argument("--budget", type=float, default=0.05,
+                         help="target discomfort events per borrow "
+                              "decision (default: 0.05)")
+    harvest.add_argument("--cooldown", type=int, default=2, metavar="N",
+                         help="epochs a client suspends borrowing after "
+                              "a discomfort event (default: 2)")
+    harvest.add_argument("--seed", type=int, default=2004)
+    harvest.add_argument("--shards", default="1", metavar="N|auto",
+                         help="fan clients across N supervised worker "
+                              "processes; scoreboard bytes identical for "
+                              "any N ('auto': os.cpu_count())")
+    harvest.add_argument("--workers", type=int, default=None,
+                         help="max concurrent shard workers "
+                              "(default: one per shard)")
+    harvest.add_argument("--out", default="", metavar="PATH",
+                         help="write the scoreboard JSON to PATH")
+    harvest.add_argument("--telemetry", default="", metavar="PATH",
+                         help="write a JSON-lines telemetry event log to "
+                              "PATH")
+    harvest.add_argument("--push-gateway", default="", metavar="HOST:PORT",
+                         help="push scheduler metrics to a metrics "
+                              "endpoint as shards complete, best-effort")
+    harvest.set_defaults(func=_cmd_harvest)
 
     analyze = sub.add_parser("analyze", help="regenerate the paper's tables")
     analyze.add_argument("--results", default="results")

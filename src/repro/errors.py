@@ -73,3 +73,7 @@ class InsufficientDataError(AnalysisError):
 
 class ThrottleError(ReproError):
     """A borrowing throttle was driven outside its valid envelope."""
+
+
+class SchedulerError(ReproError):
+    """A harvesting-scheduler policy or fleet run was misconfigured."""

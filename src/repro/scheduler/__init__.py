@@ -1,0 +1,44 @@
+"""Comfort-aware harvesting scheduler over a simulated fleet.
+
+The paper's §5 proposal made runnable: pluggable borrowing policies
+(:mod:`repro.scheduler.policy` — ``static``, ``aimd``, and the
+CDF-driven ``cdf`` with admission control) and a seeded, sharded fleet
+simulation (:mod:`repro.scheduler.fleet`) that scores each policy on
+harvested resource-hours against discomfort-event rate.  The ``uucs
+harvest`` CLI and ``benchmarks/bench_scheduler.py`` are thin wrappers
+over :func:`run_fleet`.
+"""
+
+from repro.scheduler.fleet import (
+    CellStats,
+    FleetConfig,
+    Scoreboard,
+    run_fleet,
+    simulate_clients,
+)
+from repro.scheduler.policy import (
+    SCHEDULER_POLICIES,
+    AIMDPolicy,
+    CDFPolicy,
+    SchedulerDecision,
+    SchedulerPolicy,
+    StaticPolicy,
+    build_policy,
+    cell_cap,
+)
+
+__all__ = [
+    "SCHEDULER_POLICIES",
+    "AIMDPolicy",
+    "CDFPolicy",
+    "CellStats",
+    "FleetConfig",
+    "Scoreboard",
+    "SchedulerDecision",
+    "SchedulerPolicy",
+    "StaticPolicy",
+    "build_policy",
+    "cell_cap",
+    "run_fleet",
+    "simulate_clients",
+]

@@ -1,0 +1,554 @@
+"""Seeded fleet simulation: one scheduler policy vs. a synthetic fleet.
+
+The paper measured ~100 real users; the question its §5 leaves open —
+*how much more can a comfort-aware scheduler harvest at the same
+discomfort rate?* — needs fleets far larger than any study.  This module
+simulates them: ``clients`` independent synthetic users (the same
+tolerance model the study engines draw from), each fronted by its own
+:class:`~repro.scheduler.policy.SchedulerPolicy` instance, borrowing
+for ``epochs`` fixed-length epochs across every studied (task,
+resource) cell.
+
+Determinism is the load-bearing wall.  Every random draw for client
+``i`` comes from streams derived solely from ``(seed, label, i)`` —
+never from shard layout — and every harvested quantity is quantized to
+**integer milliseconds** before aggregation, so per-cell sums are
+associative and the scoreboard is byte-identical for any shard count
+(integer addition cannot reorder-drift the way float addition can).
+Workers therefore return tiny per-cell integer aggregates, not
+per-epoch records, and a 100k-client fleet is minutes of CPU, not GB of
+IPC.
+
+Epoch model (per client, per epoch): the client draws the foreground
+task it is running, then for each studied resource asks its policy for
+an admission verdict and ceiling.  A denied request harvests nothing.
+An admitted request borrows at the ceiling for the whole epoch; if the
+ceiling is at or above the user's sampled discomfort threshold the user
+reacts after their mean reaction delay (the borrower only harvests
+those seconds, then yields) and the policy hears ``on_discomfort``;
+otherwise the full epoch is harvested and the policy hears
+``on_comfortable``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.core.resources import Resource
+from repro.errors import SchedulerError
+from repro.paperdata import STUDY_TASKS
+from repro.scheduler.policy import SCHEDULER_POLICIES, build_policy
+from repro.study.sharded import Shard, shard_ranges
+from repro.telemetry import Telemetry, get_telemetry
+from repro.users import SimulatedUser, paper_calibrated_table
+from repro.users.population import sample_profile
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "CellStats",
+    "FleetConfig",
+    "Scoreboard",
+    "run_fleet",
+    "simulate_clients",
+]
+
+#: Resources every epoch exercises, in deterministic order.
+FLEET_RESOURCES: tuple[Resource, ...] = (
+    Resource.CPU,
+    Resource.MEMORY,
+    Resource.DISK,
+)
+
+#: Aggregate field order inside worker payloads (one int list per cell).
+_AGG_FIELDS = (
+    "decisions",
+    "admitted",
+    "denials",
+    "discomforts",
+    "harvested_ms",
+    "ceiling_milli_sum",
+)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet-simulation run, fully determined by its fields."""
+
+    policy: str = "cdf"
+    clients: int = 100
+    epochs: int = 32
+    epoch_seconds: float = 60.0
+    budget: float = 0.05
+    seed: int = 0
+    #: Epochs the client suspends *all* borrowing after an epoch with a
+    #: discomfort event.  The paper's participants stopped the exerciser
+    #: the moment they felt discomfort (§3.2); a deployed harvester
+    #: similarly loses the host for a while after annoying its owner.
+    #: This is what makes a high-discomfort policy genuinely expensive.
+    cooldown_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.policy not in SCHEDULER_POLICIES:
+            raise SchedulerError(
+                f"unknown scheduler policy {self.policy!r}; "
+                f"available: {', '.join(sorted(SCHEDULER_POLICIES))}"
+            )
+        if self.clients < 1:
+            raise SchedulerError(f"clients must be >= 1, got {self.clients}")
+        if self.epochs < 1:
+            raise SchedulerError(f"epochs must be >= 1, got {self.epochs}")
+        if not self.epoch_seconds > 0:
+            raise SchedulerError(
+                f"epoch_seconds must be > 0, got {self.epoch_seconds}"
+            )
+        if not 0.0 < self.budget < 1.0:
+            raise SchedulerError(
+                f"budget must be in (0, 1), got {self.budget}"
+            )
+        if self.cooldown_epochs < 0:
+            raise SchedulerError(
+                f"cooldown_epochs must be >= 0, got {self.cooldown_epochs}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "policy": self.policy,
+            "clients": self.clients,
+            "epochs": self.epochs,
+            "epoch_seconds": self.epoch_seconds,
+            "budget": self.budget,
+            "seed": self.seed,
+            "cooldown_epochs": self.cooldown_epochs,
+        }
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Fleet-wide integer aggregates for one (task, resource) cell."""
+
+    task: str
+    resource: str
+    decisions: int = 0
+    admitted: int = 0
+    denials: int = 0
+    discomforts: int = 0
+    #: Harvested resource-time, integer milliseconds of resource-level 1.0
+    #: (a 60 s epoch at ceiling 2.0 harvests 120_000).
+    harvested_ms: int = 0
+    #: Sum over admitted decisions of the granted ceiling in integer
+    #: milli-levels; ``ceiling_milli_sum / admitted / 1000`` is the mean.
+    ceiling_milli_sum: int = 0
+
+    @property
+    def harvested_resource_hours(self) -> float:
+        """Resource-hours harvested (level x hours)."""
+        return self.harvested_ms / 3_600_000.0
+
+    @property
+    def discomfort_rate(self) -> float:
+        """Discomfort events per borrow decision (denials included)."""
+        return self.discomforts / self.decisions if self.decisions else 0.0
+
+    @property
+    def mean_ceiling(self) -> float:
+        """Mean granted ceiling over admitted decisions."""
+        if not self.admitted:
+            return 0.0
+        return self.ceiling_milli_sum / self.admitted / 1000.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "task": self.task,
+            "resource": self.resource,
+            "decisions": self.decisions,
+            "admitted": self.admitted,
+            "denials": self.denials,
+            "discomforts": self.discomforts,
+            "harvested_ms": self.harvested_ms,
+            "ceiling_milli_sum": self.ceiling_milli_sum,
+        }
+
+
+@dataclass(frozen=True)
+class Scoreboard:
+    """Deterministic outcome of one fleet run (plus advisory wall-clock).
+
+    Everything serialized by :meth:`to_json` is a pure function of the
+    :class:`FleetConfig` — wall-clock lives only in :attr:`elapsed_s`,
+    which is deliberately excluded so two runs of the same config (at
+    any shard count) produce byte-identical JSON.
+    """
+
+    config: FleetConfig
+    cells: tuple[CellStats, ...]
+    elapsed_s: float = field(default=0.0, compare=False)
+
+    def _total(self, name: str) -> int:
+        return sum(getattr(cell, name) for cell in self.cells)
+
+    @property
+    def decisions(self) -> int:
+        return self._total("decisions")
+
+    @property
+    def denials(self) -> int:
+        return self._total("denials")
+
+    @property
+    def discomforts(self) -> int:
+        return self._total("discomforts")
+
+    @property
+    def harvested_ms(self) -> int:
+        return self._total("harvested_ms")
+
+    @property
+    def harvested_resource_hours(self) -> float:
+        """Total harvested resource-hours across every cell."""
+        return self.harvested_ms / 3_600_000.0
+
+    @property
+    def discomfort_rate(self) -> float:
+        """Fleet-wide discomfort events per borrow decision."""
+        decisions = self.decisions
+        return self.discomforts / decisions if decisions else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "config": self.config.to_dict(),
+            "totals": {
+                "decisions": self.decisions,
+                "denials": self.denials,
+                "discomforts": self.discomforts,
+                "harvested_ms": self.harvested_ms,
+                "harvested_resource_hours": round(
+                    self.harvested_resource_hours, 6
+                ),
+                "discomfort_rate": round(self.discomfort_rate, 6),
+            },
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def to_json(self) -> str:
+        """Canonical scoreboard JSON (the bit-reproducibility surface)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def simulate_clients(
+    config: FleetConfig, start: int, stop: int
+) -> dict[str, list[int]]:
+    """Simulate clients ``[start, stop)``; per-cell integer aggregates.
+
+    The returned mapping keys are ``"task,resource"`` and each value
+    lists the :data:`_AGG_FIELDS` counts in order.  Depends only on
+    ``(config, start, stop)`` — module-level and picklable, so it runs
+    identically in-process, forked, or spawned.
+    """
+    if not 0 <= start <= stop <= config.clients:
+        raise SchedulerError(
+            f"bad client range [{start}, {stop}) for {config.clients} clients"
+        )
+    table = paper_calibrated_table()
+    epoch_s = float(config.epoch_seconds)
+    aggregates: dict[str, list[int]] = {}
+    for index in range(start, stop):
+        profile = sample_profile(
+            f"fleet-{index:06d}", derive_rng(config.seed, "fleet-profile", index)
+        )
+        user = SimulatedUser(
+            profile, table, seed=derive_rng(config.seed, "fleet-behavior", index)
+        )
+        task_rng = derive_rng(config.seed, "fleet-tasks", index)
+        policy = build_policy(config.policy, budget=config.budget)
+        # The user notices sustained contention only after their mean
+        # reaction delay; a discomforted epoch harvests just that window.
+        reaction_s = min(float(profile.reaction_delay_mean), epoch_s)
+        cooldown = 0
+        for _ in range(config.epochs):
+            if cooldown > 0:
+                cooldown -= 1
+                continue
+            task = STUDY_TASKS[int(task_rng.integers(len(STUDY_TASKS)))]
+            epoch_discomforted = False
+            for resource in FLEET_RESOURCES:
+                decision = policy.decide(task, resource)
+                cell = aggregates.setdefault(
+                    f"{task},{resource.value}", [0] * len(_AGG_FIELDS)
+                )
+                cell[0] += 1  # decisions
+                if not decision.admitted:
+                    cell[2] += 1  # denials
+                    continue
+                ceiling = decision.ceiling
+                cell[1] += 1  # admitted
+                cell[5] += round(ceiling * 1000.0)  # ceiling_milli_sum
+                threshold = user.threshold_for(task, resource, "constant")
+                if ceiling >= threshold:
+                    cell[3] += 1  # discomforts
+                    cell[4] += round(ceiling * reaction_s * 1000.0)
+                    policy.on_discomfort(task, resource, ceiling)
+                    epoch_discomforted = True
+                else:
+                    cell[4] += round(ceiling * epoch_s * 1000.0)
+                    policy.on_comfortable(task, resource, epoch_s)
+            if epoch_discomforted:
+                cooldown = config.cooldown_epochs
+    return aggregates
+
+
+def _merge_aggregates(
+    batches: Sequence[Mapping[str, Sequence[int]]],
+) -> dict[str, list[int]]:
+    """Sum per-cell integer aggregates; associative, so order-free."""
+    merged: dict[str, list[int]] = {}
+    for batch in batches:
+        for key, counts in batch.items():
+            if len(counts) != len(_AGG_FIELDS):
+                raise SchedulerError(
+                    f"malformed aggregate for cell {key!r}: {counts!r}"
+                )
+            into = merged.setdefault(key, [0] * len(_AGG_FIELDS))
+            for i, value in enumerate(counts):
+                into[i] += int(value)
+    return merged
+
+
+def _scoreboard(
+    config: FleetConfig,
+    merged: Mapping[str, Sequence[int]],
+    elapsed_s: float,
+) -> Scoreboard:
+    cells = []
+    for key in sorted(merged):
+        task, _, resource = key.partition(",")
+        counts = merged[key]
+        cells.append(
+            CellStats(
+                task=task,
+                resource=resource,
+                **dict(zip(_AGG_FIELDS, (int(v) for v in counts))),
+            )
+        )
+    return Scoreboard(config=config, cells=tuple(cells), elapsed_s=elapsed_s)
+
+
+def _fleet_worker_main(conn, config: FleetConfig, start: int, stop: int) -> None:
+    """Worker process entry: simulate one shard, reply on ``conn``.
+
+    Mirrors the sharded-study wire shape: ``("ok", aggregates)`` on
+    success, ``("error", message)`` on any exception, EOF on death.
+    """
+    try:
+        conn.send(("ok", simulate_clients(config, start, stop)))
+    except BaseException as exc:  # noqa: BLE001 — everything must be reported
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _run_sharded(
+    config: FleetConfig,
+    plan: Sequence[Shard],
+    max_workers: int | None,
+    mp_context: str | None,
+    max_attempts: int,
+    on_progress: Callable[[int, int], None] | None = None,
+) -> list[dict[str, list[int]]]:
+    """Supervised shard execution; every shard must complete.
+
+    Unlike the study supervisor there is no quarantine escape hatch: a
+    partial scoreboard would silently break byte-reproducibility, so a
+    shard that exhausts its attempts raises :class:`SchedulerError`.
+    Retries are safe because workers are pure functions of
+    ``(config, start, stop)``.
+    """
+    from multiprocessing.connection import wait as conn_wait
+
+    from repro.study.sharded import _resolve_context
+
+    ctx = _resolve_context(mp_context)
+    workers = (
+        max(1, min(len(plan), max_workers)) if max_workers else len(plan)
+    )
+    pending = list(reversed(plan))
+    running: dict = {}
+    attempts: dict[int, int] = {}
+    batches: dict[int, dict[str, list[int]]] = {}
+    procs: dict[int, object] = {}
+
+    def _launch(shard: Shard) -> None:
+        attempts[shard.index] = attempts.get(shard.index, 0) + 1
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_fleet_worker_main,
+            args=(send_conn, config, shard.start, shard.stop),
+            daemon=True,
+            name=f"uucs-fleet-{shard.index}",
+        )
+        proc.start()
+        send_conn.close()
+        running[recv_conn] = shard
+        procs[shard.index] = proc
+
+    def _reap(shard: Shard, conn) -> None:
+        running.pop(conn, None)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        proc = procs.pop(shard.index, None)
+        if proc is not None:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+
+    def _failed(shard: Shard, detail: str) -> None:
+        if attempts[shard.index] >= max_attempts:
+            raise SchedulerError(
+                f"fleet shard {shard.index} failed after "
+                f"{attempts[shard.index]} attempts: {detail}"
+            )
+        pending.append(shard)
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                _launch(pending.pop())
+            for conn in conn_wait(list(running)):
+                shard = running.get(conn)
+                if shard is None:
+                    continue
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    _reap(shard, conn)
+                    _failed(shard, "worker died without replying")
+                    continue
+                _reap(shard, conn)
+                kind, payload = (
+                    message
+                    if isinstance(message, tuple) and len(message) == 2
+                    else ("error", f"malformed worker reply: {message!r}")
+                )
+                if kind == "ok" and isinstance(payload, dict):
+                    batches[shard.index] = payload
+                    if on_progress is not None:
+                        on_progress(len(batches), len(plan))
+                else:
+                    _failed(shard, str(payload))
+    finally:
+        for conn, shard in list(running.items()):
+            _reap(shard, conn)
+    return [batches[shard.index] for shard in plan]
+
+
+def _record_scoreboard(telemetry: Telemetry, board: Scoreboard) -> None:
+    """Scheduler metric families + decision events (caller checked
+    ``enabled``)."""
+    metrics = telemetry.metrics
+    harvested = metrics.counter(
+        "uucs_sched_harvested_resource_seconds_total",
+        "Resource-seconds (level x seconds) harvested by the scheduler.",
+        unit="seconds",
+        labelnames=("task", "resource"),
+    )
+    denials = metrics.counter(
+        "uucs_sched_admission_denials_total",
+        "Borrow requests denied by scheduler admission control.",
+        labelnames=("task", "resource"),
+    )
+    ceiling = metrics.gauge(
+        "uucs_sched_ceiling",
+        "Mean granted borrowing ceiling per scheduler cell.",
+        unit="level",
+        labelnames=("task", "resource"),
+    )
+    for cell in board.cells:
+        labels = {"task": cell.task, "resource": cell.resource}
+        if cell.harvested_ms:
+            harvested.inc(cell.harvested_ms / 1000.0, **labels)
+        if cell.denials:
+            denials.inc(cell.denials, **labels)
+        ceiling.set(round(cell.mean_ceiling, 4), **labels)
+        telemetry.emit(
+            "scheduler.decision",
+            policy=board.config.policy,
+            task=cell.task,
+            resource=cell.resource,
+            decisions=cell.decisions,
+            admitted=cell.admitted,
+            denials=cell.denials,
+            discomforts=cell.discomforts,
+            harvested_s=round(cell.harvested_ms / 1000.0, 3),
+            mean_ceiling=round(cell.mean_ceiling, 4),
+        )
+
+
+def run_fleet(
+    config: FleetConfig | None = None,
+    shards: int = 1,
+    max_workers: int | None = None,
+    mp_context: str | None = None,
+    max_attempts: int = 3,
+    on_progress: Callable[[int, int], None] | None = None,
+) -> Scoreboard:
+    """Run one fleet simulation; byte-identical for any ``shards``.
+
+    ``shards=1`` runs in-process; larger counts fan client ranges out to
+    supervised worker processes (dead workers are relaunched up to
+    ``max_attempts`` times, then the run fails — a partial scoreboard
+    is never returned).  ``on_progress(done, total)`` is called after
+    each shard completes in the sharded path.
+
+    When telemetry is enabled the scoreboard lands in the
+    ``uucs_sched_*`` metric families and one ``scheduler.decision``
+    event per cell; disabled telemetry records nothing and never
+    affects the simulation itself.
+    """
+    if config is None:
+        config = FleetConfig()
+    if shards < 1:
+        raise SchedulerError(f"shards must be >= 1, got {shards}")
+    telemetry = get_telemetry()
+    started = time.perf_counter()
+    with telemetry.span(
+        "scheduler.fleet",
+        policy=config.policy,
+        clients=config.clients,
+        epochs=config.epochs,
+        seed=config.seed,
+        shards=shards,
+    ) as span:
+        if shards == 1:
+            batches = [simulate_clients(config, 0, config.clients)]
+            if on_progress is not None:
+                on_progress(1, 1)
+        else:
+            plan = shard_ranges(config.clients, shards)
+            batches = _run_sharded(
+                config, plan, max_workers, mp_context, max_attempts,
+                on_progress,
+            )
+        board = _scoreboard(
+            config,
+            _merge_aggregates(batches),
+            elapsed_s=time.perf_counter() - started,
+        )
+        span.annotate(
+            decisions=board.decisions,
+            discomforts=board.discomforts,
+            harvested_ms=board.harvested_ms,
+        )
+        if telemetry.enabled:
+            _record_scoreboard(telemetry, board)
+    return board

@@ -1,0 +1,382 @@
+"""Harvesting scheduler policies: how much to borrow, and from whom.
+
+The paper's closing argument (§5) is that a resource harvester should
+not pick one global contention cap: it should *measure* user comfort and
+borrow up to each (task, resource) cell's comfort threshold.  This
+module turns that argument into three competing, swappable policies:
+
+* ``static`` — the strawman every deployment starts with: one fixed
+  fraction of each cell's contention cap, no feedback, no admission
+  control.
+* ``aimd`` — the TCP-style feedback loop already shipped as
+  :class:`~repro.throttle.controller.FeedbackController`: multiplicative
+  backoff on discomfort, additive recovery while comfortable.
+* ``cdf`` — the paper's proposal: admission control plus a dynamic
+  throttle driven by the measured discomfort CDF.  The policy feeds every
+  discomfort level into the same ``uucs_discomfort_level`` histogram the
+  dashboard federates, recomputes ``c_a`` through the *same*
+  :func:`repro.telemetry.web.comfort_cells` computation the fleet view
+  displays, and keeps its ceiling a safety margin below ``c_a`` — where
+  ``a`` is the configured discomfort-event budget.  When a cell's
+  realized discomfort rate overruns the budget, new borrow requests for
+  that cell are denied until the rate amortizes back under it.
+
+Policies are deterministic value machines: they draw no randomness and
+read no clocks, so a fleet simulation over them is byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.core.resources import CONTENTION_LIMITS, Resource
+from repro.core.session import DISCOMFORT_LEVEL_BUCKETS
+from repro.errors import SchedulerError
+from repro.paperdata import RAMP_PARAMS
+from repro.telemetry import Telemetry
+from repro.telemetry.aggregate import RegistrySnapshot
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.web import comfort_cells
+from repro.throttle import FeedbackController, Throttle
+
+__all__ = [
+    "SCHEDULER_POLICIES",
+    "AIMDPolicy",
+    "CDFPolicy",
+    "SchedulerDecision",
+    "SchedulerPolicy",
+    "StaticPolicy",
+    "build_policy",
+    "cell_cap",
+]
+
+
+def cell_cap(task: str, resource: Resource) -> float:
+    """The borrowing ceiling a (task, resource) cell may never exceed.
+
+    The study ramps (:data:`~repro.paperdata.RAMP_PARAMS`) explored each
+    cell up to a per-cell maximum; outside the studied cells the
+    resource-wide :data:`~repro.core.resources.CONTENTION_LIMITS` cap
+    applies.  The cap is also what keeps every policy's ceiling inside
+    :meth:`~repro.throttle.throttle.Throttle.set_ceiling`'s envelope.
+    """
+    limit = CONTENTION_LIMITS[resource]
+    ramp = RAMP_PARAMS.get((task, resource))
+    return min(ramp[0], limit) if ramp is not None else limit
+
+
+@dataclass(frozen=True)
+class SchedulerDecision:
+    """One admission-control verdict for a borrow request."""
+
+    #: Whether the request may borrow at all this epoch.
+    admitted: bool
+    #: The contention ceiling granted (the cell's current setpoint,
+    #: reported even on denial so callers can log the withheld level).
+    ceiling: float
+
+
+class SchedulerPolicy:
+    """Base class: per-cell admission + ceiling decisions from feedback.
+
+    Subclasses keep whatever per-(task, resource) state they need; the
+    fleet driver calls :meth:`decide` once per borrow request and then
+    reports the outcome through exactly one of :meth:`on_discomfort` /
+    :meth:`on_comfortable`.  Implementations must be deterministic —
+    no randomness, no wall clocks — so seeded fleet runs replay exactly.
+    """
+
+    #: Registry key; subclasses override.
+    name: ClassVar[str] = ""
+
+    @classmethod
+    def build(cls, budget: float = 0.05) -> "SchedulerPolicy":
+        """Construct with default tunables; ``budget`` where meaningful.
+
+        ``static`` and ``aimd`` have no discomfort budget to target and
+        ignore the argument; ``cdf`` adopts it.
+        """
+        return cls()
+
+    def decide(self, task: str, resource: Resource) -> SchedulerDecision:
+        """Admission verdict + granted ceiling for one borrow request."""
+        raise NotImplementedError
+
+    def on_discomfort(self, task: str, resource: Resource, level: float) -> None:
+        """The user reacted while borrowing at ``level`` in this cell."""
+        raise NotImplementedError
+
+    def on_comfortable(
+        self, task: str, resource: Resource, elapsed_s: float
+    ) -> None:
+        """``elapsed_s`` seconds of borrowing passed without a reaction."""
+        raise NotImplementedError
+
+
+#: name -> policy class; :func:`build_policy` and the CLI look up here.
+SCHEDULER_POLICIES: dict[str, type[SchedulerPolicy]] = {}
+
+
+def _register(cls: type[SchedulerPolicy]) -> type[SchedulerPolicy]:
+    SCHEDULER_POLICIES[cls.name] = cls
+    return cls
+
+
+def build_policy(name: str, budget: float = 0.05) -> SchedulerPolicy:
+    """Instantiate the registered policy ``name`` with default tunables."""
+    if not 0.0 < budget < 1.0:
+        raise SchedulerError(f"budget must be in (0, 1), got {budget}")
+    try:
+        cls = SCHEDULER_POLICIES[name]
+    except KeyError:
+        raise SchedulerError(
+            f"unknown scheduler policy {name!r}; "
+            f"available: {', '.join(sorted(SCHEDULER_POLICIES))}"
+        ) from None
+    return cls.build(budget=budget)
+
+
+@_register
+class StaticPolicy(SchedulerPolicy):
+    """Fixed-ceiling borrowing: ``fraction`` of each cell's cap, always.
+
+    No feedback path and no admission control — the pre-measurement
+    baseline the paper argues against.  Its discomfort rate is whatever
+    the population's tolerance CDF says it is at that fixed level.
+    """
+
+    name: ClassVar[str] = "static"
+
+    def __init__(self, fraction: float = 0.5):
+        if not 0.0 < fraction <= 1.0:
+            raise SchedulerError(
+                f"fraction must be in (0, 1], got {fraction}"
+            )
+        self._fraction = float(fraction)
+
+    def decide(self, task: str, resource: Resource) -> SchedulerDecision:
+        return SchedulerDecision(True, self._fraction * cell_cap(task, resource))
+
+    def on_discomfort(self, task: str, resource: Resource, level: float) -> None:
+        pass  # deaf by design
+
+    def on_comfortable(
+        self, task: str, resource: Resource, elapsed_s: float
+    ) -> None:
+        pass
+
+
+@_register
+class AIMDPolicy(SchedulerPolicy):
+    """Per-cell AIMD feedback via :class:`FeedbackController`.
+
+    Each (task, resource) cell lazily gets its own controller starting
+    at the cell cap (AIMD probes from the top): discomfort halves the
+    ceiling, comfortable time recovers it additively at
+    ``recovery_fraction`` of the cap per minute.  Every request is
+    admitted — AIMD shapes *how much* is borrowed, never *whether*.
+    """
+
+    name: ClassVar[str] = "aimd"
+
+    def __init__(
+        self,
+        backoff: float = 0.5,
+        recovery_fraction: float = 0.05,
+        floor_fraction: float = 0.02,
+    ):
+        if not 0.0 < backoff < 1.0:
+            raise SchedulerError(f"backoff must be in (0,1), got {backoff}")
+        if recovery_fraction < 0:
+            raise SchedulerError("recovery_fraction must be >= 0")
+        if not 0.0 <= floor_fraction < 1.0:
+            raise SchedulerError("floor_fraction must be in [0, 1)")
+        self._backoff = float(backoff)
+        self._recovery_fraction = float(recovery_fraction)
+        self._floor_fraction = float(floor_fraction)
+        self._controllers: dict[tuple[str, Resource], FeedbackController] = {}
+        # One explicitly-disabled hub shared by every controller: policy
+        # decisions must never write metrics behind the fleet driver's
+        # back (and must cost nothing when telemetry is off).
+        self._telemetry = Telemetry.disabled()
+
+    def _controller(self, task: str, resource: Resource) -> FeedbackController:
+        cell = (task, resource)
+        controller = self._controllers.get(cell)
+        if controller is None:
+            cap = cell_cap(task, resource)
+            controller = self._controllers[cell] = FeedbackController(
+                Throttle(resource),
+                max_level=cap,
+                backoff=self._backoff,
+                recovery_per_minute=self._recovery_fraction * cap,
+                floor=self._floor_fraction * cap,
+                telemetry=self._telemetry,
+            )
+        return controller
+
+    def decide(self, task: str, resource: Resource) -> SchedulerDecision:
+        return SchedulerDecision(
+            True, self._controller(task, resource).throttle.ceiling
+        )
+
+    def on_discomfort(self, task: str, resource: Resource, level: float) -> None:
+        self._controller(task, resource).on_discomfort()
+
+    def on_comfortable(
+        self, task: str, resource: Resource, elapsed_s: float
+    ) -> None:
+        self._controller(task, resource).on_comfortable(elapsed_s)
+
+
+@_register
+class CDFPolicy(SchedulerPolicy):
+    """CDF-driven admission control + dynamic throttle (the paper's §5).
+
+    Ceiling control: each cell starts probing at ``start_fraction`` of
+    its cap and climbs additively toward the cap while comfortable.
+    Every discomfort event is observed into a private
+    ``uucs_discomfort_level`` histogram (the client instrument's exact
+    shape: same name, same label set, same buckets), and the cell's
+    ``c_a`` — the ``budget``-quantile of that measured discomfort CDF —
+    is recomputed through :func:`repro.telemetry.web.comfort_cells`,
+    the same code path the fleet dashboard renders.  On discomfort the
+    ceiling drops straight to ``safety * c_a`` — the measured
+    budget-compliant setpoint — instead of blindly halving (blind
+    multiplicative backoff is used only before the first ``c_a``
+    exists), so one event re-seats the cell where the CDF says at most
+    a ``budget`` fraction of reactions lie below.
+
+    Admission control: a cell whose realized discomfort-event rate
+    (events per decision) exceeds ``budget`` stops admitting requests.
+    Denied epochs still count as decisions, so the rate amortizes back
+    under budget and borrowing resumes — a measured duty cycle rather
+    than a permanent blacklist.
+    """
+
+    name: ClassVar[str] = "cdf"
+
+    def __init__(
+        self,
+        budget: float = 0.05,
+        start_fraction: float = 0.1,
+        climb_fraction: float = 0.3,
+        backoff: float = 0.5,
+        soft_backoff: float = 0.9,
+        safety: float = 0.75,
+        floor_fraction: float = 0.02,
+        min_observations: int = 4,
+    ):
+        if not 0.0 < budget < 1.0:
+            raise SchedulerError(f"budget must be in (0, 1), got {budget}")
+        if not 0.0 < backoff < 1.0:
+            raise SchedulerError(f"backoff must be in (0,1), got {backoff}")
+        if not 0.0 < soft_backoff < 1.0:
+            raise SchedulerError(
+                f"soft_backoff must be in (0,1), got {soft_backoff}"
+            )
+        if not 0.0 < safety <= 1.0:
+            raise SchedulerError(f"safety must be in (0, 1], got {safety}")
+        if not 0.0 < start_fraction <= 1.0:
+            raise SchedulerError("start_fraction must be in (0, 1]")
+        if climb_fraction <= 0:
+            raise SchedulerError("climb_fraction must be > 0")
+        if not 0.0 <= floor_fraction < 1.0:
+            raise SchedulerError("floor_fraction must be in [0, 1)")
+        if min_observations < 1:
+            raise SchedulerError("min_observations must be >= 1")
+        self._budget = float(budget)
+        self._start = float(start_fraction)
+        self._climb = float(climb_fraction)
+        self._backoff = float(backoff)
+        self._soft_backoff = float(soft_backoff)
+        self._safety = float(safety)
+        self._floor = float(floor_fraction)
+        self._min_observations = int(min_observations)
+        self._registry = MetricsRegistry()
+        self._histogram = self._registry.histogram(
+            "uucs_discomfort_level",
+            "Contention levels at which this scheduler drew discomfort.",
+            unit="level",
+            labelnames=("task", "resource"),
+            buckets=DISCOMFORT_LEVEL_BUCKETS,
+        )
+        self._ceilings: dict[tuple[str, Resource], float] = {}
+        self._decisions: dict[tuple[str, Resource], int] = {}
+        self._discomforts: dict[tuple[str, Resource], int] = {}
+        self._c_a: dict[tuple[str, Resource], float] = {}
+        self._dirty = False
+
+    @classmethod
+    def build(cls, budget: float = 0.05) -> "CDFPolicy":
+        """Construct targeting ``budget`` discomfort events per decision."""
+        return cls(budget=budget)
+
+    @property
+    def budget(self) -> float:
+        """Target discomfort-event rate (events per borrow decision)."""
+        return self._budget
+
+    def _c_a_for(self, cell: tuple[str, Resource]) -> float | None:
+        """This cell's measured ``c_a``, recomputed lazily when stale."""
+        if self._dirty:
+            snapshot = RegistrySnapshot.of(self._registry)
+            self._c_a = {}
+            for row in comfort_cells(snapshot, quantile=self._budget):
+                c_a = row.get("c_q")
+                if c_a is None:
+                    continue
+                key = (str(row["task"]), Resource.parse(str(row["resource"])))
+                self._c_a[key] = float(c_a)  # type: ignore[arg-type]
+            self._dirty = False
+        return self._c_a.get(cell)
+
+    def _ceiling(self, cell: tuple[str, Resource]) -> float:
+        ceiling = self._ceilings.get(cell)
+        if ceiling is None:
+            ceiling = self._ceilings[cell] = self._start * cell_cap(*cell)
+        return ceiling
+
+    def decide(self, task: str, resource: Resource) -> SchedulerDecision:
+        cell = (task, resource)
+        ceiling = self._ceiling(cell)
+        decisions = self._decisions.get(cell, 0)
+        discomforts = self._discomforts.get(cell, 0)
+        self._decisions[cell] = decisions + 1
+        over_budget = (
+            decisions >= self._min_observations
+            and discomforts > self._budget * decisions
+        )
+        return SchedulerDecision(not over_budget, ceiling)
+
+    def on_discomfort(self, task: str, resource: Resource, level: float) -> None:
+        cell = (task, resource)
+        self._discomforts[cell] = self._discomforts.get(cell, 0) + 1
+        self._histogram.observe(
+            float(level), task=task, resource=resource.value
+        )
+        self._dirty = True
+        cap = cell_cap(task, resource)
+        floor = self._floor * cap
+        ceiling = self._ceiling(cell)
+        c_a = self._c_a_for(cell)
+        if c_a is not None:
+            # The measured CDF says where to sit: the budget-quantile of
+            # observed discomfort levels, shaded by the safety margin.
+            # The soft step keeps every discomfort a strict decrease even
+            # when the ceiling is already at or below the CDF target.
+            target = min(ceiling * self._soft_backoff, self._safety * c_a)
+        else:
+            # No measured CDF yet: blind multiplicative backoff.
+            target = ceiling * self._backoff
+        self._ceilings[cell] = max(floor, target)
+
+    def on_comfortable(
+        self, task: str, resource: Resource, elapsed_s: float
+    ) -> None:
+        cell = (task, resource)
+        cap = cell_cap(task, resource)
+        floor = self._floor * cap
+        gain = self._climb * cap * elapsed_s / 60.0
+        self._ceilings[cell] = max(floor, min(cap, self._ceiling(cell) + gain))

@@ -473,7 +473,14 @@ class MetricsExporter:
                     "discomforts": discomforts,
                     "events": events,
                 }
-                if events or client_id not in self._row_sent:
+                # Scheduler pushes never grow the discomfort histogram
+                # (their feedback lives in uucs_sched_* families), so a
+                # light delta would leave the fleet table's scheduler
+                # columns stale; such clients always get a full row.
+                # They push at shard-completion cadence, so this stays
+                # off the per-client hot path.
+                sched = any(key.startswith("uucs_sched_") for key in snap)
+                if events or sched or client_id not in self._row_sent:
                     payload["row"] = _web.client_fleet_row(
                         client_id,
                         snap,

@@ -22,6 +22,7 @@ import threading
 from typing import Iterable, Mapping, Sequence
 
 from repro.errors import ValidationError
+from repro.util.comfort import quantile_from_buckets
 
 __all__ = [
     "Counter",
@@ -55,38 +56,9 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def quantile_from_buckets(
-    bounds: Sequence[float],
-    cumulative: Sequence[int],
-    total: int,
-    q: float,
-) -> float | None:
-    """Estimate the ``q``-quantile from cumulative histogram buckets.
-
-    ``bounds`` are the finite upper bucket bounds (ascending) and
-    ``cumulative[i]`` is the number of observations ``<= bounds[i]``.
-    The estimate linearly interpolates within the bucket holding the
-    target rank, assuming observations are uniform inside it, so the
-    error is at most one bucket width.  Observations above the highest
-    finite bound cannot be located and clamp to ``bounds[-1]`` (the
-    Prometheus convention).  Returns ``None`` when there are no
-    observations.
-    """
-    if not 0.0 <= q <= 1.0:
-        raise ValidationError(f"quantile must be in [0, 1], got {q}")
-    if total <= 0:
-        return None
-    rank = q * total
-    prev_cum = 0
-    for i, (bound, cum) in enumerate(zip(bounds, cumulative)):
-        if cum >= rank and cum > prev_cum:
-            # Lower edge: previous bound, or 0 for a positive first bucket
-            # (negative observations in the first bucket clamp to its bound).
-            lower = bounds[i - 1] if i else (0.0 if bound > 0 else bound)
-            fraction = max(0.0, (rank - prev_cum) / (cum - prev_cum))
-            return lower + (bound - lower) * min(1.0, fraction)
-        prev_cum = cum
-    return float(bounds[-1])
+# quantile_from_buckets lives in repro.util.comfort (one implementation
+# for the telemetry, dashboard, scheduler, and analysis layers) and is
+# re-exported here for its historical consumers.
 
 
 def _format_labels(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:

@@ -39,7 +39,7 @@ from collections.abc import Mapping
 from typing import Sequence
 
 from repro.telemetry.aggregate import RegistrySnapshot
-from repro.telemetry.metrics import quantile_from_buckets
+from repro.util.comfort import c_quantile
 
 __all__ = [
     "HEADROOM_QUANTILE",
@@ -48,6 +48,7 @@ __all__ = [
     "discomfort_events",
     "fleet_totals",
     "format_sse",
+    "scheduler_summary",
     "snapshot_sample",
     "study_progress",
 ]
@@ -61,6 +62,9 @@ HEADROOM_QUANTILE = 0.05
 #: scatter).
 _DISCOMFORT_HISTOGRAM = "uucs_discomfort_level"
 _BORROW_GAUGE = "uucs_throttle_ceiling"
+_SCHED_HARVESTED = "uucs_sched_harvested_resource_seconds_total"
+_SCHED_DENIALS = "uucs_sched_admission_denials_total"
+_SCHED_CEILING = "uucs_sched_ceiling"
 _RUN_COUNTERS = (
     # (metric, index of the "outcome" label in the series key)
     ("uucs_session_runs_total", 1),
@@ -107,6 +111,30 @@ def _run_totals(snapshot: RegistrySnapshot) -> tuple[float, float] | None:
                 discomforts += value
         return total, discomforts
     return None
+
+
+def scheduler_summary(
+    snapshot: RegistrySnapshot,
+) -> tuple[float | None, float | None, float | None]:
+    """``(harvested_s, denials, mean ceiling)`` from scheduler families.
+
+    All three are ``None`` for registries that never ran a harvesting
+    scheduler, so plain study/client rows render without scheduler
+    columns cluttering in as zeros.
+    """
+    if (
+        _SCHED_HARVESTED not in snapshot
+        and _SCHED_DENIALS not in snapshot
+        and _SCHED_CEILING not in snapshot
+    ):
+        return None, None, None
+    harvested = sum(_numeric_series(snapshot, _SCHED_HARVESTED).values())
+    denials = sum(_numeric_series(snapshot, _SCHED_DENIALS).values())
+    ceilings = list(_numeric_series(snapshot, _SCHED_CEILING).values())
+    mean_ceiling = (
+        round(sum(ceilings) / len(ceilings), 4) if ceilings else None
+    )
+    return round(harvested, 3), denials, mean_ceiling
 
 
 def snapshot_sample(
@@ -182,18 +210,9 @@ def comfort_cells(
         if len(parts) != 2:
             continue  # labels are (task, resource); anything else is noise
         task, resource = parts
-        buckets = data.get("buckets", {})
-        c_q = None
-        if isinstance(buckets, Mapping) and buckets:
-            pairs = sorted(
-                (float(bound), int(count)) for bound, count in buckets.items()
-            )
-            c_q = quantile_from_buckets(
-                [bound for bound, _ in pairs],
-                [count for _, count in pairs],
-                int(data.get("count", 0)),
-                quantile,
-            )
+        c_q = c_quantile(
+            data.get("buckets", {}), int(data.get("count", 0)), quantile
+        )
         cells.append(
             {
                 "task": task,
@@ -231,6 +250,7 @@ def client_fleet_row(
     cells = comfort_cells(snapshot, quantile, borrow=borrow_gauge)
     headrooms = [c["headroom"] for c in cells if c["headroom"] is not None]
     c_qs = [c["c_q"] for c in cells if c["c_q"] is not None]
+    sched_harvested, sched_denials, sched_ceiling = scheduler_summary(snapshot)
     return {
         "client_id": client_id,
         "age_s": round(age_s, 3) if age_s is not None else None,
@@ -244,6 +264,10 @@ def client_fleet_row(
         # (task, resource) pair, exactly as §5's throttle would see it.
         "min_c_q": min(c_qs) if c_qs else None,
         "min_headroom": min(headrooms) if headrooms else None,
+        # Scheduler columns; None when this registry runs no scheduler.
+        "sched_harvested_s": sched_harvested,
+        "sched_denials": sched_denials,
+        "sched_ceiling": sched_ceiling,
         "cells": cells,
     }
 

@@ -181,6 +181,8 @@ svg.spark line { stroke: var(--grid); stroke-width: 1; }
       <th>activity</th>
       <th class="num">borrow</th><th class="num">c₀.₀₅</th>
       <th class="num">headroom</th><th class="num">discomforts</th>
+      <th class="num">harvested s</th><th class="num">denied</th>
+      <th class="num">sched ceiling</th>
     </tr></thead>
     <tbody id="clients-body"></tbody>
   </table>
@@ -300,6 +302,9 @@ svg.spark line { stroke: var(--grid); stroke-width: 1; }
         '<td class="num">' + fmt(r.min_c_q, 3) + "</td>" +
         '<td class="num">' + fmt(r.min_headroom, 3) + "</td>" +
         '<td class="num">' + fmt(r.discomforts, 0) + "</td>" +
+        '<td class="num">' + fmt(r.sched_harvested_s, 1) + "</td>" +
+        '<td class="num">' + fmt(r.sched_denials, 0) + "</td>" +
+        '<td class="num">' + fmt(r.sched_ceiling, 2) + "</td>" +
         "</tr>";
     }).join("");
   }

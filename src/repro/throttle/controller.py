@@ -9,6 +9,8 @@ UUCS client collects for measurement thus becomes a control input.
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import ThrottleError
 from repro.telemetry import Telemetry, get_telemetry
 from repro.throttle.throttle import Throttle
@@ -44,21 +46,22 @@ class FeedbackController:
         self._discomfort_events = 0
         self._telemetry = telemetry
         throttle.set_ceiling(max_level)
-        self._record_ceiling(max_level)
+        telemetry_hub = self.telemetry
+        if telemetry_hub.enabled:
+            self._record_ceiling(telemetry_hub, max_level)
 
     @property
     def telemetry(self) -> Telemetry:
         """The hub this controller reports to (instance or process-wide)."""
         return self._telemetry if self._telemetry is not None else get_telemetry()
 
-    def _record_ceiling(self, ceiling: float) -> None:
-        telemetry = self.telemetry
-        if telemetry.enabled:
-            telemetry.metrics.gauge(
-                "uucs_throttle_ceiling",
-                "Current borrowing-contention setpoint (throttle ceiling).",
-                unit="level",
-            ).set(ceiling)
+    def _record_ceiling(self, telemetry: Telemetry, ceiling: float) -> None:
+        """Gauge write; callers reach here only on the enabled path."""
+        telemetry.metrics.gauge(
+            "uucs_throttle_ceiling",
+            "Current borrowing-contention setpoint (throttle ceiling).",
+            unit="level",
+        ).set(ceiling)
 
     @property
     def throttle(self) -> Throttle:
@@ -92,17 +95,28 @@ class FeedbackController:
                 unit="level",
             ).inc(old - new)
             telemetry.emit("throttle.backoff", old=old, new=new)
-        self._record_ceiling(new)
+            self._record_ceiling(telemetry, new)
         return new
 
     def on_comfortable(self, elapsed_seconds: float) -> float:
-        """Additive recovery for ``elapsed_seconds`` of quiet operation."""
-        if elapsed_seconds < 0:
+        """Additive recovery for ``elapsed_seconds`` of quiet operation.
+
+        The new ceiling is clamped to ``[floor, max_level]`` no matter
+        how large the elapsed gap is — a client waking from an hours-long
+        suspend must recover to exactly ``max_level``, never beyond, and
+        never below the floor it backed off to.
+        """
+        if not math.isfinite(elapsed_seconds) or elapsed_seconds < 0:
             raise ThrottleError(
-                f"elapsed_seconds must be >= 0, got {elapsed_seconds}"
+                f"elapsed_seconds must be finite and >= 0, "
+                f"got {elapsed_seconds}"
             )
         gain = self._recovery * elapsed_seconds / 60.0
-        new = min(self._max_level, self._throttle.ceiling + gain)
+        new = min(
+            self._max_level, max(self._floor, self._throttle.ceiling + gain)
+        )
         self._throttle.set_ceiling(new)
-        self._record_ceiling(new)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            self._record_ceiling(telemetry, new)
         return new

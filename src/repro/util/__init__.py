@@ -1,5 +1,6 @@
 """Shared utilities: seeded RNG plumbing, statistics, tables, time series."""
 
+from repro.util.comfort import c_quantile, quantile_from_buckets
 from repro.util.rng import derive_rng, ensure_rng, spawn_child
 from repro.util.stats import (
     ConfidenceInterval,
@@ -19,12 +20,14 @@ __all__ = [
     "SampledSeries",
     "TTestResult",
     "TextTable",
+    "c_quantile",
     "derive_rng",
     "ecdf",
     "ensure_rng",
     "format_float",
     "mean_confidence_interval",
     "paired_t_test",
+    "quantile_from_buckets",
     "quantile_from_ecdf",
     "spawn_child",
     "unpaired_t_test",

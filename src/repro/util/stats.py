@@ -14,6 +14,7 @@ import numpy as np
 from scipy import stats as sps
 
 from repro.errors import InsufficientDataError, ValidationError
+from repro.util.comfort import quantile_from_ecdf
 
 __all__ = [
     "ConfidenceInterval",
@@ -79,25 +80,9 @@ def ecdf(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return x, f
 
 
-def quantile_from_ecdf(
-    x: np.ndarray, f: np.ndarray, q: float
-) -> float:
-    """Smallest ``x`` whose CDF value reaches ``q``.
-
-    Raises :class:`InsufficientDataError` when the CDF plateaus below ``q``
-    (the paper's censored region, where remaining users never reacted).
-    """
-    if not 0.0 < q <= 1.0:
-        raise ValidationError(f"quantile q must be in (0, 1], got {q}")
-    x = np.asarray(x, dtype=float)
-    f = np.asarray(f, dtype=float)
-    if x.size == 0 or f.size == 0 or f[-1] < q:
-        raise InsufficientDataError(
-            f"CDF never reaches q={q} (max coverage "
-            f"{0.0 if f.size == 0 else f[-1]:.3f})"
-        )
-    idx = int(np.searchsorted(f, q, side="left"))
-    return float(x[idx])
+# quantile_from_ecdf lives in repro.util.comfort (shared with the
+# bucket-based telemetry estimator) and is re-exported here for its
+# historical consumers.
 
 
 def mean_confidence_interval(

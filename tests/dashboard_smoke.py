@@ -85,8 +85,12 @@ def validate(instance, schema, path="$"):
     return errors
 
 
-def synthetic_registry(runs, levels, borrow):
-    """A client-shaped registry: run counter, borrow gauge, discomfort CDF."""
+def synthetic_registry(runs, levels, borrow, sched=None):
+    """A client-shaped registry: run counter, borrow gauge, discomfort CDF.
+
+    ``sched=(harvested_s, denials, ceiling)`` additionally populates the
+    harvesting-scheduler metric families a ``uucs harvest`` run pushes.
+    """
     from repro.core.session import DISCOMFORT_LEVEL_BUCKETS
     from repro.telemetry.metrics import MetricsRegistry
 
@@ -106,6 +110,23 @@ def synthetic_registry(runs, levels, borrow):
     )
     for level in levels:
         histogram.observe(level, task="word", resource="cpu")
+    if sched is not None:
+        harvested_s, denials, ceiling = sched
+        registry.counter(
+            "uucs_sched_harvested_resource_seconds_total",
+            "harvested",
+            labelnames=("task", "resource"),
+        ).inc(harvested_s, task="word", resource="cpu")
+        registry.counter(
+            "uucs_sched_admission_denials_total",
+            "denials",
+            labelnames=("task", "resource"),
+        ).inc(denials, task="word", resource="cpu")
+        registry.gauge(
+            "uucs_sched_ceiling",
+            "ceiling",
+            labelnames=("task", "resource"),
+        ).set(ceiling, task="word", resource="cpu")
     return registry
 
 
@@ -150,9 +171,10 @@ def main():
         host, port = exporter.address
         base = f"http://{host}:{port}"
 
-        # Two synthetic clients: one comfortable, one near its threshold.
+        # Two synthetic clients: a harvesting scheduler and a plain client.
         push_snapshot(host, port, "smoke-a",
-                      synthetic_registry(20, [0.5, 0.9], 0.30).snapshot())
+                      synthetic_registry(20, [0.5, 0.9], 0.30,
+                                         sched=(432.5, 3, 1.25)).snapshot())
         push_snapshot(host, port, "smoke-b",
                       synthetic_registry(12, [0.15], 0.10).snapshot())
 
@@ -176,6 +198,15 @@ def main():
         check(fleet["totals"]["active"] == 2, "both clients should be fresh")
         check(all(row["min_headroom"] is not None for row in fleet["clients"]),
               "comfort headroom missing from a pushed client")
+        rows = {row["client_id"]: row for row in fleet["clients"]}
+        check(rows["smoke-a"]["sched_harvested_s"] == 432.5,
+              f"sched_harvested_s {rows['smoke-a']['sched_harvested_s']!r}")
+        check(rows["smoke-a"]["sched_denials"] == 3.0,
+              f"sched_denials {rows['smoke-a']['sched_denials']!r}")
+        check(rows["smoke-a"]["sched_ceiling"] == 1.25,
+              f"sched_ceiling {rows['smoke-a']['sched_ceiling']!r}")
+        check(rows["smoke-b"]["sched_harvested_s"] is None,
+              "non-scheduler client grew scheduler columns")
         check(len(fleet["events"]) == 2, "expected one feed event per client")
         print(f"ok GET /fleet   schema valid, {len(fleet['clients'])} rows")
 
@@ -201,12 +232,24 @@ def main():
             # A third push must arrive as a live SSE frame, no polling.
             push_snapshot(host, port, "smoke-a",
                           synthetic_registry(25, [0.5, 0.9, 1.2], 0.35).snapshot())
-            push, _ = read_sse_frame(stream, buffer, "push")
+            push, buffer = read_sse_frame(stream, buffer, "push")
             check(push["data"]["client_id"] == "smoke-a", "push wrong client")
             check(push["data"]["row"]["runs"] == 25.0, "push row stale")
             check(int(push["id"]) == push["data"]["version"],
                   "SSE id and payload version diverged")
-        print("ok GET /stream  hello + live push frame")
+            # A scheduler push grows no discomfort histogram, but must
+            # still carry a full row so the sched columns update live.
+            push_snapshot(host, port, "smoke-a",
+                          synthetic_registry(25, [0.5, 0.9, 1.2], 0.35,
+                                             sched=(500.0, 4, 1.5)).snapshot())
+            sched_push, _ = read_sse_frame(stream, buffer, "push")
+            check(sched_push["data"]["client_id"] == "smoke-a",
+                  "scheduler push wrong client")
+            row = sched_push["data"].get("row")
+            check(row is not None, "scheduler push sent a light delta")
+            check(row["sched_harvested_s"] == 500.0,
+                  f"scheduler row stale: {row.get('sched_harvested_s')!r}")
+        print("ok GET /stream  hello + live push + scheduler row frames")
 
     print("dashboard smoke OK")
     return 0

@@ -45,6 +45,22 @@ def server_report():
     }
 
 
+def scheduler_report():
+    return {
+        "benchmark": "harvesting scheduler fleet (repro.scheduler)",
+        "results": [
+            {"policy": "static", "budget": 0.1, "decisions_per_second": 90000.0,
+             "harvested_resource_hours": 500.0, "discomfort_rate": 0.28,
+             "sha256": "cc"},
+            {"policy": "cdf", "budget": 0.1, "decisions_per_second": 40000.0,
+             "harvested_resource_hours": 650.0, "discomfort_rate": 0.10,
+             "sha256": "dd"},
+            {"policy": "cdf", "budget": 0.1, "shards": 2, "sha256": "dd",
+             "byte_identical_to_1_shard": True},
+        ],
+    }
+
+
 class TestCompareReports:
     def test_identical_reports_pass(self):
         regressions, _ = bench_check.compare_reports(
@@ -134,6 +150,53 @@ class TestCompareReports:
             regressions, _ = bench_check.compare_reports(baseline, current)
             assert any("diverged" in r for r in regressions)
 
+    def test_scheduler_pareto_dominance_is_noted(self):
+        regressions, notes = bench_check.compare_reports(
+            scheduler_report(), scheduler_report()
+        )
+        assert regressions == []
+        assert any("Pareto-dominates" in n for n in notes)
+
+    def test_scheduler_cdf_losing_harvest_fails(self):
+        current = scheduler_report()
+        current["results"][1]["harvested_resource_hours"] = 500.0  # tie
+        regressions, _ = bench_check.compare_reports(
+            scheduler_report(), current, tolerance=10.0
+        )
+        assert any("not\nstrictly more" in r or "strictly more" in r
+                   for r in regressions)
+
+    def test_scheduler_cdf_higher_discomfort_fails(self):
+        current = scheduler_report()
+        current["results"][1]["discomfort_rate"] = 0.30
+        regressions, _ = bench_check.compare_reports(
+            scheduler_report(), current, tolerance=10.0
+        )
+        assert any("discomfort rate" in r for r in regressions)
+
+    def test_scheduler_pareto_is_absolute_not_baseline_relative(self):
+        """The contract binds the current report even when the committed
+        baseline already violated it."""
+        bad = scheduler_report()
+        bad["results"][1]["harvested_resource_hours"] = 100.0
+        regressions, _ = bench_check.compare_reports(bad, bad)
+        assert any("strictly more" in r for r in regressions)
+
+    def test_scheduler_policy_cells_keyed_distinctly(self):
+        keys = {
+            bench_check._cell_key(scheduler_report(), cell)
+            for cell in scheduler_report()["results"]
+        }
+        assert len(keys) == 3
+
+    def test_scheduler_throughput_drop_fails(self):
+        current = scheduler_report()
+        current["results"][1]["decisions_per_second"] = 10000.0  # -75%
+        regressions, _ = bench_check.compare_reports(
+            scheduler_report(), current
+        )
+        assert any("decisions_per_second" in r for r in regressions)
+
     def test_mismatched_report_families_fail(self):
         regressions, _ = bench_check.compare_reports(
             study_report(), server_report()
@@ -178,6 +241,7 @@ class TestCli:
 def test_committed_baselines_load():
     """The baselines the CI gate compares against must stay parseable."""
     root = Path(__file__).resolve().parent.parent
-    for name in ("BENCH_study.json", "BENCH_server.json"):
+    for name in ("BENCH_study.json", "BENCH_server.json",
+                 "BENCH_dashboard.json", "BENCH_scheduler.json"):
         report = bench_check.load_report(root / name)
         assert report["results"], name

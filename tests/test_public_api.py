@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.machine",
     "repro.monitor",
     "repro.net",
+    "repro.scheduler",
     "repro.server",
     "repro.stores",
     "repro.study",

@@ -1,0 +1,164 @@
+"""Fleet simulation: byte-reproducibility, aggregation, CLI, telemetry."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import SchedulerError
+from repro.scheduler import FleetConfig, Scoreboard, run_fleet, simulate_clients
+from repro.scheduler.fleet import _merge_aggregates, _scoreboard
+from repro.telemetry import Telemetry, use_telemetry
+
+CONFIG = FleetConfig(policy="cdf", clients=24, epochs=8, seed=11, budget=0.1)
+
+
+def run_cli(*args):
+    return main(list(args))
+
+
+class TestSimulateClients:
+    def test_bad_range_rejected(self):
+        with pytest.raises(SchedulerError, match="bad client range"):
+            simulate_clients(CONFIG, 5, 3)
+        with pytest.raises(SchedulerError, match="bad client range"):
+            simulate_clients(CONFIG, 0, CONFIG.clients + 1)
+
+    def test_split_equals_whole(self):
+        """Client aggregates are shard-layout independent by construction."""
+        whole = simulate_clients(CONFIG, 0, CONFIG.clients)
+        split = _merge_aggregates(
+            [
+                simulate_clients(CONFIG, 0, 7),
+                simulate_clients(CONFIG, 7, 16),
+                simulate_clients(CONFIG, 16, CONFIG.clients),
+            ]
+        )
+        assert whole == split
+
+    def test_counts_are_consistent(self):
+        board = _scoreboard(
+            CONFIG, simulate_clients(CONFIG, 0, CONFIG.clients), 0.0
+        )
+        assert board.decisions > 0
+        for cell in board.cells:
+            assert cell.decisions == cell.admitted + cell.denials
+            assert cell.discomforts <= cell.admitted
+            assert cell.harvested_ms >= 0
+
+
+class TestRunFleet:
+    @pytest.mark.parametrize("policy", ["static", "aimd", "cdf"])
+    def test_same_seed_same_json(self, policy):
+        config = FleetConfig(policy=policy, clients=16, epochs=6, seed=3)
+        assert run_fleet(config).to_json() == run_fleet(config).to_json()
+
+    def test_sharded_byte_identical(self):
+        baseline = run_fleet(CONFIG, shards=1).to_json()
+        assert run_fleet(CONFIG, shards=3).to_json() == baseline
+        assert run_fleet(CONFIG, shards=5, max_workers=2).to_json() == baseline
+
+    def test_different_seed_differs(self):
+        other = FleetConfig(
+            policy="cdf", clients=24, epochs=8, seed=12, budget=0.1
+        )
+        assert run_fleet(CONFIG).to_json() != run_fleet(other).to_json()
+
+    def test_elapsed_excluded_from_json(self):
+        board = run_fleet(FleetConfig(policy="static", clients=4, epochs=2))
+        assert board.elapsed_s > 0
+        assert "elapsed" not in board.to_json()
+
+    def test_bad_shards_rejected(self):
+        with pytest.raises(SchedulerError, match="shards"):
+            run_fleet(CONFIG, shards=0)
+
+    def test_scoreboard_json_round_trips(self):
+        board = run_fleet(CONFIG)
+        data = json.loads(board.to_json())
+        assert data["config"] == CONFIG.to_dict()
+        assert data["totals"]["decisions"] == board.decisions
+        assert data["totals"]["harvested_ms"] == board.harvested_ms
+        assert len(data["cells"]) == len(board.cells)
+
+
+class TestTelemetry:
+    def test_disabled_telemetry_records_nothing(self):
+        hub = Telemetry.disabled()
+        with use_telemetry(hub):
+            run_fleet(FleetConfig(policy="static", clients=4, epochs=2))
+        assert hub.metrics.snapshot() == {}
+
+    def test_enabled_telemetry_records_scoreboard(self):
+        hub = Telemetry.in_memory()
+        with use_telemetry(hub):
+            board = run_fleet(CONFIG)
+        snapshot = hub.metrics.snapshot()
+        assert "uucs_sched_harvested_resource_seconds_total" in snapshot
+        assert "uucs_sched_admission_denials_total" in snapshot
+        assert "uucs_sched_ceiling" in snapshot
+        harvested = sum(
+            snapshot["uucs_sched_harvested_resource_seconds_total"][
+                "value"
+            ].values()
+        )
+        assert harvested == pytest.approx(board.harvested_ms / 1000.0, abs=0.01)
+        recorded = hub.events.sink.events
+        decisions = [e for e in recorded if e.name == "scheduler.decision"]
+        assert len(decisions) == len(board.cells)
+        assert any(
+            e.name == "span" and e.fields.get("span") == "scheduler.fleet"
+            for e in recorded
+        )
+
+    def test_telemetry_never_changes_the_scoreboard(self):
+        silent = run_fleet(CONFIG).to_json()
+        with use_telemetry(Telemetry()):
+            loud = run_fleet(CONFIG).to_json()
+        assert loud == silent
+
+
+class TestHarvestCLI:
+    def test_smoke_writes_scoreboard(self, tmp_path, capsys):
+        out = tmp_path / "board.json"
+        assert run_cli(
+            "harvest", "--policy", "cdf", "--clients", "12", "--epochs", "4",
+            "--budget", "0.1", "--seed", "7", "--out", str(out),
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "harvest[cdf]" in printed
+        assert "resource-hours" in printed
+        data = json.loads(out.read_text())
+        assert data["config"]["policy"] == "cdf"
+        assert data["config"]["seed"] == 7
+
+    def test_shard_counts_byte_identical(self, tmp_path, capsys):
+        boards = []
+        for shards in ("1", "3"):
+            out = tmp_path / f"board-{shards}.json"
+            assert run_cli(
+                "harvest", "--policy", "cdf", "--clients", "18",
+                "--epochs", "4", "--seed", "5", "--shards", shards,
+                "--out", str(out),
+            ) == 0
+            boards.append(out.read_bytes())
+        capsys.readouterr()
+        assert boards[0] == boards[1]
+
+    def test_bad_budget_exits_scheduler_code(self, capsys):
+        assert run_cli(
+            "harvest", "--clients", "2", "--epochs", "1", "--budget", "7",
+        ) == 12
+        assert "error" in capsys.readouterr().err
+
+    def test_telemetry_log_written(self, tmp_path, capsys):
+        log = tmp_path / "telemetry.jsonl"
+        assert run_cli(
+            "harvest", "--policy", "static", "--clients", "4",
+            "--epochs", "2", "--telemetry", str(log),
+        ) == 0
+        capsys.readouterr()
+        from repro.telemetry import read_events
+
+        names = {event.name for event in read_events(log)}
+        assert "scheduler.decision" in names
